@@ -1,0 +1,54 @@
+// Reproduces the paper's Fig. 5 table: benchmark meshes in detail —
+// element count, degrees of freedom (order-4 SEM), theoretical LTS speedup
+// (Eq. 9) and number of levels — for the trench, trench-big, embedding and
+// crust meshes, at reproduction scale, next to the paper's reported values.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "paper_meshes.hpp"
+
+using namespace ltswave;
+
+namespace {
+void add_row(TextTable& t, const bench::PaperMesh& pm) {
+  t.row()
+      .cell(pm.name)
+      .cell(format_count(pm.mesh.num_elems()))
+      .cell(format_count(bench::estimate_dof(pm.mesh)))
+      .cell(core::theoretical_speedup(pm.levels), 1)
+      .cell(static_cast<std::int64_t>(pm.levels.num_levels))
+      .cell(format_count(pm.paper_elems))
+      .cell(pm.paper_speedup, 1)
+      .cell(static_cast<std::int64_t>(pm.paper_levels));
+}
+} // namespace
+
+int main() {
+  print_section(std::cout, "Fig. 5 — Benchmark meshes in detail (ours | paper)");
+  std::cout << "Meshes scaled ~1:32 from the paper's sizes; refinement topology, level\n"
+               "structure and speedup model (Eq. 9) are the reproduction targets.\n\n";
+
+  TextTable t({"Mesh", "# elements", "# DOF", "Theor. speedup", "# levels",
+               "paper #elem", "paper speedup", "paper #lvl"});
+  add_row(t, bench::make_paper_trench());
+  add_row(t, bench::make_paper_trench_big());
+  add_row(t, bench::make_paper_embedding());
+  add_row(t, bench::make_paper_crust());
+  t.print(std::cout);
+
+  print_section(std::cout, "Level census (elements per p-level)");
+  TextTable c({"Mesh", "L1 (dt)", "L2 (dt/2)", "L3 (dt/4)", "L4 (dt/8)", "L5 (dt/16)", "L6 (dt/32)"});
+  for (const auto& pm : {bench::make_paper_trench(), bench::make_paper_trench_big(),
+                         bench::make_paper_embedding(), bench::make_paper_crust()}) {
+    auto& row = c.row().cell(pm.name);
+    for (level_t k = 1; k <= 6; ++k) {
+      if (k <= pm.levels.num_levels)
+        row.cell(static_cast<std::int64_t>(pm.levels.level_counts[static_cast<std::size_t>(k - 1)]));
+      else
+        row.cell("-");
+    }
+  }
+  c.print(std::cout);
+  return 0;
+}

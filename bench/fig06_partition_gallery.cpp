@@ -1,0 +1,58 @@
+// Reproduces the paper's Fig. 6: all four partitioning tools on the trench
+// mesh with 4 partitions. The paper shows colored meshes; we print the
+// per-part per-level element census — the quantitative content of the figure
+// (SCOTCH balances only total work; the others balance each level) — and
+// write VTK files for visual inspection in ParaView.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mesh/mesh_io.hpp"
+#include "paper_meshes.hpp"
+#include "partition/partitioners.hpp"
+
+using namespace ltswave;
+using partition::PartitionerConfig;
+using partition::Strategy;
+
+int main() {
+  auto pm = bench::make_paper_trench(24); // small example, as in the figure
+  print_section(std::cout, "Fig. 6 — partition gallery, trench mesh, K = 4");
+  std::cout << format_count(pm.mesh.num_elems()) << " elements, " << pm.levels.num_levels
+            << " levels\n";
+
+  for (Strategy s : {Strategy::Patoh, Strategy::Metis, Strategy::Scotch, Strategy::ScotchP}) {
+    PartitionerConfig cfg;
+    cfg.strategy = s;
+    cfg.num_parts = 4;
+    const auto p = partition::partition_mesh(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, cfg);
+    const auto mtr = partition::compute_metrics(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, p);
+
+    print_section(std::cout, to_string(s));
+    std::vector<std::string> header = {"part"};
+    for (level_t k = 1; k <= pm.levels.num_levels; ++k) header.push_back("L" + std::to_string(k));
+    header.push_back("work/cycle");
+    TextTable t(header);
+    for (rank_t r = 0; r < 4; ++r) {
+      auto& row = t.row().cell("P" + std::to_string(r));
+      for (level_t k = 1; k <= pm.levels.num_levels; ++k)
+        row.cell(mtr.level_counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)]);
+      row.cell(mtr.work[static_cast<std::size_t>(r)]);
+    }
+    t.print(std::cout);
+    std::cout << "total imbalance " << mtr.total_imbalance_pct << "%, worst level imbalance "
+              << mtr.max_level_imbalance_pct << "%, MPI volume " << mtr.comm_volume << "\n";
+
+    // VTK dump with partition + level cell data (viewable in ParaView).
+    std::vector<real_t> part_field(p.part.begin(), p.part.end());
+    std::vector<real_t> level_field(pm.levels.elem_level.begin(), pm.levels.elem_level.end());
+    const std::string path = "fig06_" + to_string(s) + ".vtk";
+    mesh::write_vtk(path, pm.mesh, {{"partition", part_field}, {"level", level_field}});
+    std::cout << "wrote " << path << "\n";
+  }
+
+  std::cout << "\nShape check vs paper: SCOTCH's parts have wildly different per-level\n"
+               "counts (it only balances the work column); SCOTCH-P / PaToH balance every\n"
+               "level column.\n";
+  return 0;
+}

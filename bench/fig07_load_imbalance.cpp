@@ -1,0 +1,50 @@
+// Reproduces the paper's Fig. 7 table: total work-load imbalance (Eq. 21) of
+// the MeTiS-like multi-constraint graph partitioner, the PaToH-like
+// hypergraph partitioner at final_imbal 0.05 / 0.01, and SCOTCH-P, for
+// K = 16/32/64 parts of the trench mesh.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "paper_meshes.hpp"
+#include "partition/partitioners.hpp"
+
+using namespace ltswave;
+using partition::PartitionerConfig;
+using partition::Strategy;
+
+namespace {
+double imbalance_for(const bench::PaperMesh& pm, Strategy s, rank_t k, double eps) {
+  PartitionerConfig cfg;
+  cfg.strategy = s;
+  cfg.num_parts = k;
+  cfg.imbalance = eps;
+  const auto p = partition::partition_mesh(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, cfg);
+  return partition::compute_metrics(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, p)
+      .total_imbalance_pct;
+}
+} // namespace
+
+int main() {
+  const auto pm = bench::make_paper_trench();
+  print_section(std::cout, "Fig. 7 — Total work-load imbalance (Eq. 21), trench mesh");
+  std::cout << "Ours: " << format_count(pm.mesh.num_elems()) << " elements ("
+            << pm.levels.num_levels << " levels); paper: 2.5M elements.\n"
+            << "Paper rows for comparison:  MeTiS 34/88/89%,  PaToH 0.05 11/17/19%,\n"
+            << "PaToH 0.01 2/5/7%,  SCOTCH-P 6/6/7%  (K = 16/32/64).\n\n";
+
+  TextTable t({"# of parts", "MeTiS", "PaToH 0.05", "PaToH 0.01", "SCOTCH-P"});
+  for (rank_t k : {16, 32, 64}) {
+    t.row()
+        .cell(static_cast<std::int64_t>(k))
+        .percent(imbalance_for(pm, Strategy::Metis, k, 0.05), 0)
+        .percent(imbalance_for(pm, Strategy::Patoh, k, 0.05), 0)
+        .percent(imbalance_for(pm, Strategy::Patoh, k, 0.01), 0)
+        .percent(imbalance_for(pm, Strategy::ScotchP, k, 0.05), 0);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check vs paper: MeTiS-like multi-constraint degrades sharply with K;\n"
+               "PaToH 0.01 and SCOTCH-P stay in single digits; PaToH 0.05 sits between.\n";
+  return 0;
+}

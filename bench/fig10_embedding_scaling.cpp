@@ -1,0 +1,35 @@
+// Reproduces the paper's Fig. 10: CPU strong scaling on the embedding mesh
+// (paper: 1.2M elements, 7.9x theoretical speedup; SCOTCH-P reaches 95% of
+// the theoretical speedup at 16 nodes and 93% scaling efficiency).
+
+#include <iostream>
+
+#include "scaling_report.hpp"
+
+using namespace ltswave;
+
+int main() {
+  const auto pm = bench::make_paper_embedding();
+  std::cout << "Embedding mesh: " << format_count(pm.mesh.num_elems()) << " elements, "
+            << pm.levels.num_levels
+            << " levels, theoretical speedup = " << core::theoretical_speedup(pm.levels)
+            << " (paper: 1.2M elements, predicted speedup 7.9x)\n";
+
+  perf::ScalingExperiment exp;
+  exp.mesh = &pm.mesh;
+  exp.courant = bench::kCourant;
+  exp.max_levels = 4;
+  exp.node_counts = {2, 4, 8, 16};
+
+  auto res = perf::run_scaling(exp, bench::standard_strategies());
+  bench::print_scaling_panel(std::cout,
+                             "Fig. 10 — CPU performance, embedding mesh "
+                             "(paper: SCOTCH-P 93%, non-LTS 123% at 128 nodes)",
+                             res, /*paper_scale=*/8);
+
+  // LTS efficiency at the base count: measured/LTS-ideal (paper: 95%).
+  std::cout << "LTS efficiency at base node count (SCOTCH-P): "
+            << static_cast<int>(100 * res.strategies[0].points[0].normalized / res.lts_ideal[0] + 0.5)
+            << "% (paper: 95%)\n";
+  return 0;
+}

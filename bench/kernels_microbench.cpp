@@ -1,0 +1,100 @@
+// SEM kernel microbenchmarks (google-benchmark): per-element cost of the
+// acoustic and elastic stiffness application by polynomial order, and the
+// cost of the column-masked (LTS) apply relative to the full apply. These
+// measurements anchor the cluster simulator's machine model (see
+// perf/calibrate.hpp).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/lts_newmark.hpp"
+#include "mesh/generators.hpp"
+#include "sem/wave_operator.hpp"
+
+using namespace ltswave;
+
+namespace {
+
+struct KernelFixture {
+  mesh::HexMesh m;
+  std::unique_ptr<sem::SemSpace> space;
+  std::vector<index_t> all;
+
+  explicit KernelFixture(int order) : m(mesh::make_uniform_box(8, 8, 8)) {
+    space = std::make_unique<sem::SemSpace>(m, order);
+    all.resize(static_cast<std::size_t>(m.num_elems()));
+    std::iota(all.begin(), all.end(), 0);
+  }
+};
+
+void BM_AcousticApply(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add(f.all, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_AcousticApply)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticApply(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::ElasticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()) * 3, 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add(f.all, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ElasticApply)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MaskedApply(benchmark::State& state) {
+  // Column-masked (LTS) apply over the same elements: measures the gather
+  // mask overhead relative to BM_AcousticApply at the same order.
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  std::vector<level_t> node_level(static_cast<std::size_t>(f.space->num_global_nodes()), 1);
+  std::vector<real_t> u(node_level.size(), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_level(f.all, node_level.data(), 1, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MaskedApply)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_LtsCyclePerDof(benchmark::State& state) {
+  // End-to-end: one LTS cycle on a 3-level strip, per-dof cost.
+  const auto m = mesh::make_strip_mesh(32, 0.25, 4.0);
+  sem::SemSpace space(m, 4);
+  sem::AcousticOperator op(space);
+  const auto lv = core::assign_levels(m, 0.1);
+  const auto st = core::build_lts_structure(space, lv);
+  core::LtsNewmarkSolver solver(op, lv, st);
+  std::vector<real_t> u0(static_cast<std::size_t>(space.num_global_nodes()), 0.01);
+  solver.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+  for (auto _ : state) {
+    solver.step();
+    benchmark::DoNotOptimize(solver.u().data());
+  }
+  state.counters["dof"] = static_cast<double>(space.num_global_nodes());
+}
+BENCHMARK(BM_LtsCyclePerDof)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

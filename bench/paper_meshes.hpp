@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file paper_meshes.hpp
+/// The four benchmark meshes of the paper (Fig. 4/5) at reproduction scale,
+/// shared by all figure benches. The paper ran 1.2M-26M element meshes on up
+/// to 8192 cores of Piz Daint; this environment scales sizes and rank counts
+/// down by ~32x while keeping the *per-rank element counts* (which drive the
+/// scaling behaviour) in a comparable range. Each bench prints the paper's
+/// reported values next to ours.
+
+#include <string>
+
+#include "core/lts_levels.hpp"
+#include "mesh/generators.hpp"
+
+namespace ltswave::bench {
+
+/// CFL constant used by every experiment (value is immaterial for the
+/// partitioning/scaling results; it scales all dt's equally).
+constexpr real_t kCourant = 0.3;
+
+struct PaperMesh {
+  std::string name;
+  mesh::HexMesh mesh;
+  core::LevelAssignment levels;
+  double paper_elems;        ///< paper's element count
+  double paper_speedup;      ///< paper's theoretical LTS speedup (Fig. 5)
+  int paper_levels;          ///< paper's number of levels
+};
+
+inline PaperMesh make_paper_trench(index_t n = 48) {
+  PaperMesh pm{"Trench",
+               mesh::make_trench_mesh({.n = n,
+                                       .nz = static_cast<index_t>(2 * n / 3),
+                                       .squeeze = 8.0,
+                                       .trench_halfwidth = 0.03,
+                                       .depth_power = 4.0,
+                                       .transition = 0.10,
+                                       .mat = {}}),
+               {},
+               2.5e6,
+               6.7,
+               4};
+  pm.levels = core::assign_levels(pm.mesh, kCourant, 4);
+  return pm;
+}
+
+inline PaperMesh make_paper_trench_big(index_t n = 64) {
+  PaperMesh pm{"Trench Big", mesh::make_trench_big_mesh(n), {}, 26e6, 21.7, 6};
+  pm.levels = core::assign_levels(pm.mesh, kCourant, 6);
+  return pm;
+}
+
+inline PaperMesh make_paper_embedding(index_t n = 40) {
+  PaperMesh pm{"Embedding",
+               mesh::make_embedding_mesh({.n = n,
+                                          .squeeze = 16.0,
+                                          .radius = 0.15,
+                                          .center = {0.5, 0.5, 0.5},
+                                          .mat = {}}),
+               {},
+               1.2e6,
+               7.9,
+               4};
+  pm.levels = core::assign_levels(pm.mesh, kCourant, 4);
+  return pm;
+}
+
+inline PaperMesh make_paper_crust(index_t n = 40) {
+  PaperMesh pm{"Crust",
+               mesh::make_crust_mesh({.n = n, .nz = n / 2, .squeeze = 2.2, .topo_amp = 0.0, .mat = {}}),
+               {},
+               2.9e6,
+               1.9,
+               2};
+  pm.levels = core::assign_levels(pm.mesh, kCourant, 2);
+  return pm;
+}
+
+/// SEM degrees of freedom of a conforming order-4 discretization, estimated
+/// without building the numbering: unique GLL nodes ~ (4^3) per element plus
+/// shared boundary layers; for structured-ish hex meshes, 64*E + O(E^{2/3})
+/// is within a percent. (The paper's Fig. 5 lists exact DOF counts.)
+inline double estimate_dof(const mesh::HexMesh& m, int order = 4) {
+  return static_cast<double>(m.num_elems()) * order * order * order;
+}
+
+} // namespace ltswave::bench

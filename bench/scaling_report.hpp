@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file scaling_report.hpp
+/// Shared table/efficiency reporting for the Fig. 9-13 strong-scaling benches.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "paper_meshes.hpp"
+#include "perf/scaling.hpp"
+
+namespace ltswave::bench {
+
+/// Prints the normalized-performance table for one machine panel and returns
+/// the per-series scaling efficiencies at the largest node count (the
+/// percentages the paper annotates next to each curve).
+inline void print_scaling_panel(std::ostream& os, const std::string& title,
+                                const perf::ScalingResult& res, int paper_scale) {
+  print_section(os, title);
+
+  std::vector<std::string> header = {"nodes (paper-equiv)", "LTS ideal"};
+  for (const auto& s : res.strategies) header.push_back(s.label);
+  header.push_back(res.non_lts.label);
+  TextTable t(header);
+
+  for (std::size_t i = 0; i < res.non_lts.points.size(); ++i) {
+    auto& row = t.row();
+    const int nodes = res.non_lts.points[i].nodes;
+    row.cell(std::to_string(nodes) + " (" + std::to_string(nodes * paper_scale) + ")");
+    row.cell(res.lts_ideal[i], 1);
+    for (const auto& s : res.strategies) row.cell(s.points[i].normalized, 1);
+    row.cell(res.non_lts.points[i].normalized, 1);
+  }
+  t.print(os);
+
+  // Efficiency annotations, as the paper prints next to each curve:
+  //  * scaling efficiency of non-LTS vs ideal linear scaling from the base,
+  //  * LTS scaling efficiency vs the LTS-ideal curve.
+  os << "Efficiencies at the largest node count (paper annotates these on the curves):\n";
+  const std::size_t last = res.non_lts.points.size() - 1;
+  {
+    const double ideal = res.non_lts.points[0].normalized *
+                         static_cast<double>(res.non_lts.points[last].nodes) /
+                         static_cast<double>(res.non_lts.points[0].nodes);
+    os << "  non-LTS scaling efficiency: "
+       << static_cast<int>(100 * res.non_lts.points[last].normalized / ideal + 0.5) << "%\n";
+  }
+  for (const auto& s : res.strategies) {
+    os << "  " << s.label << " LTS scaling efficiency: "
+       << static_cast<int>(100 * s.points[last].normalized / res.lts_ideal[last] + 0.5) << "%\n";
+  }
+}
+
+/// The standard four LTS strategy specs used by the scaling figures.
+inline std::vector<perf::StrategySpec> standard_strategies() {
+  std::vector<perf::StrategySpec> specs(3);
+  specs[0].label = "SCOTCH-P";
+  specs[0].cfg.strategy = partition::Strategy::ScotchP;
+  specs[1].label = "PaToH 0.01";
+  specs[1].cfg.strategy = partition::Strategy::Patoh;
+  specs[1].cfg.imbalance = 0.01;
+  specs[2].label = "PaToH 0.05";
+  specs[2].cfg.strategy = partition::Strategy::Patoh;
+  specs[2].cfg.imbalance = 0.05;
+  return specs;
+}
+
+} // namespace ltswave::bench

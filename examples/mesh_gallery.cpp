@@ -1,0 +1,48 @@
+// Mesh gallery: generate small versions of the paper's four benchmark meshes
+// (Fig. 4), print their LTS level census and write VTK files colored by
+// p-level — the reproduction of the paper's mesh illustrations.
+//
+//   $ ./mesh_gallery
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/lts_levels.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/mesh_io.hpp"
+
+using namespace ltswave;
+
+namespace {
+void emit(const std::string& name, const mesh::HexMesh& m, level_t cap) {
+  const auto lv = core::assign_levels(m, 0.3, cap);
+  std::cout << name << ": " << m.num_elems() << " elements, " << lv.num_levels
+            << " levels, model speedup " << core::theoretical_speedup(lv) << "x, census:";
+  for (auto c : lv.level_counts) std::cout << ' ' << c;
+  std::cout << '\n';
+
+  std::vector<real_t> level_field(lv.elem_level.begin(), lv.elem_level.end());
+  std::vector<real_t> h_field;
+  h_field.reserve(static_cast<std::size_t>(m.num_elems()));
+  for (index_t e = 0; e < m.num_elems(); ++e) h_field.push_back(m.char_length(e));
+  const std::string path = "mesh_" + name + ".vtk";
+  mesh::write_vtk(path, m, {{"level", level_field}, {"char_length", h_field}});
+  std::cout << "  wrote " << path << " (color by 'level': red = finest, as in Fig. 4)\n";
+}
+} // namespace
+
+int main() {
+  emit("trench",
+       mesh::make_trench_mesh({.n = 20, .nz = 14, .squeeze = 8.0, .trench_halfwidth = 0.04,
+                               .depth_power = 4.0, .transition = 0.12, .mat = {}}),
+       4);
+  emit("trench_big", mesh::make_trench_big_mesh(24), 6);
+  emit("embedding",
+       mesh::make_embedding_mesh({.n = 16, .squeeze = 8.0, .radius = 0.25,
+                                  .center = {0.5, 0.5, 0.5}, .mat = {}}),
+       4);
+  emit("crust", mesh::make_crust_mesh({.n = 16, .nz = 8, .squeeze = 2.2, .topo_amp = 0.02,
+                                       .mat = {}}),
+       2);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scaling explorer: run the cluster performance simulator over a
+// user-selected mesh, machine and node range — the interactive companion to
+// the Fig. 9-13 benches.
+//
+//   $ ./scaling_explorer [trench|embedding|crust] [cpu|gpu] [max_nodes]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "mesh/generators.hpp"
+#include "perf/scaling.hpp"
+
+using namespace ltswave;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "trench";
+  const std::string machine = argc > 2 ? argv[2] : "cpu";
+  const int max_nodes = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  mesh::HexMesh mesh = which == "embedding"
+                           ? mesh::make_embedding_mesh({.n = 32, .squeeze = 16.0, .radius = 0.15,
+                                                        .center = {0.5, 0.5, 0.5}, .mat = {}})
+                       : which == "crust"
+                           ? mesh::make_crust_mesh({.n = 32, .nz = 16, .squeeze = 2.2,
+                                                    .topo_amp = 0.0, .mat = {}})
+                           : mesh::make_trench_mesh({.n = 40, .nz = 26, .squeeze = 8.0,
+                                                     .trench_halfwidth = 0.03, .depth_power = 4.0,
+                                                     .transition = 0.10, .mat = {}});
+
+  perf::ScalingExperiment exp;
+  exp.mesh = &mesh;
+  exp.courant = 0.3;
+  for (int nodes = 2; nodes <= max_nodes; nodes *= 2) exp.node_counts.push_back(nodes);
+  if (machine == "gpu") {
+    exp.ranks_per_node = runtime::kGpuRanksPerNode;
+    exp.machine = runtime::gpu_rank_model();
+  }
+
+  std::vector<perf::StrategySpec> specs(2);
+  specs[0].label = "SCOTCH-P";
+  specs[0].cfg.strategy = partition::Strategy::ScotchP;
+  specs[1].label = "PaToH 0.01";
+  specs[1].cfg.strategy = partition::Strategy::Patoh;
+  specs[1].cfg.imbalance = 0.01;
+
+  const auto res = perf::run_scaling(exp, specs);
+
+  std::cout << which << " on " << machine << ": " << mesh.num_elems() << " elements, "
+            << res.lts_levels.num_levels << " levels, theoretical speedup "
+            << res.theoretical_speedup << "x\n\n";
+
+  TextTable t({"nodes", "ranks", "LTS ideal", "SCOTCH-P", "PaToH 0.01", "non-LTS",
+               "SCOTCH-P stall %"});
+  for (std::size_t i = 0; i < exp.node_counts.size(); ++i) {
+    t.row()
+        .cell(static_cast<std::int64_t>(exp.node_counts[i]))
+        .cell(static_cast<std::int64_t>(res.non_lts.points[i].ranks))
+        .cell(res.lts_ideal[i], 1)
+        .cell(res.strategies[0].points[i].normalized, 1)
+        .cell(res.strategies[1].points[i].normalized, 1)
+        .cell(res.non_lts.points[i].normalized, 1)
+        .percent(100 * res.strategies[0].points[i].max_stall_fraction, 0);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file check.hpp
+/// Checked assertions.
+///
+/// LTS_CHECK is always on (cheap invariants on public API boundaries);
+/// LTS_DCHECK compiles away in release builds (hot inner-loop invariants).
+/// Both throw ltswave::CheckFailure so tests can assert on violations instead
+/// of aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ltswave {
+
+/// Exception thrown when a checked invariant fails.
+class CheckFailure : public std::logic_error {
+public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+} // namespace detail
+
+} // namespace ltswave
+
+#define LTS_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) ::ltswave::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LTS_CHECK_MSG(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      std::ostringstream os_;                                                  \
+      os_ << msg;                                                              \
+      ::ltswave::detail::check_fail(#expr, __FILE__, __LINE__, os_.str());     \
+    }                                                                          \
+  } while (0)
+
+#ifdef NDEBUG
+#define LTS_DCHECK(expr) ((void)0)
+#else
+#define LTS_DCHECK(expr) LTS_CHECK(expr)
+#endif

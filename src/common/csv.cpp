@@ -1,0 +1,49 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ltswave {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), ncol_(header.size()) {
+  LTS_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  LTS_CHECK(!header.empty());
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  LTS_CHECK_MSG(cells.size() == ncol_, "CSV row width mismatch in " << path_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    s.push_back(os.str());
+  }
+  write_row(s);
+}
+
+} // namespace ltswave

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV writer; benches optionally dump their series for plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ltswave {
+
+class CsvWriter {
+public:
+  /// Opens \p path for writing and emits the header line. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t ncol_;
+};
+
+} // namespace ltswave

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// All randomized components of the library (initial-partition seeds,
+/// tie-breaking, workload jitter) draw from this generator so that every
+/// experiment is reproducible from a single seed. xoshiro256** seeded through
+/// splitmix64, following the reference implementations by Blackman & Vigna.
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace ltswave {
+
+/// splitmix64 step; used to expand a single seed into a full generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform_real() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept { return lo + (hi - lo) * uniform_real(); }
+
+  /// Fork an independent stream (for per-thread / per-attempt determinism).
+  Rng fork() noexcept { return Rng{(*this)() ^ 0xd1b54a32d192ed03ULL}; }
+
+private:
+  std::uint64_t s_[4];
+};
+
+} // namespace ltswave

@@ -1,0 +1,108 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ltswave {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  LTS_CHECK(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  LTS_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  LTS_CHECK_MSG(rows_.back().size() < header_.size(), "row has more cells than header");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+TextTable& TextTable::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::percent(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << "%";
+  return cell(os.str());
+}
+
+TextTable& TextTable::scientific(double value, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < ncol; ++c) os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& r, bool is_header) {
+    os << '|';
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      // Left-align the header and the first column, right-align data cells.
+      const bool left = is_header || c == 0;
+      os << ' ';
+      if (left)
+        os << v << std::string(width[c] - v.size(), ' ');
+      else
+        os << std::string(width[c] - v.size(), ' ') << v;
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  hline();
+  print_row(header_, /*is_header=*/true);
+  hline();
+  for (const auto& r : rows_) print_row(r, /*is_header=*/false);
+  hline();
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  const std::size_t pad = title.size() + 4 < 80 ? 76 - title.size() : 4;
+  os << '\n' << "== " << title << " " << std::string(pad, '=') << '\n';
+}
+
+std::string format_count(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(std::abs(v) >= 100 || suffix[0] == '\0' ? 0 : 1) << v
+     << suffix;
+  return os.str();
+}
+
+} // namespace ltswave

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table formatting used by the benchmark harness to print the
+/// paper's tables and figure series side by side with our measurements.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ltswave {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with a
+/// fixed precision. Rendering right-aligns numeric-looking cells.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls append to it.
+  TextTable& row();
+
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  TextTable& cell(std::size_t value) { return cell(static_cast<std::int64_t>(value)); }
+
+  /// Percentage cell, e.g. 12.3 -> "12.3%".
+  TextTable& percent(double value, int precision = 0);
+
+  /// Scientific-notation cell, e.g. 1.4e+06.
+  TextTable& scientific(double value, int precision = 1);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a boxed section title (used between sub-tables of one bench binary).
+void print_section(std::ostream& os, const std::string& title);
+
+/// Human-readable engineering formatting: 2500000 -> "2.5M".
+std::string format_count(double value);
+
+} // namespace ltswave

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file timer.hpp
+/// Monotonic wall-clock timer for benchmarking and machine-model calibration.
+
+#include <chrono>
+
+namespace ltswave {
+
+class WallTimer {
+public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace ltswave

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar and index types shared by the whole library.
+///
+/// Element/node counts in the reproduction stay well below 2^31, but the paper
+/// works with meshes up to 26M elements and 1.7B degrees of freedom, so all
+/// global degree-of-freedom indexing uses 64-bit integers.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ltswave {
+
+/// Floating point type used for field data and geometry.
+using real_t = double;
+
+/// Index of a mesh element, mesh (corner) node, graph vertex, hyperedge, ...
+using index_t = std::int32_t;
+
+/// Global degree-of-freedom index (GLL node numbering can exceed 2^31).
+using gindex_t = std::int64_t;
+
+/// Partition/rank identifier.
+using rank_t = std::int32_t;
+
+/// LTS refinement level. Level 1 is the coarsest (step dt), level k uses
+/// step dt / 2^{k-1} (paper Eq. 16).
+using level_t = std::int32_t;
+
+/// Step-count multiplier p_k = 2^{k-1} for an LTS level (paper Eq. 16).
+constexpr std::int64_t level_rate(level_t level) noexcept {
+  return std::int64_t{1} << (level - 1);
+}
+
+/// Invalid sentinel for index-typed values.
+constexpr index_t kInvalidIndex = -1;
+
+} // namespace ltswave

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file energy.hpp
+/// Discrete energy diagnostics. The explicit Newmark / leap-frog pair
+/// conserves the staggered energy
+///   E^{n+1/2} = 1/2 ||v^{n+1/2}||_M^2 + 1/2 (u^n)^T K (u^{n+1})
+/// below the CFL limit, and the LTS-Newmark scheme preserves this
+/// conservation structure (paper Sec. II-B, citing [5] and [15]). Tests use
+/// these helpers to verify the absence of energy drift over long runs.
+
+#include "sem/wave_operator.hpp"
+
+namespace ltswave::core {
+
+/// 1/2 sum_g M_g |v_g|^2 over all components (interleaved layout).
+real_t kinetic_energy(const sem::SemSpace& space, std::span<const real_t> v, int ncomp);
+
+/// 1/2 a^T K b (symmetric in a,b up to roundoff).
+real_t cross_potential_energy(const sem::WaveOperator& op, std::span<const real_t> a,
+                              std::span<const real_t> b);
+
+/// Staggered discrete energy from u^n, u^{n+1} and v^{n+1/2}.
+real_t staggered_energy(const sem::WaveOperator& op, std::span<const real_t> u_n,
+                        std::span<const real_t> u_np1, std::span<const real_t> v_half);
+
+} // namespace ltswave::core

@@ -1,0 +1,382 @@
+#include "core/lts_newmark.hpp"
+
+#include <algorithm>
+
+namespace ltswave::core {
+
+namespace {
+std::vector<real_t> expand_inv_mass(const sem::SemSpace& space, int ncomp) {
+  std::vector<real_t> im(static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp));
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
+    for (int c = 0; c < ncomp; ++c)
+      im[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp) + static_cast<std::size_t>(c)] =
+          space.inv_mass()[static_cast<std::size_t>(g)];
+  return im;
+}
+} // namespace
+
+// ===========================================================================
+// Production solver
+// ===========================================================================
+
+LtsNewmarkSolver::LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssignment& levels,
+                                   const LtsStructure& structure)
+    : op_(&op),
+      levels_(&levels),
+      structure_(&structure),
+      dt_(levels.dt),
+      ncomp_(op.ncomp()),
+      ws_(op.make_workspace()) {
+  const auto& space = op.space();
+  const std::size_t ndof =
+      static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
+  inv_mass_ = expand_inv_mass(space, ncomp_);
+  u_.assign(ndof, 0.0);
+  v_.assign(ndof, 0.0);
+  scratch_.assign(ndof, 0.0);
+  const level_t nl = levels.num_levels;
+  if (nl > 1) {
+    cumulative_.assign(ndof, 0.0);
+    forces_.assign(static_cast<std::size_t>(nl - 1), std::vector<real_t>(ndof, 0.0));
+    usave_.assign(static_cast<std::size_t>(nl - 1), std::vector<real_t>(ndof, 0.0));
+    vt_.assign(static_cast<std::size_t>(nl - 1), std::vector<real_t>(ndof, 0.0)); // vt_[k-2] for level k
+  }
+  sources_by_level_.assign(static_cast<std::size_t>(nl), {});
+  src_scratch_.assign(ndof, 0.0);
+  applies_per_level_.assign(static_cast<std::size_t>(nl), 0);
+}
+
+void LtsNewmarkSolver::add_source(const sem::PointSource& src) {
+  sources_.push_back(src);
+  const level_t rho = structure_->node_rho[static_cast<std::size_t>(src.node)];
+  sources_by_level_[static_cast<std::size_t>(rho - 1)].push_back(src);
+}
+
+void LtsNewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
+  for (gindex_t g : nodes)
+    for (int c = 0; c < ncomp_; ++c)
+      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+}
+
+void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
+  LTS_CHECK(u0.size() == u_.size() && v0.size() == v_.size());
+  std::copy(u0.begin(), u0.end(), u_.begin());
+  // v^{-1/2} = v(0) - dt/2 * a(0), a(0) = Minv (f(0) - K u0).
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
+  for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
+  op_->apply_add(all, u_.data(), scratch_.data(), ws_);
+  std::vector<real_t> f(u_.size(), 0.0);
+  for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = v0[i] - 0.5 * dt_ * inv_mass_[i] * (f[i] - scratch_[i]);
+  time_ = 0;
+}
+
+void LtsNewmarkSolver::apply_sources_to(level_t k, real_t t_sub,
+                                        std::vector<real_t>& force_accum) {
+  // Adds -Minv f(t) into the force accumulator so the common update
+  // v -= delta * F realizes v += delta * Minv f. Touched dofs are recorded so
+  // the (full-length, persistently zero) accumulator can be cleared in O(#src).
+  for (const auto& s : sources_by_level_[static_cast<std::size_t>(k - 1)]) {
+    const real_t val = s.amplitude * s.wavelet(t_sub);
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      force_accum[i] -= inv_mass_[i] * val * s.direction[static_cast<std::size_t>(c)];
+      src_dirty_.push_back(i);
+    }
+  }
+}
+
+void LtsNewmarkSolver::clear_source_scratch() {
+  for (std::size_t i : src_dirty_) src_scratch_[i] = 0.0;
+  src_dirty_.clear();
+}
+
+void LtsNewmarkSolver::recompute_force(level_t k) {
+  // forces_[k-1] <- Minv K P_k u on rows(E(k)); cumulative_ updated by delta.
+  const auto& elems = structure_->eval_elems[static_cast<std::size_t>(k - 1)];
+  const auto& rows = structure_->eval_rows[static_cast<std::size_t>(k - 1)];
+  auto& fk = forces_[static_cast<std::size_t>(k - 1)];
+
+  for (gindex_t g : rows)
+    for (int c = 0; c < ncomp_; ++c)
+      scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+
+  op_->apply_add_level(elems, structure_->node_level.data(), k, u_.data(), scratch_.data(), ws_);
+  applies_total_ += static_cast<std::int64_t>(elems.size());
+  applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
+
+  for (gindex_t g : rows) {
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      const real_t fresh = inv_mass_[i] * scratch_[i];
+      cumulative_[i] += fresh - fk[i];
+      fk[i] = fresh;
+    }
+  }
+}
+
+void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> rows, bool first,
+                                        real_t delta, real_t t_sub, std::vector<real_t>& vt,
+                                        const real_t* extra) {
+  // Rows whose forces are all frozen at this depth: one leapfrog substep with
+  // F = cumulative (+ extra, the level's own fresh evaluation) (+ sources).
+  //
+  // Sources are sampled at the *cycle start* time, not the substep time: the
+  // velocity reconstruction (Eq. 14) folds the inner evolution through a
+  // (dt - tau)-shaped kernel, so only an even-in-tau source term — i.e. one
+  // frozen over the cycle — preserves the scheme's second-order accuracy
+  // (this mirrors the time-reversibility requirement on Eq. 11). A constant
+  // source passes through every nested reconstruction exactly, which makes
+  // the whole cycle a midpoint rule in the source, exactly like the non-LTS
+  // Newmark step at Delta-t.
+  (void)t_sub;
+  const bool has_sources = !sources_by_level_[static_cast<std::size_t>(k - 1)].empty();
+  if (has_sources) apply_sources_to(k, cycle_t0_, src_scratch_);
+  for (gindex_t g : rows) {
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      real_t F = cumulative_[i];
+      if (extra) F += extra[i];
+      if (has_sources) F += src_scratch_[i];
+      if (first)
+        vt[i] = -0.5 * delta * F;
+      else
+        vt[i] -= delta * F;
+      u_[i] += delta * vt[i];
+    }
+  }
+  if (has_sources) clear_source_scratch();
+}
+
+void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
+  const level_t nl = levels_->num_levels;
+  const real_t delta = dt_ / static_cast<real_t>(level_rate(k));
+  auto& vt = vt_[static_cast<std::size_t>(k - 2)];
+
+  for (int m = 0; m < 2; ++m) {
+    const bool first = (m == 0);
+    const real_t tm = t0 + static_cast<real_t>(m) * delta;
+
+    if (k == nl) {
+      // Deepest level: leapfrog with fresh A P_N u plus frozen forces.
+      const auto& elems = structure_->eval_elems[static_cast<std::size_t>(k - 1)];
+      const auto& rows = structure_->eval_rows[static_cast<std::size_t>(k - 1)];
+      for (gindex_t g : rows)
+        for (int c = 0; c < ncomp_; ++c)
+          scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+      op_->apply_add_level(elems, structure_->node_level.data(), k, u_.data(), scratch_.data(), ws_);
+      applies_total_ += static_cast<std::int64_t>(elems.size());
+      applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
+      // Scale K u by Minv in place (rows only).
+      for (gindex_t g : rows)
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i =
+              static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          scratch_[i] *= inv_mass_[i];
+        }
+      collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
+                       tm, vt, scratch_.data());
+      continue;
+    }
+
+    // Freeze this level's own force contribution, save the field where the
+    // child will evolve it, then recurse.
+    recompute_force(k);
+    const auto& recon = structure_->recon_rows[static_cast<std::size_t>(k - 1)];
+    auto& save = usave_[static_cast<std::size_t>(k - 1)];
+    for (gindex_t g : recon)
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i =
+            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        save[i] = u_[i];
+      }
+
+    run_level(k + 1, tm);
+
+    // Velocity reconstruction on the rows the child evolved (Algorithm 1's
+    // v~_{m+1/2} update), then reset u to the reconstructed value.
+    for (gindex_t g : recon)
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i =
+            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        if (first)
+          vt[i] = (u_[i] - save[i]) / delta;
+        else
+          vt[i] += 2.0 * (u_[i] - save[i]) / delta;
+        u_[i] = save[i] + delta * vt[i];
+      }
+
+    // Rows frozen during the child's run advance by one collapsed leapfrog
+    // step with F = sum_{j<=k} forces (== cumulative on these rows).
+    collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
+                     tm, vt, nullptr);
+  }
+}
+
+void LtsNewmarkSolver::step() {
+  const level_t nl = levels_->num_levels;
+  if (nl == 1) {
+    // Plain Newmark.
+    const auto& elems = structure_->eval_elems[0];
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
+    op_->apply_add(elems, u_.data(), scratch_.data(), ws_);
+    applies_total_ += static_cast<std::int64_t>(elems.size());
+    applies_per_level_[0] += static_cast<std::int64_t>(elems.size());
+    const bool has_sources = !sources_.empty();
+    if (has_sources) apply_sources_to(1, time_, src_scratch_);
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+      real_t F = inv_mass_[i] * scratch_[i];
+      if (has_sources) F += src_scratch_[i];
+      v_[i] -= dt_ * F;
+      u_[i] += dt_ * v_[i];
+    }
+    if (has_sources) clear_source_scratch();
+    time_ += dt_;
+    return;
+  }
+
+  const real_t t0 = time_;
+  cycle_t0_ = t0;
+  recompute_force(1);
+
+  const auto& recon = structure_->recon_rows[0]; // R(2)
+  auto& save = usave_[0];
+  for (gindex_t g : recon)
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      save[i] = u_[i];
+    }
+
+  run_level(2, t0);
+
+  // Level-1 reconstruction with the *physical* staggered velocity (Eq. 14):
+  // v^{n+1/2} = v^{n-1/2} + 2 (u~(dt) - u^n)/dt, u^{n+1} = u^n + dt v^{n+1/2}.
+  for (gindex_t g : recon)
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
+      u_[i] = save[i] + dt_ * v_[i];
+    }
+
+  // Far-coarse rows: one standard Newmark step with the frozen level-1 force.
+  {
+    const auto& rows = structure_->update_rows[0]; // S(1)
+    const bool has_sources = !sources_by_level_[0].empty();
+    if (has_sources) apply_sources_to(1, t0, src_scratch_);
+    for (gindex_t g : rows)
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i =
+            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        real_t F = cumulative_[i];
+        if (has_sources) F += src_scratch_[i];
+        v_[i] -= dt_ * F;
+        u_[i] += dt_ * v_[i];
+      }
+    if (has_sources) clear_source_scratch();
+  }
+  time_ = t0 + dt_;
+}
+
+// ===========================================================================
+// Reference solver
+// ===========================================================================
+
+LtsNewmarkReference::LtsNewmarkReference(const sem::WaveOperator& op,
+                                         const LevelAssignment& levels,
+                                         const LtsStructure& structure)
+    : op_(&op),
+      levels_(&levels),
+      structure_(&structure),
+      dt_(levels.dt),
+      ncomp_(op.ncomp()),
+      ws_(op.make_workspace()) {
+  const auto& space = op.space();
+  const std::size_t ndof =
+      static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
+  inv_mass_ = expand_inv_mass(space, ncomp_);
+  u_.assign(ndof, 0.0);
+  v_.assign(ndof, 0.0);
+}
+
+void LtsNewmarkReference::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
+  LTS_CHECK(u0.size() == u_.size() && v0.size() == v_.size());
+  std::copy(u0.begin(), u0.end(), u_.begin());
+  std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
+  for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
+  std::vector<real_t> ku(u_.size(), 0.0);
+  op_->apply_add(all, u_.data(), ku.data(), ws_);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] = v0[i] + 0.5 * dt_ * inv_mass_[i] * ku[i];
+  time_ = 0;
+}
+
+std::vector<real_t> LtsNewmarkReference::apply_level(level_t k, const std::vector<real_t>& field) {
+  std::vector<real_t> out(field.size(), 0.0);
+  op_->apply_add_level(structure_->eval_elems[static_cast<std::size_t>(k - 1)],
+                       structure_->node_level.data(), k, field.data(), out.data(), ws_);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= inv_mass_[i];
+  return out;
+}
+
+std::vector<real_t> LtsNewmarkReference::run_level(level_t k, const std::vector<real_t>& u0,
+                                                   const std::vector<real_t>& frozen) {
+  const level_t nl = levels_->num_levels;
+  const real_t delta = dt_ / static_cast<real_t>(level_rate(k));
+  std::vector<real_t> ut = u0;
+  std::vector<real_t> vt(u0.size(), 0.0);
+
+  for (int m = 0; m < 2; ++m) {
+    const bool first = (m == 0);
+    if (k == nl) {
+      auto F = apply_level(k, ut);
+      for (std::size_t i = 0; i < F.size(); ++i) F[i] += frozen[i];
+      for (std::size_t i = 0; i < ut.size(); ++i) {
+        if (first)
+          vt[i] = -0.5 * delta * F[i];
+        else
+          vt[i] -= delta * F[i];
+        ut[i] += delta * vt[i];
+      }
+    } else {
+      auto fk = apply_level(k, ut);
+      for (std::size_t i = 0; i < fk.size(); ++i) fk[i] += frozen[i];
+      const auto child = run_level(k + 1, ut, fk);
+      for (std::size_t i = 0; i < ut.size(); ++i) {
+        if (first)
+          vt[i] = (child[i] - ut[i]) / delta;
+        else
+          vt[i] += 2.0 * (child[i] - ut[i]) / delta;
+        ut[i] += delta * vt[i];
+      }
+    }
+  }
+  return ut;
+}
+
+void LtsNewmarkReference::step() {
+  const level_t nl = levels_->num_levels;
+  if (nl == 1) {
+    auto F = apply_level(1, u_);
+    for (std::size_t i = 0; i < u_.size(); ++i) {
+      v_[i] -= dt_ * F[i];
+      u_[i] += dt_ * v_[i];
+    }
+    time_ += dt_;
+    return;
+  }
+  const auto f1 = apply_level(1, u_);
+  const auto fine = run_level(2, u_, f1);
+  for (std::size_t i = 0; i < u_.size(); ++i) {
+    v_[i] += 2.0 * (fine[i] - u_[i]) / dt_;
+    u_[i] += dt_ * v_[i];
+  }
+  time_ += dt_;
+}
+
+} // namespace ltswave::core

@@ -1,0 +1,63 @@
+#include "core/newmark.hpp"
+
+#include <numeric>
+
+namespace ltswave::core {
+
+NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
+    : op_(&op), dt_(dt), ncomp_(op.ncomp()), ws_(op.make_workspace()) {
+  LTS_CHECK(dt > 0);
+  const auto& space = op.space();
+  const std::size_t ndof = static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
+  u_.assign(ndof, 0.0);
+  v_.assign(ndof, 0.0);
+  scratch_.assign(ndof, 0.0);
+  all_elems_.resize(static_cast<std::size_t>(space.num_elems()));
+  std::iota(all_elems_.begin(), all_elems_.end(), 0);
+  // Expand the scalar inverse mass to the interleaved dof layout once.
+  inv_mass_.resize(ndof);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
+    for (int c = 0; c < ncomp_; ++c)
+      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] =
+          space.inv_mass()[static_cast<std::size_t>(g)];
+}
+
+void NewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
+  for (gindex_t g : nodes)
+    for (int c = 0; c < ncomp_; ++c)
+      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+}
+
+void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
+  LTS_CHECK(u0.size() == u_.size() && v0.size() == v_.size());
+  std::copy(u0.begin(), u0.end(), u_.begin());
+  // v^{-1/2} = v(0) - dt/2 * a(0) with a(0) = Minv (f(0) - K u0).
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  op_->apply_add(all_elems_, u_.data(), scratch_.data(), ws_);
+  applies_ += static_cast<std::int64_t>(all_elems_.size());
+  std::vector<real_t> f(u_.size(), 0.0);
+  for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
+  for (std::size_t i = 0; i < v_.size(); ++i)
+    v_[i] = v0[i] - 0.5 * dt_ * inv_mass_[i] * (f[i] - scratch_[i]);
+  time_ = 0;
+}
+
+void NewmarkSolver::step() {
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  op_->apply_add(all_elems_, u_.data(), scratch_.data(), ws_);
+  applies_ += static_cast<std::int64_t>(all_elems_.size());
+  for (const auto& s : sources_) {
+    // Subtracting the source from K u realizes v += dt Minv (f - K u).
+    const real_t val = -s.amplitude * s.wavelet(time_);
+    for (int c = 0; c < ncomp_; ++c)
+      scratch_[static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] +=
+          val * s.direction[static_cast<std::size_t>(c)];
+  }
+  for (std::size_t i = 0; i < u_.size(); ++i) {
+    v_[i] -= dt_ * inv_mass_[i] * scratch_[i];
+    u_[i] += dt_ * v_[i];
+  }
+  time_ += dt_;
+}
+
+} // namespace ltswave::core

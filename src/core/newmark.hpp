@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file newmark.hpp
+/// Global explicit Newmark time stepping (paper Eq. 5-6): the non-LTS
+/// reference scheme, forced by the CFL condition (Eq. 7) to advance the whole
+/// mesh at the globally smallest stable step.
+///
+/// u and v are staggered by dt/2:
+///   v^{n+1/2} = v^{n-1/2} - dt * Minv K u^n  (+ dt * Minv f(t_n))
+///   u^{n+1}   = u^n + dt * v^{n+1/2}
+
+#include <vector>
+
+#include "sem/sources.hpp"
+#include "sem/wave_operator.hpp"
+
+namespace ltswave::core {
+
+class NewmarkSolver {
+public:
+  NewmarkSolver(const sem::WaveOperator& op, real_t dt);
+
+  /// Sets u(0) and the physical velocity du/dt(0); computes the staggered
+  /// v^{-1/2} to second order internally.
+  void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
+
+  void add_source(const sem::PointSource& src) { sources_.push_back(src); }
+
+  /// Dirichlet nodes: clamped by zeroing the inverse mass on those rows.
+  void set_fixed_nodes(std::span<const gindex_t> nodes);
+
+  /// Advances one step of size dt.
+  void step();
+
+  [[nodiscard]] real_t time() const noexcept { return time_; }
+  [[nodiscard]] real_t dt() const noexcept { return dt_; }
+  [[nodiscard]] const std::vector<real_t>& u() const noexcept { return u_; }
+  [[nodiscard]] const std::vector<real_t>& v_half() const noexcept { return v_; }
+  [[nodiscard]] std::vector<real_t>& u() noexcept { return u_; }
+  [[nodiscard]] const sem::WaveOperator& op() const noexcept { return *op_; }
+
+  /// Total element stiffness applications so far (work counter).
+  [[nodiscard]] std::int64_t element_applies() const noexcept { return applies_; }
+
+private:
+  const sem::WaveOperator* op_;
+  real_t dt_;
+  real_t time_ = 0;
+  int ncomp_;
+  std::vector<real_t> inv_mass_; // possibly with Dirichlet rows zeroed
+  std::vector<index_t> all_elems_;
+  std::vector<real_t> u_, v_, scratch_;
+  std::vector<sem::PointSource> sources_;
+  sem::KernelWorkspace ws_;
+  std::int64_t applies_ = 0;
+};
+
+} // namespace ltswave::core

@@ -1,0 +1,74 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+
+namespace ltswave::core {
+
+WaveSimulation::WaveSimulation(const mesh::HexMesh& mesh, SimulationConfig cfg)
+    : cfg_(cfg) {
+  space_ = std::make_unique<sem::SemSpace>(mesh, cfg.order);
+  if (cfg.physics == Physics::Acoustic)
+    op_ = std::make_unique<sem::AcousticOperator>(*space_);
+  else
+    op_ = std::make_unique<sem::ElasticOperator>(*space_);
+
+  levels_ = cfg.use_lts ? assign_levels(mesh, cfg.courant, cfg.max_levels)
+                        : assign_single_level(mesh, cfg.courant);
+  structure_ = build_lts_structure(*space_, levels_);
+
+  if (cfg.use_lts)
+    lts_solver_ = std::make_unique<LtsNewmarkSolver>(*op_, levels_, structure_);
+  else
+    newmark_solver_ = std::make_unique<NewmarkSolver>(*op_, levels_.dt);
+}
+
+real_t WaveSimulation::dt() const noexcept { return levels_.dt; }
+
+real_t WaveSimulation::time() const noexcept {
+  return lts_solver_ ? lts_solver_->time() : newmark_solver_->time();
+}
+
+void WaveSimulation::add_source(std::array<real_t, 3> location, real_t peak_frequency,
+                                std::array<real_t, 3> direction, real_t amplitude) {
+  const auto src = sem::PointSource::at(*space_, location, peak_frequency, direction, amplitude);
+  if (lts_solver_)
+    lts_solver_->add_source(src);
+  else
+    newmark_solver_->add_source(src);
+}
+
+void WaveSimulation::add_receiver(std::array<real_t, 3> location, int component) {
+  receivers_.emplace_back(*space_, location, component);
+}
+
+void WaveSimulation::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
+  if (lts_solver_)
+    lts_solver_->set_state(u0, v0);
+  else
+    newmark_solver_->set_state(u0, v0);
+}
+
+const std::vector<real_t>& WaveSimulation::u() const {
+  return lts_solver_ ? lts_solver_->u() : newmark_solver_->u();
+}
+
+std::int64_t WaveSimulation::element_applies() const {
+  return lts_solver_ ? lts_solver_->element_applies() : newmark_solver_->element_applies();
+}
+
+std::int64_t WaveSimulation::run(real_t duration, const std::function<void(real_t)>& on_step) {
+  const auto steps = static_cast<std::int64_t>(std::ceil(duration / dt() - 1e-12));
+  for (std::int64_t s = 0; s < steps; ++s) {
+    if (lts_solver_)
+      lts_solver_->step();
+    else
+      newmark_solver_->step();
+    const real_t t = time();
+    const auto& uu = u();
+    for (auto& r : receivers_) r.sample(t, uu.data(), ncomp());
+    if (on_step) on_step(t);
+  }
+  return steps;
+}
+
+} // namespace ltswave::core

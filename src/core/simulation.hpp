@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file simulation.hpp
+/// High-level facade tying the whole stack together: mesh -> SEM space ->
+/// wave operator -> LTS levels -> solver. This is the entry point example
+/// applications use; lower layers stay fully accessible for advanced use.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/lts_newmark.hpp"
+#include "sem/sources.hpp"
+
+namespace ltswave::core {
+
+enum class Physics { Acoustic, Elastic };
+
+struct SimulationConfig {
+  int order = 4;               ///< SEM polynomial order (paper: 4 -> 125 nodes/elem)
+  Physics physics = Physics::Acoustic;
+  real_t courant = 0.12;       ///< CFL constant C_cfl of Eq. 7 (relative to min edge)
+  bool use_lts = true;         ///< false -> global Newmark at Delta-t_min
+  level_t max_levels = 12;
+};
+
+class WaveSimulation {
+public:
+  WaveSimulation(const mesh::HexMesh& mesh, SimulationConfig cfg = {});
+
+  [[nodiscard]] const sem::SemSpace& space() const noexcept { return *space_; }
+  [[nodiscard]] const sem::WaveOperator& op() const noexcept { return *op_; }
+  [[nodiscard]] const LevelAssignment& levels() const noexcept { return levels_; }
+  [[nodiscard]] const LtsStructure& structure() const noexcept { return structure_; }
+  [[nodiscard]] int ncomp() const noexcept { return op_->ncomp(); }
+  [[nodiscard]] real_t dt() const noexcept;
+  [[nodiscard]] real_t time() const noexcept;
+
+  void add_source(std::array<real_t, 3> location, real_t peak_frequency,
+                  std::array<real_t, 3> direction = {0, 0, 1}, real_t amplitude = 1.0);
+  void add_receiver(std::array<real_t, 3> location, int component = 0);
+
+  void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
+
+  /// Advances by (at least) `duration` simulated seconds; receivers sample at
+  /// every coarse step. Returns the number of coarse steps taken.
+  std::int64_t run(real_t duration, const std::function<void(real_t)>& on_step = {});
+
+  [[nodiscard]] const std::vector<real_t>& u() const;
+  [[nodiscard]] const std::vector<sem::Receiver>& receivers() const noexcept { return receivers_; }
+  [[nodiscard]] std::vector<sem::Receiver>& receivers() noexcept { return receivers_; }
+
+  /// Element applies consumed so far (work counter; the serial-efficiency
+  /// experiment compares this against the non-LTS scheme).
+  [[nodiscard]] std::int64_t element_applies() const;
+
+  /// Theoretical LTS speedup of this mesh/config (Eq. 9).
+  [[nodiscard]] double theoretical_speedup() const { return core::theoretical_speedup(levels_); }
+
+private:
+  SimulationConfig cfg_;
+  std::unique_ptr<sem::SemSpace> space_;
+  std::unique_ptr<sem::WaveOperator> op_;
+  LevelAssignment levels_;
+  LtsStructure structure_;
+  std::unique_ptr<LtsNewmarkSolver> lts_solver_;
+  std::unique_ptr<NewmarkSolver> newmark_solver_;
+  std::vector<sem::Receiver> receivers_;
+};
+
+} // namespace ltswave::core

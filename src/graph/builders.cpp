@@ -1,0 +1,97 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ltswave::graph {
+
+CsrGraph build_dual_graph(const mesh::HexMesh& m, std::span<const level_t> elem_levels) {
+  const index_t ne = m.num_elems();
+  LTS_CHECK(elem_levels.empty() || elem_levels.size() == static_cast<std::size_t>(ne));
+  const auto& nbrs = m.face_neighbors();
+
+  std::vector<index_t> xadj(static_cast<std::size_t>(ne) + 1, 0);
+  for (index_t e = 0; e < ne; ++e)
+    for (int f = 0; f < mesh::kFacesPerElem; ++f)
+      if (nbrs[static_cast<std::size_t>(e) * mesh::kFacesPerElem + f] != kInvalidIndex)
+        ++xadj[static_cast<std::size_t>(e) + 1];
+  for (index_t e = 0; e < ne; ++e) xadj[static_cast<std::size_t>(e) + 1] += xadj[static_cast<std::size_t>(e)];
+
+  std::vector<index_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<weight_t> adjwgt(adjncy.size());
+  std::vector<index_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (index_t e = 0; e < ne; ++e)
+    for (int f = 0; f < mesh::kFacesPerElem; ++f) {
+      const index_t u = nbrs[static_cast<std::size_t>(e) * mesh::kFacesPerElem + f];
+      if (u == kInvalidIndex) continue;
+      weight_t w = 1;
+      if (!elem_levels.empty())
+        w = static_cast<weight_t>(level_rate(std::max(elem_levels[static_cast<std::size_t>(e)],
+                                                      elem_levels[static_cast<std::size_t>(u)])));
+      adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e)])] = u;
+      adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e)]++)] = w;
+    }
+  return CsrGraph(std::move(xadj), std::move(adjncy), std::move(adjwgt));
+}
+
+void set_lts_vertex_weights(CsrGraph& g, std::span<const level_t> elem_levels, level_t num_levels,
+                            bool multi_constraint, std::span<const real_t> cost_scale) {
+  const index_t n = g.num_vertices();
+  LTS_CHECK(elem_levels.size() == static_cast<std::size_t>(n));
+  LTS_CHECK(cost_scale.empty() || cost_scale.size() == static_cast<std::size_t>(n));
+  auto scaled = [&](index_t v, weight_t w) -> weight_t {
+    if (cost_scale.empty()) return w;
+    return std::max<weight_t>(1, static_cast<weight_t>(std::llround(
+                                     static_cast<real_t>(w) * cost_scale[static_cast<std::size_t>(v)])));
+  };
+
+  if (!multi_constraint) {
+    std::vector<weight_t> w(static_cast<std::size_t>(n));
+    for (index_t v = 0; v < n; ++v)
+      w[static_cast<std::size_t>(v)] = scaled(v, static_cast<weight_t>(level_rate(elem_levels[static_cast<std::size_t>(v)])));
+    g.set_vertex_weights(std::move(w), 1);
+    return;
+  }
+  std::vector<weight_t> w(static_cast<std::size_t>(n) * static_cast<std::size_t>(num_levels), 0);
+  for (index_t v = 0; v < n; ++v) {
+    const level_t lev = elem_levels[static_cast<std::size_t>(v)];
+    LTS_CHECK(lev >= 1 && lev <= num_levels);
+    w[static_cast<std::size_t>(v) * static_cast<std::size_t>(num_levels) + static_cast<std::size_t>(lev - 1)] = scaled(v, 1);
+  }
+  g.set_vertex_weights(std::move(w), num_levels);
+}
+
+Hypergraph build_lts_hypergraph(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                                level_t num_levels) {
+  const index_t ne = m.num_elems();
+  const index_t nn = m.num_nodes();
+  LTS_CHECK(elem_levels.size() == static_cast<std::size_t>(ne));
+
+  const auto& n2e = m.node_to_elem();
+  std::vector<index_t> net_offsets(static_cast<std::size_t>(nn) + 1, 0);
+  std::vector<index_t> pins;
+  pins.reserve(n2e.adj.size());
+  std::vector<weight_t> costs(static_cast<std::size_t>(nn), 0);
+
+  for (index_t n = 0; n < nn; ++n) {
+    weight_t cost = 0;
+    for (const index_t* it = n2e.begin(n); it != n2e.end(n); ++it) {
+      pins.push_back(*it);
+      cost += static_cast<weight_t>(level_rate(elem_levels[static_cast<std::size_t>(*it)]));
+    }
+    costs[static_cast<std::size_t>(n)] = cost;
+    net_offsets[static_cast<std::size_t>(n) + 1] = static_cast<index_t>(pins.size());
+  }
+
+  Hypergraph h(ne, std::move(net_offsets), std::move(pins), std::move(costs));
+  std::vector<weight_t> w(static_cast<std::size_t>(ne) * static_cast<std::size_t>(num_levels), 0);
+  for (index_t e = 0; e < ne; ++e) {
+    const level_t lev = elem_levels[static_cast<std::size_t>(e)];
+    LTS_CHECK(lev >= 1 && lev <= num_levels);
+    w[static_cast<std::size_t>(e) * static_cast<std::size_t>(num_levels) + static_cast<std::size_t>(lev - 1)] = 1;
+  }
+  h.set_vertex_weights(std::move(w), num_levels);
+  return h;
+}
+
+} // namespace ltswave::graph

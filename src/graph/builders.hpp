@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file builders.hpp
+/// Mesh -> (hyper)graph builders implementing the paper's partitioning models
+/// (Sec. III-A): the dual graph with p-level edge weights, and the LTS
+/// hypergraph whose cut size equals the per-cycle communication volume.
+
+#include "graph/csr_graph.hpp"
+#include "graph/hypergraph.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace ltswave::graph {
+
+/// Dual (face-adjacency) graph of the mesh. With `elem_levels` given (one LTS
+/// level per element, 1-based), each edge carries weight
+/// max(p_level(u), p_level(v)) — elements in finer levels communicate p times
+/// per cycle when cut (paper Sec. III-A.1). Without levels all edges weigh 1.
+CsrGraph build_dual_graph(const mesh::HexMesh& m, std::span<const level_t> elem_levels = {});
+
+/// Attaches LTS vertex weights to a dual graph:
+///  * single-constraint (`multi_constraint == false`): w[v] = p_level(v), the
+///    element's work per LTS cycle (the paper's "SCOTCH" baseline weighting);
+///  * multi-constraint: w[v,i] = 1 iff element v is in level i+1 (Eq. 19
+///    inputs; one balance constraint per level).
+/// `cost_scale` optionally multiplies weights per element (e.g. elastic
+/// elements costlier than acoustic ones, Sec. III-A).
+void set_lts_vertex_weights(CsrGraph& g, std::span<const level_t> elem_levels, level_t num_levels,
+                            bool multi_constraint, std::span<const real_t> cost_scale = {});
+
+/// LTS hypergraph (Sec. III-A.2): one vertex per element; one net per mesh
+/// corner node connecting all elements sharing it, with merged cost
+/// c[h'_n] = sum_{e in elmnts(n)} p_level(e). Vertex weights are the
+/// multi-constraint one-hot vectors.
+Hypergraph build_lts_hypergraph(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                                level_t num_levels);
+
+} // namespace ltswave::graph

@@ -1,0 +1,145 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace ltswave::graph {
+
+CsrGraph::CsrGraph(std::vector<index_t> xadj, std::vector<index_t> adjncy,
+                   std::vector<weight_t> adjwgt)
+    : xadj_(std::move(xadj)), adjncy_(std::move(adjncy)), adjwgt_(std::move(adjwgt)) {
+  LTS_CHECK(!xadj_.empty());
+  LTS_CHECK(static_cast<std::size_t>(xadj_.back()) == adjncy_.size());
+  LTS_CHECK(adjwgt_.size() == adjncy_.size());
+  vwgt_.assign(static_cast<std::size_t>(num_vertices()), 1);
+  num_constraints_ = 1;
+}
+
+void CsrGraph::set_vertex_weights(std::vector<weight_t> weights, int num_constraints) {
+  LTS_CHECK(num_constraints >= 1);
+  LTS_CHECK_MSG(weights.size() ==
+                    static_cast<std::size_t>(num_vertices()) * static_cast<std::size_t>(num_constraints),
+                "vertex weight array size mismatch");
+  vwgt_ = std::move(weights);
+  num_constraints_ = num_constraints;
+}
+
+std::vector<weight_t> CsrGraph::total_weights() const {
+  std::vector<weight_t> tot(static_cast<std::size_t>(num_constraints_), 0);
+  for (index_t v = 0; v < num_vertices(); ++v)
+    for (int c = 0; c < num_constraints_; ++c) tot[static_cast<std::size_t>(c)] += vwgt(v, c);
+  return tot;
+}
+
+void CsrGraph::validate() const {
+  const index_t n = num_vertices();
+  for (index_t v = 0; v < n; ++v) {
+    LTS_CHECK(xadj_[static_cast<std::size_t>(v)] <= xadj_[static_cast<std::size_t>(v) + 1]);
+    auto nbrs = neighbors(v);
+    auto wgts = edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t u = nbrs[i];
+      LTS_CHECK_MSG(u >= 0 && u < n, "neighbor out of range at vertex " << v);
+      LTS_CHECK_MSG(u != v, "self loop at vertex " << v);
+      LTS_CHECK_MSG(wgts[i] > 0, "non-positive edge weight at vertex " << v);
+      // Symmetry: (u,v) must exist with the same weight.
+      auto unbrs = neighbors(u);
+      auto it = std::find(unbrs.begin(), unbrs.end(), v);
+      LTS_CHECK_MSG(it != unbrs.end(), "asymmetric edge " << v << "->" << u);
+      LTS_CHECK_MSG(edge_weights(u)[static_cast<std::size_t>(it - unbrs.begin())] == wgts[i],
+                    "asymmetric edge weight " << v << "<->" << u);
+    }
+  }
+}
+
+CsrGraph graph_from_edges(index_t num_vertices,
+                          const std::vector<std::tuple<index_t, index_t, weight_t>>& edges) {
+  std::map<std::pair<index_t, index_t>, weight_t> merged;
+  for (const auto& [u, v, w] : edges) {
+    LTS_CHECK(u != v && u >= 0 && v >= 0 && u < num_vertices && v < num_vertices);
+    auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    merged[key] += w;
+  }
+  std::vector<index_t> xadj(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [key, w] : merged) {
+    ++xadj[static_cast<std::size_t>(key.first) + 1];
+    ++xadj[static_cast<std::size_t>(key.second) + 1];
+  }
+  for (index_t v = 0; v < num_vertices; ++v) xadj[static_cast<std::size_t>(v) + 1] += xadj[static_cast<std::size_t>(v)];
+  std::vector<index_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<weight_t> adjwgt(adjncy.size());
+  std::vector<index_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (const auto& [key, w] : merged) {
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key.first)])] = key.second;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key.first)]++)] = w;
+    adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key.second)])] = key.first;
+    adjwgt[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key.second)]++)] = w;
+  }
+  return CsrGraph(std::move(xadj), std::move(adjncy), std::move(adjwgt));
+}
+
+std::pair<CsrGraph, std::vector<index_t>> induced_subgraph(const CsrGraph& g,
+                                                           std::span<const index_t> vertices) {
+  std::vector<index_t> to_sub(static_cast<std::size_t>(g.num_vertices()), kInvalidIndex);
+  std::vector<index_t> to_orig(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < to_orig.size(); ++i) {
+    LTS_CHECK_MSG(to_sub[static_cast<std::size_t>(to_orig[i])] == kInvalidIndex,
+                  "duplicate vertex in subgraph selection");
+    to_sub[static_cast<std::size_t>(to_orig[i])] = static_cast<index_t>(i);
+  }
+
+  std::vector<index_t> xadj(to_orig.size() + 1, 0);
+  for (std::size_t i = 0; i < to_orig.size(); ++i) {
+    for (index_t u : g.neighbors(to_orig[i]))
+      if (to_sub[static_cast<std::size_t>(u)] != kInvalidIndex) ++xadj[i + 1];
+  }
+  for (std::size_t i = 0; i < to_orig.size(); ++i) xadj[i + 1] += xadj[i];
+  std::vector<index_t> adjncy(static_cast<std::size_t>(xadj.back()));
+  std::vector<weight_t> adjwgt(adjncy.size());
+  std::vector<index_t> cursor(xadj.begin(), xadj.end() - 1);
+  for (std::size_t i = 0; i < to_orig.size(); ++i) {
+    auto nbrs = g.neighbors(to_orig[i]);
+    auto wgts = g.edge_weights(to_orig[i]);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const index_t su = to_sub[static_cast<std::size_t>(nbrs[j])];
+      if (su == kInvalidIndex) continue;
+      adjncy[static_cast<std::size_t>(cursor[i])] = su;
+      adjwgt[static_cast<std::size_t>(cursor[i]++)] = wgts[j];
+    }
+  }
+  CsrGraph sub(std::move(xadj), std::move(adjncy), std::move(adjwgt));
+
+  const int nc = g.num_constraints();
+  std::vector<weight_t> vw(to_orig.size() * static_cast<std::size_t>(nc));
+  for (std::size_t i = 0; i < to_orig.size(); ++i)
+    for (int c = 0; c < nc; ++c) vw[i * static_cast<std::size_t>(nc) + static_cast<std::size_t>(c)] = g.vwgt(to_orig[i], c);
+  sub.set_vertex_weights(std::move(vw), nc);
+  return {std::move(sub), std::move(to_orig)};
+}
+
+std::pair<std::vector<index_t>, index_t> connected_components(const CsrGraph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> comp(static_cast<std::size_t>(n), kInvalidIndex);
+  std::vector<index_t> stack;
+  index_t ncomp = 0;
+  for (index_t s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != kInvalidIndex) continue;
+    stack.push_back(s);
+    comp[static_cast<std::size_t>(s)] = ncomp;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (index_t u : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(u)] == kInvalidIndex) {
+          comp[static_cast<std::size_t>(u)] = ncomp;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return {std::move(comp), ncomp};
+}
+
+} // namespace ltswave::graph

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file csr_graph.hpp
+/// Undirected graph in compressed-sparse-row form with multi-constraint
+/// vertex weights and edge weights — the input to the graph partitioners
+/// (paper Sec. III-A.1).
+///
+/// Vertices carry a weight *vector* of `num_constraints` entries (one per LTS
+/// p-level for the multi-constraint partitioning problem, Eq. 19); single-
+/// constraint algorithms read constraint 0 only.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ltswave::graph {
+
+/// Edge weight / vertex weight accumulator type (sums of p-level rates can
+/// exceed 32-bit for huge meshes).
+using weight_t = std::int64_t;
+
+class CsrGraph {
+public:
+  CsrGraph() = default;
+
+  /// Builds from adjacency arrays. `xadj` has n+1 entries; `adjncy` and
+  /// `adjwgt` list neighbours / edge weights. Vertex weights default to 1
+  /// with a single constraint.
+  CsrGraph(std::vector<index_t> xadj, std::vector<index_t> adjncy, std::vector<weight_t> adjwgt);
+
+  [[nodiscard]] index_t num_vertices() const noexcept {
+    return xadj_.empty() ? 0 : static_cast<index_t>(xadj_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return adjncy_.size() / 2; }
+
+  [[nodiscard]] std::span<const index_t> neighbors(index_t v) const {
+    return {adjncy_.data() + xadj_[static_cast<std::size_t>(v)],
+            adjncy_.data() + xadj_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] std::span<const weight_t> edge_weights(index_t v) const {
+    return {adjwgt_.data() + xadj_[static_cast<std::size_t>(v)],
+            adjwgt_.data() + xadj_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] index_t degree(index_t v) const {
+    return xadj_[static_cast<std::size_t>(v) + 1] - xadj_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] int num_constraints() const noexcept { return num_constraints_; }
+  void set_vertex_weights(std::vector<weight_t> weights, int num_constraints);
+
+  /// Weight of vertex v in constraint c.
+  [[nodiscard]] weight_t vwgt(index_t v, int c = 0) const {
+    return vwgt_[static_cast<std::size_t>(v) * static_cast<std::size_t>(num_constraints_) + static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const std::vector<weight_t>& vertex_weights() const noexcept { return vwgt_; }
+
+  /// Sum of vertex weights per constraint.
+  [[nodiscard]] std::vector<weight_t> total_weights() const;
+
+  /// Structural checks: symmetric adjacency, no self loops, matching weights.
+  /// Throws CheckFailure on violation.
+  void validate() const;
+
+  [[nodiscard]] const std::vector<index_t>& xadj() const noexcept { return xadj_; }
+  [[nodiscard]] const std::vector<index_t>& adjncy() const noexcept { return adjncy_; }
+  [[nodiscard]] const std::vector<weight_t>& adjwgt() const noexcept { return adjwgt_; }
+
+private:
+  std::vector<index_t> xadj_;
+  std::vector<index_t> adjncy_;
+  std::vector<weight_t> adjwgt_;
+  std::vector<weight_t> vwgt_;
+  int num_constraints_ = 1;
+};
+
+/// Builds a graph from an edge list (u,v,w); duplicate edges are merged with
+/// summed weights. Intended for tests and small builders.
+CsrGraph graph_from_edges(index_t num_vertices,
+                          const std::vector<std::tuple<index_t, index_t, weight_t>>& edges);
+
+/// Extracts the vertex-induced subgraph; returns the subgraph and the map
+/// from subgraph vertex -> original vertex.
+std::pair<CsrGraph, std::vector<index_t>> induced_subgraph(const CsrGraph& g,
+                                                           std::span<const index_t> vertices);
+
+/// Connected components; returns component id per vertex and component count.
+std::pair<std::vector<index_t>, index_t> connected_components(const CsrGraph& g);
+
+} // namespace ltswave::graph

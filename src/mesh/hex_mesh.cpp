@@ -1,0 +1,172 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace ltswave::mesh {
+
+HexMesh::HexMesh(std::vector<real_t> coords, std::vector<index_t> conn,
+                 std::vector<Material> materials)
+    : coords_(std::move(coords)), conn_(std::move(conn)), materials_(std::move(materials)) {
+  LTS_CHECK_MSG(coords_.size() % 3 == 0, "coords must be xyz triples");
+  LTS_CHECK_MSG(conn_.size() % 8 == 0, "connectivity must be 8 corners per element");
+  LTS_CHECK_MSG(materials_.size() == conn_.size() / 8, "one material per element");
+}
+
+namespace {
+constexpr std::array<std::array<int, 2>, 12> kEdges = {{
+    // x-aligned edges (corner pairs differing in bit 0)
+    {{0, 1}}, {{2, 3}}, {{4, 5}}, {{6, 7}},
+    // y-aligned
+    {{0, 2}}, {{1, 3}}, {{4, 6}}, {{5, 7}},
+    // z-aligned
+    {{0, 4}}, {{1, 5}}, {{2, 6}}, {{3, 7}},
+}};
+
+real_t dist3(const real_t* a, const real_t* b) {
+  const real_t dx = a[0] - b[0], dy = a[1] - b[1], dz = a[2] - b[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+} // namespace
+
+real_t HexMesh::char_length(index_t e) const {
+  const index_t* c = corners(e);
+  real_t h = std::numeric_limits<real_t>::max();
+  for (const auto& edge : kEdges) h = std::min(h, dist3(node(c[edge[0]]), node(c[edge[1]])));
+  return h;
+}
+
+std::array<real_t, 3> HexMesh::centroid(index_t e) const {
+  const index_t* c = corners(e);
+  std::array<real_t, 3> ctr = {0, 0, 0};
+  for (int i = 0; i < kCornersPerElem; ++i)
+    for (int d = 0; d < 3; ++d) ctr[static_cast<std::size_t>(d)] += node(c[i])[d];
+  for (auto& v : ctr) v /= kCornersPerElem;
+  return ctr;
+}
+
+real_t HexMesh::volume(index_t e) const {
+  // Trilinear map x(ξ) = Σ_c N_c(ξ) x_c; integrate |det J| with 2x2x2 Gauss,
+  // exact for trilinear geometry.
+  const index_t* c = corners(e);
+  const real_t g = 1.0 / std::sqrt(3.0);
+  const real_t pts[2] = {-g, g};
+  real_t vol = 0;
+  for (real_t xi : pts)
+    for (real_t eta : pts)
+      for (real_t zeta : pts) {
+        real_t J[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+        for (int corner = 0; corner < kCornersPerElem; ++corner) {
+          const real_t sx = (corner & 1) ? 1.0 : -1.0;
+          const real_t sy = (corner & 2) ? 1.0 : -1.0;
+          const real_t sz = (corner & 4) ? 1.0 : -1.0;
+          // shape N = (1+sx ξ)(1+sy η)(1+sz ζ)/8 on [-1,1]^3
+          const real_t dN[3] = {sx * (1 + sy * eta) * (1 + sz * zeta) / 8.0,
+                                (1 + sx * xi) * sy * (1 + sz * zeta) / 8.0,
+                                (1 + sx * xi) * (1 + sy * eta) * sz / 8.0};
+          const real_t* x = node(c[corner]);
+          for (int d = 0; d < 3; ++d)
+            for (int r = 0; r < 3; ++r) J[d][r] += x[d] * dN[r];
+        }
+        const real_t det = J[0][0] * (J[1][1] * J[2][2] - J[1][2] * J[2][1]) -
+                           J[0][1] * (J[1][0] * J[2][2] - J[1][2] * J[2][0]) +
+                           J[0][2] * (J[1][0] * J[2][1] - J[1][1] * J[2][0]);
+        vol += std::abs(det); // Gauss weights are 1 for 2-point rule
+      }
+  return vol;
+}
+
+const std::vector<index_t>& HexMesh::face_neighbors() const {
+  if (!face_neighbors_.empty() || num_elems() == 0) return face_neighbors_;
+
+  struct FaceKey {
+    std::array<index_t, 4> nodes; // sorted
+    bool operator==(const FaceKey& o) const { return nodes == o.nodes; }
+  };
+  struct FaceKeyHash {
+    std::size_t operator()(const FaceKey& k) const {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (index_t n : k.nodes) {
+        h ^= static_cast<std::uint64_t>(n) + 0x9e3779b97f4a7c15ULL;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  const index_t ne = num_elems();
+  face_neighbors_.assign(static_cast<std::size_t>(ne) * kFacesPerElem, kInvalidIndex);
+  std::unordered_map<FaceKey, std::pair<index_t, int>, FaceKeyHash> open_faces;
+  open_faces.reserve(static_cast<std::size_t>(ne) * 3);
+
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = corners(e);
+    for (int f = 0; f < kFacesPerElem; ++f) {
+      FaceKey key;
+      for (int i = 0; i < kCornersPerFace; ++i) key.nodes[static_cast<std::size_t>(i)] = c[kFaceCorners[static_cast<std::size_t>(f)][static_cast<std::size_t>(i)]];
+      std::sort(key.nodes.begin(), key.nodes.end());
+      auto [it, inserted] = open_faces.try_emplace(key, std::make_pair(e, f));
+      if (!inserted) {
+        const auto [other_e, other_f] = it->second;
+        LTS_CHECK_MSG(other_e != e, "degenerate element " << e << " repeats a face");
+        face_neighbors_[static_cast<std::size_t>(e) * kFacesPerElem + f] = other_e;
+        face_neighbors_[static_cast<std::size_t>(other_e) * kFacesPerElem + other_f] = e;
+        open_faces.erase(it);
+      }
+    }
+  }
+  return face_neighbors_;
+}
+
+const CsrAdjacency& HexMesh::node_to_elem() const {
+  if (!node_to_elem_.offsets.empty() || num_nodes() == 0) return node_to_elem_;
+  const index_t nn = num_nodes();
+  const index_t ne = num_elems();
+  auto& adj = node_to_elem_;
+  adj.offsets.assign(static_cast<std::size_t>(nn) + 1, 0);
+  for (index_t e = 0; e < ne; ++e)
+    for (int i = 0; i < kCornersPerElem; ++i) ++adj.offsets[static_cast<std::size_t>(corners(e)[i]) + 1];
+  for (index_t n = 0; n < nn; ++n) adj.offsets[static_cast<std::size_t>(n) + 1] += adj.offsets[static_cast<std::size_t>(n)];
+  adj.adj.resize(static_cast<std::size_t>(adj.offsets.back()));
+  std::vector<index_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (index_t e = 0; e < ne; ++e)
+    for (int i = 0; i < kCornersPerElem; ++i) {
+      const index_t n = corners(e)[i];
+      adj.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(n)]++)] = e;
+    }
+  return adj;
+}
+
+std::array<real_t, 6> HexMesh::bounding_box() const {
+  std::array<real_t, 6> box = {std::numeric_limits<real_t>::max(), std::numeric_limits<real_t>::max(),
+                               std::numeric_limits<real_t>::max(), std::numeric_limits<real_t>::lowest(),
+                               std::numeric_limits<real_t>::lowest(), std::numeric_limits<real_t>::lowest()};
+  for (index_t n = 0; n < num_nodes(); ++n) {
+    const real_t* x = node(n);
+    for (std::size_t d = 0; d < 3; ++d) {
+      box[d] = std::min(box[d], x[d]);
+      box[d + 3] = std::max(box[d + 3], x[d]);
+    }
+  }
+  return box;
+}
+
+const HexMesh& HexMesh::validate() const {
+  const index_t nn = num_nodes();
+  for (index_t e = 0; e < num_elems(); ++e) {
+    const index_t* c = corners(e);
+    for (int i = 0; i < kCornersPerElem; ++i) {
+      LTS_CHECK_MSG(c[i] >= 0 && c[i] < nn, "element " << e << " corner out of range");
+      for (int j = i + 1; j < kCornersPerElem; ++j)
+        LTS_CHECK_MSG(c[i] != c[j], "element " << e << " has repeated corner node");
+    }
+    LTS_CHECK_MSG(char_length(e) > 0, "element " << e << " has zero-length edge");
+    LTS_CHECK_MSG(material(e).vp > 0 && material(e).rho > 0, "element " << e << " bad material");
+  }
+  (void)face_neighbors(); // builds the table; throws on faces shared by >2 elements
+  return *this;
+}
+
+} // namespace ltswave::mesh

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file hex_mesh.hpp
+/// Conforming unstructured hexahedral mesh.
+///
+/// This is the mesh substrate the paper's SPECFEM3D workflow assumes: a
+/// user-provided conforming hex mesh with per-element material properties.
+/// Elements are defined by their 8 corner nodes; higher-order GLL nodes are
+/// introduced later by the SEM layer (src/sem/global_numbering).
+///
+/// Local corner numbering: corner c = i + 2j + 4k for (i,j,k) in {0,1}^3, so
+/// bit 0 of c is the x parity, bit 1 the y parity, bit 2 the z parity.
+
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ltswave::mesh {
+
+/// Isotropic material sample attached to one element.
+struct Material {
+  real_t vp = 1.0;  ///< compressional (P) wave speed
+  real_t vs = 0.5;  ///< shear (S) wave speed (unused by the acoustic operator)
+  real_t rho = 1.0; ///< density
+};
+
+/// Axis-aligned local face identifiers (used for neighbour lookups).
+enum class Face : int { XMin = 0, XMax = 1, YMin = 2, YMax = 3, ZMin = 4, ZMax = 5 };
+
+constexpr int kFacesPerElem = 6;
+constexpr int kCornersPerElem = 8;
+constexpr int kCornersPerFace = 4;
+
+/// Local corner indices of each face, consistent with the corner numbering
+/// above (face normal axis ordered XMin,XMax,YMin,YMax,ZMin,ZMax).
+constexpr std::array<std::array<int, kCornersPerFace>, kFacesPerElem> kFaceCorners = {{
+    {{0, 2, 4, 6}}, // x = 0
+    {{1, 3, 5, 7}}, // x = 1
+    {{0, 1, 4, 5}}, // y = 0
+    {{2, 3, 6, 7}}, // y = 1
+    {{0, 1, 2, 3}}, // z = 0
+    {{4, 5, 6, 7}}, // z = 1
+}};
+
+/// Compressed adjacency: for entity i, neighbours are
+/// `adj[offsets[i] .. offsets[i+1])`.
+struct CsrAdjacency {
+  std::vector<index_t> offsets;
+  std::vector<index_t> adj;
+
+  [[nodiscard]] index_t size(index_t i) const { return offsets[i + 1] - offsets[i]; }
+  [[nodiscard]] const index_t* begin(index_t i) const { return adj.data() + offsets[i]; }
+  [[nodiscard]] const index_t* end(index_t i) const { return adj.data() + offsets[i + 1]; }
+};
+
+/// Conforming hexahedral mesh with per-element materials.
+///
+/// Invariants (validated by validate()):
+///  * every element references 8 distinct existing nodes,
+///  * each interior face is shared by exactly 2 elements,
+///  * per-element characteristic length is positive.
+class HexMesh {
+public:
+  HexMesh() = default;
+
+  /// Takes ownership of raw arrays. `coords` is xyz-interleaved (3*num_nodes),
+  /// `conn` is 8*num_elems corner indices.
+  HexMesh(std::vector<real_t> coords, std::vector<index_t> conn, std::vector<Material> materials);
+
+  [[nodiscard]] index_t num_nodes() const noexcept { return static_cast<index_t>(coords_.size() / 3); }
+  [[nodiscard]] index_t num_elems() const noexcept { return static_cast<index_t>(conn_.size() / 8); }
+
+  [[nodiscard]] const real_t* node(index_t n) const { return coords_.data() + 3 * static_cast<std::size_t>(n); }
+  [[nodiscard]] const index_t* corners(index_t e) const { return conn_.data() + 8 * static_cast<std::size_t>(e); }
+  [[nodiscard]] const Material& material(index_t e) const { return materials_[static_cast<std::size_t>(e)]; }
+  [[nodiscard]] const std::vector<real_t>& coords() const noexcept { return coords_; }
+  [[nodiscard]] const std::vector<index_t>& connectivity() const noexcept { return conn_; }
+  [[nodiscard]] const std::vector<Material>& materials() const noexcept { return materials_; }
+
+  /// Shortest element edge length; the characteristic size h_i of Eq. (7).
+  [[nodiscard]] real_t char_length(index_t e) const;
+
+  /// CFL-limited time step of a single element, dt_e = C_cfl * h_e / vp_e
+  /// (Eq. 7 with the min taken outside).
+  [[nodiscard]] real_t cfl_dt(index_t e, real_t courant) const {
+    return courant * char_length(e) / material(e).vp;
+  }
+
+  /// Element volume (exact for the trilinear corner geometry via 2x2x2 Gauss).
+  [[nodiscard]] real_t volume(index_t e) const;
+
+  /// Element centroid (average of corner coordinates).
+  [[nodiscard]] std::array<real_t, 3> centroid(index_t e) const;
+
+  /// Face-neighbour table: neighbor(e, f) is the element sharing face f of e,
+  /// or kInvalidIndex on the boundary. Built lazily, cached.
+  [[nodiscard]] const std::vector<index_t>& face_neighbors() const;
+  [[nodiscard]] index_t neighbor(index_t e, Face f) const {
+    return face_neighbors()[static_cast<std::size_t>(e) * kFacesPerElem + static_cast<int>(f)];
+  }
+
+  /// Corner-node -> element adjacency. Built lazily, cached.
+  [[nodiscard]] const CsrAdjacency& node_to_elem() const;
+
+  /// Axis-aligned bounding box {xmin,ymin,zmin,xmax,ymax,zmax}.
+  [[nodiscard]] std::array<real_t, 6> bounding_box() const;
+
+  /// Throws CheckFailure on violated invariants; returns *this for chaining.
+  const HexMesh& validate() const;
+
+private:
+  std::vector<real_t> coords_;
+  std::vector<index_t> conn_;
+  std::vector<Material> materials_;
+
+  mutable std::vector<index_t> face_neighbors_; // lazy cache
+  mutable CsrAdjacency node_to_elem_;           // lazy cache
+};
+
+} // namespace ltswave::mesh

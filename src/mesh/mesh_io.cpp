@@ -1,0 +1,98 @@
+#include "mesh/mesh_io.hpp"
+
+#include <fstream>
+
+namespace ltswave::mesh {
+
+void write_vtk(const std::string& path, const HexMesh& m, const std::vector<CellField>& fields) {
+  std::ofstream out(path);
+  LTS_CHECK_MSG(out.good(), "cannot open " << path);
+
+  const index_t nn = m.num_nodes();
+  const index_t ne = m.num_elems();
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "ltswave hex mesh\n"
+      << "ASCII\n"
+      << "DATASET UNSTRUCTURED_GRID\n"
+      << "POINTS " << nn << " double\n";
+  for (index_t n = 0; n < nn; ++n) {
+    const real_t* x = m.node(n);
+    out << x[0] << ' ' << x[1] << ' ' << x[2] << '\n';
+  }
+
+  out << "CELLS " << ne << ' ' << ne * 9 << '\n';
+  // VTK_HEXAHEDRON corner order: bottom ring counter-clockwise then top ring.
+  constexpr int kVtkOrder[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = m.corners(e);
+    out << 8;
+    for (int i : kVtkOrder) out << ' ' << c[i];
+    out << '\n';
+  }
+  out << "CELL_TYPES " << ne << '\n';
+  for (index_t e = 0; e < ne; ++e) out << "12\n";
+
+  if (!fields.empty()) {
+    out << "CELL_DATA " << ne << '\n';
+    for (const auto& f : fields) {
+      LTS_CHECK_MSG(static_cast<index_t>(f.values.size()) == ne,
+                    "field " << f.name << " has wrong size");
+      out << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+      for (real_t v : f.values) out << v << '\n';
+    }
+  }
+  LTS_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+CellField make_cell_field(std::string name, const std::vector<index_t>& values) {
+  CellField f{std::move(name), {}};
+  f.values.assign(values.begin(), values.end());
+  return f;
+}
+
+void save_mesh(const std::string& path, const HexMesh& m) {
+  std::ofstream out(path);
+  LTS_CHECK_MSG(out.good(), "cannot open " << path);
+  out.precision(17);
+  out << "ltswave-mesh 1\n" << m.num_nodes() << ' ' << m.num_elems() << '\n';
+  for (index_t n = 0; n < m.num_nodes(); ++n) {
+    const real_t* x = m.node(n);
+    out << x[0] << ' ' << x[1] << ' ' << x[2] << '\n';
+  }
+  for (index_t e = 0; e < m.num_elems(); ++e) {
+    const index_t* c = m.corners(e);
+    for (int i = 0; i < kCornersPerElem; ++i) out << c[i] << (i + 1 < kCornersPerElem ? ' ' : '\n');
+  }
+  for (index_t e = 0; e < m.num_elems(); ++e) {
+    const Material& mat = m.material(e);
+    out << mat.vp << ' ' << mat.vs << ' ' << mat.rho << '\n';
+  }
+  LTS_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+HexMesh load_mesh(const std::string& path) {
+  std::ifstream in(path);
+  LTS_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  LTS_CHECK_MSG(magic == "ltswave-mesh" && version == 1, "bad mesh header in " << path);
+  index_t nn = 0, ne = 0;
+  in >> nn >> ne;
+  LTS_CHECK_MSG(in.good() && nn > 0 && ne > 0, "bad mesh counts in " << path);
+
+  std::vector<real_t> coords(static_cast<std::size_t>(nn) * 3);
+  for (auto& v : coords) in >> v;
+  std::vector<index_t> conn(static_cast<std::size_t>(ne) * kCornersPerElem);
+  for (auto& v : conn) in >> v;
+  std::vector<Material> mats(static_cast<std::size_t>(ne));
+  for (auto& mat : mats) in >> mat.vp >> mat.vs >> mat.rho;
+  LTS_CHECK_MSG(!in.fail(), "truncated mesh file " << path);
+
+  HexMesh m(std::move(coords), std::move(conn), std::move(mats));
+  m.validate();
+  return m;
+}
+
+} // namespace ltswave::mesh

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file mesh_io.hpp
+/// Legacy-VTK output of hex meshes with per-element scalar fields (LTS level,
+/// partition id, ...). Reproduces the role of the paper's Fig. 4/6 mesh
+/// visualizations: the written files open directly in ParaView.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+
+namespace ltswave::mesh {
+
+/// One named per-element scalar field to attach to the VTK output.
+struct CellField {
+  std::string name;
+  std::vector<real_t> values; // one per element
+};
+
+/// Writes `m` as legacy VTK (ASCII, UNSTRUCTURED_GRID). Throws on I/O errors
+/// or field-size mismatch.
+void write_vtk(const std::string& path, const HexMesh& m, const std::vector<CellField>& fields = {});
+
+/// Convenience: int-valued fields (levels, partitions).
+CellField make_cell_field(std::string name, const std::vector<index_t>& values);
+
+/// Saves a mesh in the library's plain-text exchange format (header with
+/// counts, node coordinates, corner connectivity, per-element materials) so
+/// user-defined hexahedral meshes from external meshers can be round-tripped
+/// — the SPECFEM3D-Cartesian workflow the paper builds on.
+void save_mesh(const std::string& path, const HexMesh& m);
+
+/// Loads a mesh written by save_mesh (or hand-converted from an external
+/// mesher). Validates structure; throws CheckFailure on malformed input.
+HexMesh load_mesh(const std::string& path);
+
+} // namespace ltswave::mesh

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file hg_multilevel.hpp
+/// Multilevel multi-constraint *hypergraph* bisection and K-way recursive
+/// bisection — the "PaToH-like" engine (paper Sec. III-B.d). The objective is
+/// the connectivity cut size (Eq. 20), which with the LTS net costs equals
+/// the per-cycle communication volume; the balance knob corresponds to
+/// PaToH's `final_imbal` parameter studied in Figs. 7-11.
+
+#include "graph/hypergraph.hpp"
+#include "partition/multilevel.hpp"
+
+namespace ltswave::partition {
+
+/// Bisects the hypergraph with a fraction `frac0` of each constraint on
+/// side 0; same configuration semantics as the graph engine.
+std::vector<std::uint8_t> hg_multilevel_bisect(const graph::Hypergraph& h, double frac0,
+                                               const MultilevelConfig& cfg);
+
+/// K-way partition by recursive bisection.
+Partition hg_recursive_bisection(const graph::Hypergraph& h, rank_t k,
+                                 const MultilevelConfig& cfg);
+
+} // namespace ltswave::partition

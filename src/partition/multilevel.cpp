@@ -1,0 +1,455 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace ltswave::partition {
+
+using graph::CsrGraph;
+using graph::weight_t;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coarsening: heavy-edge matching
+// ---------------------------------------------------------------------------
+
+struct CoarseLevel {
+  CsrGraph graph;
+  std::vector<index_t> cmap; // fine vertex -> coarse vertex
+};
+
+CoarseLevel coarsen_once(const CsrGraph& g, Rng& rng) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(rng.uniform(static_cast<std::uint64_t>(i) + 1))]);
+
+  std::vector<index_t> match(static_cast<std::size_t>(n), kInvalidIndex);
+  for (index_t v : order) {
+    if (match[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    index_t best = kInvalidIndex;
+    weight_t best_w = -1;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (match[static_cast<std::size_t>(nbrs[i])] != kInvalidIndex) continue;
+      if (wgts[i] > best_w) {
+        best_w = wgts[i];
+        best = nbrs[i];
+      }
+    }
+    match[static_cast<std::size_t>(v)] = (best == kInvalidIndex) ? v : best;
+    if (best != kInvalidIndex) match[static_cast<std::size_t>(best)] = v;
+  }
+
+  CoarseLevel lvl;
+  lvl.cmap.assign(static_cast<std::size_t>(n), kInvalidIndex);
+  index_t nc = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (lvl.cmap[static_cast<std::size_t>(v)] != kInvalidIndex) continue;
+    const index_t u = match[static_cast<std::size_t>(v)];
+    lvl.cmap[static_cast<std::size_t>(v)] = nc;
+    lvl.cmap[static_cast<std::size_t>(u)] = nc; // u == v for singletons
+    ++nc;
+  }
+
+  // Build the coarse graph: merge parallel edges with a timestamped scatter
+  // array, drop internal (matched-pair) edges.
+  std::vector<index_t> xadj(static_cast<std::size_t>(nc) + 1, 0);
+  std::vector<index_t> adjncy;
+  std::vector<weight_t> adjwgt;
+  adjncy.reserve(g.adjncy().size());
+  adjwgt.reserve(g.adjncy().size());
+
+  std::vector<index_t> pos(static_cast<std::size_t>(nc), kInvalidIndex); // coarse nbr -> slot in current row
+  std::vector<index_t> members(static_cast<std::size_t>(nc), kInvalidIndex);
+  std::vector<index_t> second(static_cast<std::size_t>(nc), kInvalidIndex);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t cv = lvl.cmap[static_cast<std::size_t>(v)];
+    if (members[static_cast<std::size_t>(cv)] == kInvalidIndex)
+      members[static_cast<std::size_t>(cv)] = v;
+    else
+      second[static_cast<std::size_t>(cv)] = v;
+  }
+
+  const int ncon = g.num_constraints();
+  std::vector<weight_t> cvw(static_cast<std::size_t>(nc) * static_cast<std::size_t>(ncon), 0);
+
+  for (index_t cv = 0; cv < nc; ++cv) {
+    const std::size_t row_start = adjncy.size();
+    for (index_t v : {members[static_cast<std::size_t>(cv)], second[static_cast<std::size_t>(cv)]}) {
+      if (v == kInvalidIndex) continue;
+      for (int c = 0; c < ncon; ++c)
+        cvw[static_cast<std::size_t>(cv) * static_cast<std::size_t>(ncon) + static_cast<std::size_t>(c)] += g.vwgt(v, c);
+      auto nbrs = g.neighbors(v);
+      auto wgts = g.edge_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const index_t cu = lvl.cmap[static_cast<std::size_t>(nbrs[i])];
+        if (cu == cv) continue;
+        if (pos[static_cast<std::size_t>(cu)] == kInvalidIndex ||
+            static_cast<std::size_t>(pos[static_cast<std::size_t>(cu)]) < row_start) {
+          pos[static_cast<std::size_t>(cu)] = static_cast<index_t>(adjncy.size());
+          adjncy.push_back(cu);
+          adjwgt.push_back(wgts[i]);
+        } else {
+          adjwgt[static_cast<std::size_t>(pos[static_cast<std::size_t>(cu)])] += wgts[i];
+        }
+      }
+    }
+    xadj[static_cast<std::size_t>(cv) + 1] = static_cast<index_t>(adjncy.size());
+  }
+
+  lvl.graph = CsrGraph(std::move(xadj), std::move(adjncy), std::move(adjwgt));
+  lvl.graph.set_vertex_weights(std::move(cvw), ncon);
+  return lvl;
+}
+
+// ---------------------------------------------------------------------------
+// Balance bookkeeping
+// ---------------------------------------------------------------------------
+
+struct BalanceState {
+  int ncon = 1;
+  std::vector<weight_t> total;  // per constraint
+  std::vector<weight_t> w0;     // side-0 weight per constraint
+  std::vector<double> target0;  // frac0 * total
+  double eps = 0.05;
+
+  void init(const CsrGraph& g, double frac0, double eps_in) {
+    ncon = g.num_constraints();
+    total = g.total_weights();
+    w0.assign(static_cast<std::size_t>(ncon), 0);
+    target0.resize(static_cast<std::size_t>(ncon));
+    for (int c = 0; c < ncon; ++c) target0[static_cast<std::size_t>(c)] = frac0 * static_cast<double>(total[static_cast<std::size_t>(c)]);
+    eps = eps_in;
+  }
+
+  /// Total normalized violation of the (1+eps) bounds on both sides.
+  [[nodiscard]] double violation() const {
+    double viol = 0;
+    for (int c = 0; c < ncon; ++c) {
+      const auto tc = static_cast<double>(total[static_cast<std::size_t>(c)]);
+      if (tc == 0) continue;
+      const double t0 = target0[static_cast<std::size_t>(c)];
+      const double hi0 = (1 + eps) * t0;
+      const double hi1 = (1 + eps) * (tc - t0);
+      const auto w0c = static_cast<double>(w0[static_cast<std::size_t>(c)]);
+      viol += std::max(0.0, w0c - hi0) / tc;
+      viol += std::max(0.0, (tc - w0c) - hi1) / tc;
+    }
+    return viol;
+  }
+
+  void apply_move(const CsrGraph& g, index_t v, bool to_side0) {
+    for (int c = 0; c < ncon; ++c)
+      w0[static_cast<std::size_t>(c)] += to_side0 ? g.vwgt(v, c) : -g.vwgt(v, c);
+  }
+};
+
+weight_t cut_of(const CsrGraph& g, const std::vector<std::uint8_t>& side) {
+  weight_t cut = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (nbrs[i] > v && side[static_cast<std::size_t>(v)] != side[static_cast<std::size_t>(nbrs[i])]) cut += wgts[i];
+  }
+  return cut;
+}
+
+// ---------------------------------------------------------------------------
+// FM refinement (2-way, multi-constraint)
+// ---------------------------------------------------------------------------
+
+/// One full FM pass with rollback to the best prefix. Returns true if the
+/// (violation, cut) pair improved.
+bool fm_pass(const CsrGraph& g, std::vector<std::uint8_t>& side, BalanceState& bal,
+             weight_t& cut) {
+  const index_t n = g.num_vertices();
+
+  std::vector<weight_t> gain(static_cast<std::size_t>(n), 0);
+  for (index_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    weight_t gv = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      gv += (side[static_cast<std::size_t>(v)] != side[static_cast<std::size_t>(nbrs[i])]) ? wgts[i] : -wgts[i];
+    gain[static_cast<std::size_t>(v)] = gv;
+  }
+
+  // Lazy max-heaps per side; stale entries are skipped on pop.
+  using Entry = std::pair<weight_t, index_t>;
+  std::priority_queue<Entry> heap[2];
+  for (index_t v = 0; v < n; ++v) heap[side[static_cast<std::size_t>(v)]].emplace(gain[static_cast<std::size_t>(v)], v);
+
+  std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> moved;
+  moved.reserve(static_cast<std::size_t>(n));
+
+  const double start_viol = bal.violation();
+  const weight_t start_cut = cut;
+  double best_viol = start_viol;
+  weight_t best_cut = cut;
+  std::size_t best_prefix = 0;
+
+  weight_t cur_cut = cut;
+  // Side counts guard against emptying one side entirely.
+  index_t count[2] = {0, 0};
+  for (index_t v = 0; v < n; ++v) ++count[side[static_cast<std::size_t>(v)]];
+
+  auto pop_valid = [&](int s) -> index_t {
+    while (!heap[s].empty()) {
+      const auto [gv, v] = heap[s].top();
+      if (locked[static_cast<std::size_t>(v)] || side[static_cast<std::size_t>(v)] != s || gain[static_cast<std::size_t>(v)] != gv) {
+        heap[s].pop();
+        continue;
+      }
+      return v;
+    }
+    return kInvalidIndex;
+  };
+
+  const std::size_t move_limit = static_cast<std::size_t>(n);
+  while (moved.size() < move_limit) {
+    // Candidate from each side; pick by (violation delta, gain).
+    index_t cand[2] = {pop_valid(0), pop_valid(1)};
+    int pick = -1;
+    double pick_viol = 0;
+    weight_t pick_gain = 0;
+    const double cur_viol = bal.violation();
+    for (int s = 0; s < 2; ++s) {
+      const index_t v = cand[s];
+      if (v == kInvalidIndex || count[s] <= 1) continue;
+      bal.apply_move(g, v, s == 1); // tentatively move v off side s
+      const double nv = bal.violation();
+      bal.apply_move(g, v, s == 0); // undo
+      const bool better = pick == -1 ||
+                          nv < pick_viol - 1e-12 ||
+                          (std::abs(nv - pick_viol) <= 1e-12 && gain[static_cast<std::size_t>(v)] > pick_gain);
+      // Reject moves that worsen balance unless they strictly improve the cut
+      // while staying within bounds (nv == 0).
+      const bool admissible = nv <= cur_viol + 1e-12 || nv == 0.0;
+      if (admissible && better) {
+        pick = s;
+        pick_viol = nv;
+        pick_gain = gain[static_cast<std::size_t>(v)];
+      }
+    }
+    if (pick < 0) break;
+
+    const index_t v = cand[pick];
+    heap[pick].pop();
+    locked[static_cast<std::size_t>(v)] = 1;
+    bal.apply_move(g, v, pick == 1);
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(1 - pick);
+    --count[pick];
+    ++count[1 - pick];
+    cur_cut -= gain[static_cast<std::size_t>(v)];
+    moved.push_back(v);
+
+    auto nbrs = g.neighbors(v);
+    auto wgts = g.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const index_t u = nbrs[i];
+      if (locked[static_cast<std::size_t>(u)]) continue;
+      // v switched sides: edges to u flip internal/external status.
+      const weight_t delta = (side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) ? -2 * wgts[i] : 2 * wgts[i];
+      gain[static_cast<std::size_t>(u)] += delta;
+      heap[side[static_cast<std::size_t>(u)]].emplace(gain[static_cast<std::size_t>(u)], u);
+    }
+    gain[static_cast<std::size_t>(v)] = -gain[static_cast<std::size_t>(v)];
+
+    const double viol_now = bal.violation();
+    if (viol_now < best_viol - 1e-12 ||
+        (std::abs(viol_now - best_viol) <= 1e-12 && cur_cut < best_cut)) {
+      best_viol = viol_now;
+      best_cut = cur_cut;
+      best_prefix = moved.size();
+    }
+  }
+
+  // Roll back moves beyond the best prefix.
+  for (std::size_t i = moved.size(); i > best_prefix; --i) {
+    const index_t v = moved[i - 1];
+    const int s = side[static_cast<std::size_t>(v)];
+    bal.apply_move(g, v, s == 1); // move back: leaving side s
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(1 - s);
+  }
+  cut = best_cut;
+  return best_viol < start_viol - 1e-12 ||
+         (std::abs(best_viol - start_viol) <= 1e-12 && best_cut < start_cut);
+}
+
+/// Greedy graph growing from a random seed until side 0 is "full" in the
+/// scalarized sense; returns the side assignment.
+std::vector<std::uint8_t> greedy_grow(const CsrGraph& g, double frac0, Rng& rng) {
+  const index_t n = g.num_vertices();
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 1);
+  const int ncon = g.num_constraints();
+  const auto total = g.total_weights();
+
+  auto fill = [&](const std::vector<weight_t>& w0) {
+    double f = 0;
+    int active = 0;
+    for (int c = 0; c < ncon; ++c) {
+      if (total[static_cast<std::size_t>(c)] == 0) continue;
+      f += static_cast<double>(w0[static_cast<std::size_t>(c)]) / static_cast<double>(total[static_cast<std::size_t>(c)]);
+      ++active;
+    }
+    return active ? f / active : 1.0;
+  };
+
+  std::vector<weight_t> w0(static_cast<std::size_t>(ncon), 0);
+  std::vector<index_t> queue;
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  std::size_t head = 0;
+
+  auto enqueue = [&](index_t v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = 1;
+      queue.push_back(v);
+    }
+  };
+  enqueue(static_cast<index_t>(rng.uniform(static_cast<std::uint64_t>(n))));
+
+  while (fill(w0) < frac0) {
+    if (head == queue.size()) {
+      // Disconnected remainder: restart from any unvisited vertex.
+      index_t next = kInvalidIndex;
+      for (index_t v = 0; v < n; ++v)
+        if (!visited[static_cast<std::size_t>(v)]) {
+          next = v;
+          break;
+        }
+      if (next == kInvalidIndex) break;
+      enqueue(next);
+    }
+    const index_t v = queue[head++];
+    side[static_cast<std::size_t>(v)] = 0;
+    for (int c = 0; c < ncon; ++c) w0[static_cast<std::size_t>(c)] += g.vwgt(v, c);
+    for (index_t u : g.neighbors(v)) enqueue(u);
+  }
+  // Guarantee nonempty sides.
+  if (std::all_of(side.begin(), side.end(), [](std::uint8_t s) { return s == 0; }))
+    side[static_cast<std::size_t>(queue.back())] = 1;
+  if (std::all_of(side.begin(), side.end(), [](std::uint8_t s) { return s == 1; }))
+    side[static_cast<std::size_t>(queue.front())] = 0;
+  return side;
+}
+
+std::vector<std::uint8_t> initial_bisect(const CsrGraph& g, double frac0,
+                                         const MultilevelConfig& cfg, Rng& rng) {
+  std::vector<std::uint8_t> best;
+  double best_viol = 0;
+  weight_t best_cut = 0;
+  for (int attempt = 0; attempt < cfg.init_tries; ++attempt) {
+    auto side = greedy_grow(g, frac0, rng);
+    BalanceState bal;
+    bal.init(g, frac0, cfg.eps);
+    for (index_t v = 0; v < g.num_vertices(); ++v)
+      if (side[static_cast<std::size_t>(v)] == 0) bal.apply_move(g, v, true);
+    weight_t cut = cut_of(g, side);
+    for (int pass = 0; pass < cfg.fm_passes; ++pass)
+      if (!fm_pass(g, side, bal, cut)) break;
+    const double viol = bal.violation();
+    if (best.empty() || viol < best_viol - 1e-12 ||
+        (std::abs(viol - best_viol) <= 1e-12 && cut < best_cut)) {
+      best = std::move(side);
+      best_viol = viol;
+      best_cut = cut;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> bisect_recursive(const CsrGraph& g, double frac0,
+                                           const MultilevelConfig& cfg, Rng& rng) {
+  if (g.num_vertices() <= cfg.coarsen_to) return initial_bisect(g, frac0, cfg, rng);
+
+  CoarseLevel lvl = coarsen_once(g, rng);
+  std::vector<std::uint8_t> side;
+  if (lvl.graph.num_vertices() >= static_cast<index_t>(0.95 * static_cast<double>(g.num_vertices()))) {
+    // Matching stalled (e.g. star graphs): fall back to direct initial cut.
+    side = initial_bisect(g, frac0, cfg, rng);
+  } else {
+    const auto coarse_side = bisect_recursive(lvl.graph, frac0, cfg, rng);
+    side.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (index_t v = 0; v < g.num_vertices(); ++v)
+      side[static_cast<std::size_t>(v)] = coarse_side[static_cast<std::size_t>(lvl.cmap[static_cast<std::size_t>(v)])];
+  }
+
+  BalanceState bal;
+  bal.init(g, frac0, cfg.eps);
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    if (side[static_cast<std::size_t>(v)] == 0) bal.apply_move(g, v, true);
+  weight_t cut = cut_of(g, side);
+  for (int pass = 0; pass < cfg.fm_passes; ++pass)
+    if (!fm_pass(g, side, bal, cut)) break;
+  return side;
+}
+
+void recurse_kway(const CsrGraph& g, std::span<const index_t> to_orig, rank_t k, rank_t part_base,
+                  const MultilevelConfig& cfg, Rng& rng, std::vector<rank_t>& out) {
+  if (k == 1) {
+    for (index_t v : to_orig) out[static_cast<std::size_t>(v)] = part_base;
+    return;
+  }
+  const rank_t k0 = (k + 1) / 2;
+  const double frac0 = static_cast<double>(k0) / static_cast<double>(k);
+  // Deeper bisections get a slightly tighter eps so the end-to-end imbalance
+  // stays near the requested one.
+  MultilevelConfig sub = cfg;
+  sub.eps = cfg.eps / (1.0 + 0.5 * std::log2(static_cast<double>(k)));
+
+  const auto side = bisect_recursive(g, frac0, sub, rng);
+
+  std::vector<index_t> v0, v1;
+  for (index_t v = 0; v < g.num_vertices(); ++v)
+    (side[static_cast<std::size_t>(v)] == 0 ? v0 : v1).push_back(v);
+  LTS_CHECK(!v0.empty() && !v1.empty());
+
+  auto [g0, m0] = graph::induced_subgraph(g, v0);
+  auto [g1, m1] = graph::induced_subgraph(g, v1);
+  // Remap the subgraph's to-orig through this graph's to-orig.
+  for (auto& v : m0) v = to_orig[static_cast<std::size_t>(v)];
+  for (auto& v : m1) v = to_orig[static_cast<std::size_t>(v)];
+
+  Rng rng0 = rng.fork();
+  Rng rng1 = rng.fork();
+  recurse_kway(g0, m0, k0, part_base, cfg, rng0, out);
+  recurse_kway(g1, m1, k - k0, part_base + k0, cfg, rng1, out);
+}
+
+} // namespace
+
+std::vector<std::uint8_t> multilevel_bisect(const CsrGraph& g, double frac0,
+                                            const MultilevelConfig& cfg) {
+  LTS_CHECK(g.num_vertices() >= 2);
+  LTS_CHECK(frac0 > 0 && frac0 < 1);
+  Rng rng(cfg.seed);
+  return bisect_recursive(g, frac0, cfg, rng);
+}
+
+Partition recursive_bisection(const CsrGraph& g, rank_t k, const MultilevelConfig& cfg) {
+  LTS_CHECK(k >= 1);
+  LTS_CHECK_MSG(g.num_vertices() >= k, "fewer vertices than parts");
+  Partition p;
+  p.num_parts = k;
+  p.part.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<index_t> ids(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(cfg.seed);
+  recurse_kway(g, ids, k, 0, cfg, rng, p.part);
+  return p;
+}
+
+graph::weight_t bisection_cut(const CsrGraph& g, std::span<const std::uint8_t> side) {
+  std::vector<std::uint8_t> s(side.begin(), side.end());
+  return cut_of(g, s);
+}
+
+} // namespace ltswave::partition

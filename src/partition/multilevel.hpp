@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file multilevel.hpp
+/// Multilevel graph bisection and K-way recursive bisection — the engine
+/// behind the "SCOTCH-like" (single-constraint) and "MeTiS-like"
+/// (multi-constraint, Eq. 19) partitioners.
+///
+/// Pipeline per bisection: heavy-edge-matching coarsening, greedy-graph-
+/// growing initial partitions (best of several seeded attempts), then
+/// Fiduccia-Mattheyses boundary refinement during uncoarsening. Balance is
+/// enforced per weight constraint; when a strictly feasible state is
+/// unreachable (tiny constraint totals at deep recursion), the refinement
+/// minimizes the total constraint violation instead of failing.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/csr_graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ltswave::partition {
+
+struct MultilevelConfig {
+  double eps = 0.05;     ///< allowed imbalance per constraint and bisection
+  index_t coarsen_to = 96; ///< stop coarsening below this vertex count
+  int init_tries = 8;    ///< greedy-growing attempts for the coarsest graph
+  int fm_passes = 6;     ///< max FM passes per uncoarsening level
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Splits the vertices into side 0 / side 1 with a fraction `frac0` of every
+/// constraint's total weight targeted at side 0. Returns the side per vertex.
+std::vector<std::uint8_t> multilevel_bisect(const graph::CsrGraph& g, double frac0,
+                                            const MultilevelConfig& cfg);
+
+/// K-way partition by recursive bisection (arbitrary K >= 1).
+Partition recursive_bisection(const graph::CsrGraph& g, rank_t k, const MultilevelConfig& cfg);
+
+/// Edge cut of a two-sided assignment (test helper).
+graph::weight_t bisection_cut(const graph::CsrGraph& g, std::span<const std::uint8_t> side);
+
+} // namespace ltswave::partition

@@ -1,0 +1,104 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+namespace ltswave::partition {
+
+void Partition::validate() const {
+  LTS_CHECK(num_parts > 0);
+  std::vector<char> seen(static_cast<std::size_t>(num_parts), 0);
+  for (rank_t r : part) {
+    LTS_CHECK_MSG(r >= 0 && r < num_parts, "part id out of range");
+    seen[static_cast<std::size_t>(r)] = 1;
+  }
+  for (rank_t r = 0; r < num_parts; ++r)
+    LTS_CHECK_MSG(seen[static_cast<std::size_t>(r)], "part " << r << " is empty");
+}
+
+double imbalance_pct(std::span<const weight_t> loads) {
+  if (loads.empty()) return 0;
+  const auto [mn, mx] = std::minmax_element(loads.begin(), loads.end());
+  if (*mx == 0) return 0;
+  return 100.0 * static_cast<double>(*mx - *mn) / static_cast<double>(*mx);
+}
+
+double imbalance_over_avg_pct(std::span<const weight_t> loads) {
+  if (loads.empty()) return 0;
+  weight_t sum = 0, mx = 0;
+  for (weight_t w : loads) {
+    sum += w;
+    mx = std::max(mx, w);
+  }
+  if (sum == 0) return 0;
+  const double avg = static_cast<double>(sum) / static_cast<double>(loads.size());
+  return 100.0 * (static_cast<double>(mx) / avg - 1.0);
+}
+
+weight_t comm_volume_per_cycle(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                               const Partition& p) {
+  const auto& n2e = m.node_to_elem();
+  weight_t vol = 0;
+  std::vector<rank_t> owners;
+  for (index_t n = 0; n < m.num_nodes(); ++n) {
+    owners.clear();
+    for (const index_t* it = n2e.begin(n); it != n2e.end(n); ++it) {
+      const rank_t r = p.part[static_cast<std::size_t>(*it)];
+      if (std::find(owners.begin(), owners.end(), r) == owners.end()) owners.push_back(r);
+    }
+    if (owners.size() <= 1) continue;
+    const auto lambda_minus_1 = static_cast<weight_t>(owners.size() - 1);
+    for (const index_t* it = n2e.begin(n); it != n2e.end(n); ++it)
+      vol += static_cast<weight_t>(level_rate(elem_levels[static_cast<std::size_t>(*it)])) * lambda_minus_1;
+  }
+  return vol;
+}
+
+weight_t weighted_edge_cut(const graph::CsrGraph& dual, const Partition& p) {
+  weight_t cut = 0;
+  for (index_t v = 0; v < dual.num_vertices(); ++v) {
+    auto nbrs = dual.neighbors(v);
+    auto wgts = dual.edge_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (nbrs[i] > v && p.part[static_cast<std::size_t>(v)] != p.part[static_cast<std::size_t>(nbrs[i])])
+        cut += wgts[i];
+  }
+  return cut;
+}
+
+PartitionMetrics compute_metrics(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                                 level_t num_levels, const Partition& p) {
+  LTS_CHECK(elem_levels.size() == static_cast<std::size_t>(m.num_elems()));
+  LTS_CHECK(p.part.size() == elem_levels.size());
+
+  PartitionMetrics out;
+  out.level_counts.assign(static_cast<std::size_t>(p.num_parts),
+                          std::vector<weight_t>(static_cast<std::size_t>(num_levels), 0));
+  out.work.assign(static_cast<std::size_t>(p.num_parts), 0);
+
+  for (std::size_t e = 0; e < elem_levels.size(); ++e) {
+    const level_t lev = elem_levels[e];
+    const rank_t r = p.part[e];
+    ++out.level_counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(lev - 1)];
+    out.work[static_cast<std::size_t>(r)] += static_cast<weight_t>(level_rate(lev));
+  }
+
+  out.total_imbalance_pct = imbalance_pct(out.work);
+  out.level_imbalance_pct.resize(static_cast<std::size_t>(num_levels));
+  std::vector<weight_t> tmp(static_cast<std::size_t>(p.num_parts));
+  for (level_t l = 0; l < num_levels; ++l) {
+    for (rank_t r = 0; r < p.num_parts; ++r)
+      tmp[static_cast<std::size_t>(r)] = out.level_counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(l)];
+    // A level absent from the mesh contributes no imbalance.
+    const bool present = std::any_of(tmp.begin(), tmp.end(), [](weight_t w) { return w > 0; });
+    out.level_imbalance_pct[static_cast<std::size_t>(l)] = present ? imbalance_pct(tmp) : 0.0;
+    out.max_level_imbalance_pct =
+        std::max(out.max_level_imbalance_pct, out.level_imbalance_pct[static_cast<std::size_t>(l)]);
+  }
+
+  const auto dual = graph::build_dual_graph(m, elem_levels);
+  out.edge_cut = weighted_edge_cut(dual, p);
+  out.comm_volume = comm_volume_per_cycle(m, elem_levels, p);
+  return out;
+}
+
+} // namespace ltswave::partition

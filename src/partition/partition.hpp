@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file partition.hpp
+/// Partition assignments and the paper's quality metrics:
+///  * per-level and total load imbalance (Eq. 21),
+///  * weighted dual-graph edge cut (the MeTiS/SCOTCH objective),
+///  * exact per-LTS-cycle communication volume (= hypergraph cut size, Eq. 20
+///    with the merged net costs of Sec. III-A.2).
+
+#include <span>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace ltswave::partition {
+
+using graph::weight_t;
+
+/// Element -> part assignment for K parts.
+struct Partition {
+  rank_t num_parts = 0;
+  std::vector<rank_t> part; // one entry per element/vertex
+
+  /// Validates: every id in [0, K), every part nonempty. Throws on violation.
+  void validate() const;
+};
+
+/// Quality metrics of a partition for an LTS-levelled mesh.
+struct PartitionMetrics {
+  /// load[r][l] = number of elements of level l+1 on part r.
+  std::vector<std::vector<weight_t>> level_counts;
+  /// work[r] = sum over levels of p_level * count (element-applies per cycle).
+  std::vector<weight_t> work;
+  /// Eq. 21 on `work`: (max-min)/max * 100.
+  double total_imbalance_pct = 0;
+  /// Eq. 21 per level on level_counts.
+  std::vector<double> level_imbalance_pct;
+  /// Worst per-level imbalance (what actually gates LTS substep efficiency).
+  double max_level_imbalance_pct = 0;
+  /// Weighted dual-graph edge cut (each cut face counted once).
+  weight_t edge_cut = 0;
+  /// Total MPI communication volume per LTS cycle (paper's "MPI volume").
+  weight_t comm_volume = 0;
+};
+
+/// Eq. 21 helper: (max-min)/max in percent; 0 when max == 0.
+double imbalance_pct(std::span<const weight_t> loads);
+
+/// Standard partitioning-literature imbalance: max/avg - 1 in percent.
+double imbalance_over_avg_pct(std::span<const weight_t> loads);
+
+/// Computes all metrics. `elem_levels` holds 1-based LTS levels.
+PartitionMetrics compute_metrics(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                                 level_t num_levels, const Partition& p);
+
+/// Communication volume per LTS cycle, computed directly from the mesh
+/// (independent of the hypergraph code path; tests cross-validate the two):
+/// vol = sum over mesh nodes n, elements e containing n of
+///       rate(level(e)) * (lambda_n - 1).
+weight_t comm_volume_per_cycle(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                               const Partition& p);
+
+/// Weighted edge cut of the level-weighted dual graph.
+weight_t weighted_edge_cut(const graph::CsrGraph& dual, const Partition& p);
+
+} // namespace ltswave::partition

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file calibrate.hpp
+/// Measures the real per-element stiffness-apply cost of this build/host and
+/// folds it into a MachineModel, so simulator outputs are anchored to the
+/// actual kernel speed rather than a guessed constant.
+
+#include "runtime/machine.hpp"
+#include "sem/wave_operator.hpp"
+
+namespace ltswave::perf {
+
+/// Median seconds per element apply for the given operator, measured over a
+/// few repetitions of the full-mesh apply.
+double measure_elem_apply_seconds(const sem::WaveOperator& op, int repetitions = 5);
+
+/// CPU rank model with the flop term replaced by a measured value (memory and
+/// network terms keep their Piz-Daint-era defaults).
+runtime::MachineModel calibrated_cpu_model(const sem::WaveOperator& op);
+
+} // namespace ltswave::perf

@@ -1,0 +1,83 @@
+#include "perf/scaling.hpp"
+
+#include <algorithm>
+
+namespace ltswave::perf {
+
+runtime::SimResult simulate_config(const mesh::HexMesh& m, const core::LevelAssignment& levels,
+                                   const partition::PartitionerConfig& cfg,
+                                   const runtime::MachineModel& machine) {
+  const auto part = partition::partition_mesh(m, levels.elem_level, levels.num_levels, cfg);
+  const auto cg = runtime::build_comm_graph(m, levels.elem_level, levels.num_levels, part);
+  return runtime::simulate_cycle(cg, machine, levels.dt);
+}
+
+namespace {
+ScalingPoint make_point(int nodes, rank_t ranks, const runtime::SimResult& sim,
+                        double baseline_perf) {
+  ScalingPoint p;
+  p.nodes = nodes;
+  p.ranks = ranks;
+  p.advance_per_wall_second = sim.advance_per_wall_second;
+  p.normalized = sim.advance_per_wall_second / baseline_perf;
+  p.cache_hit = sim.cache_hit_fraction;
+  double worst = 0;
+  for (double s : sim.rank_stall) worst = std::max(worst, s);
+  p.max_stall_fraction = sim.cycle_seconds > 0 ? worst / sim.cycle_seconds : 0;
+  return p;
+}
+} // namespace
+
+ScalingResult run_scaling(const ScalingExperiment& exp, const std::vector<StrategySpec>& specs) {
+  LTS_CHECK(exp.mesh != nullptr && !exp.node_counts.empty());
+  const auto& m = *exp.mesh;
+
+  ScalingResult res;
+  res.lts_levels = core::assign_levels(m, exp.courant, exp.max_levels);
+  res.theoretical_speedup = core::theoretical_speedup(res.lts_levels);
+  const auto uniform = core::assign_single_level(m, exp.courant);
+
+  // Baseline: non-LTS CPU at the first node count.
+  partition::PartitionerConfig base_cfg;
+  base_cfg.strategy = partition::Strategy::Scotch;
+  base_cfg.num_parts = static_cast<rank_t>(exp.node_counts.front() * runtime::kCpuRanksPerNode);
+  const double baseline_perf =
+      simulate_config(m, uniform, base_cfg, exp.baseline_machine).advance_per_wall_second;
+  LTS_CHECK(baseline_perf > 0);
+
+  // Non-LTS series on the experiment's machine.
+  res.non_lts.label = "non-LTS";
+  for (int nodes : exp.node_counts) {
+    partition::PartitionerConfig cfg;
+    cfg.strategy = partition::Strategy::Scotch;
+    cfg.num_parts = static_cast<rank_t>(nodes * exp.ranks_per_node);
+    const auto sim = simulate_config(m, uniform, cfg, exp.machine);
+    res.non_lts.points.push_back(make_point(nodes, cfg.num_parts, sim, baseline_perf));
+  }
+
+  // Strategy series.
+  for (const auto& spec : specs) {
+    ScalingSeries series;
+    series.label = spec.label;
+    for (int nodes : exp.node_counts) {
+      partition::PartitionerConfig cfg = spec.cfg;
+      cfg.num_parts = static_cast<rank_t>(nodes * exp.ranks_per_node);
+      const auto sim = simulate_config(m, res.lts_levels, cfg, exp.machine);
+      series.points.push_back(make_point(nodes, cfg.num_parts, sim, baseline_perf));
+    }
+    res.strategies.push_back(std::move(series));
+  }
+
+  // Ideal LTS curve: the *non-LTS machine series itself* scaled by the
+  // theoretical speedup at the base count and perfect scaling from there
+  // (the paper's "LTS ideal": perfect LTS efficiency + perfect scaling).
+  const double base_machine_norm = res.non_lts.points.front().normalized;
+  for (std::size_t i = 0; i < exp.node_counts.size(); ++i) {
+    const double scale = static_cast<double>(exp.node_counts[i]) /
+                         static_cast<double>(exp.node_counts.front());
+    res.lts_ideal.push_back(base_machine_norm * res.theoretical_speedup * scale);
+  }
+  return res;
+}
+
+} // namespace ltswave::perf

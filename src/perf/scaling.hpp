@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Strong-scaling experiment driver shared by the Fig. 9-13 benches:
+/// partitions a mesh for a range of node counts, runs the cluster simulator,
+/// and reports performance normalized to the non-LTS CPU baseline at the
+/// smallest node count — exactly the paper's presentation (Sec. IV-C):
+/// "performance is measured as [simulated time]/[wall clock time] ...
+/// normalized to the non-LTS (reference) CPU version at 16 nodes".
+
+#include <string>
+
+#include "core/lts_levels.hpp"
+#include "partition/partitioners.hpp"
+#include "runtime/sim_cluster.hpp"
+
+namespace ltswave::perf {
+
+/// One measured point of a scaling series.
+struct ScalingPoint {
+  int nodes = 0;
+  rank_t ranks = 0;
+  double advance_per_wall_second = 0; ///< simulated seconds per wall second
+  double normalized = 0;              ///< vs non-LTS CPU at the base node count
+  double cache_hit = 0;               ///< work-weighted cache hit fraction
+  double max_stall_fraction = 0;      ///< worst rank stall / cycle time
+};
+
+struct ScalingSeries {
+  std::string label;
+  std::vector<ScalingPoint> points;
+};
+
+/// A partitioning strategy entry for the comparison plots.
+struct StrategySpec {
+  std::string label;
+  partition::PartitionerConfig cfg; ///< num_parts is overwritten per point
+};
+
+struct ScalingExperiment {
+  const mesh::HexMesh* mesh = nullptr;
+  real_t courant = 0.3;
+  level_t max_levels = 12;
+  std::vector<int> node_counts;    ///< e.g. {16, 32, 64, 128}
+  int ranks_per_node = runtime::kCpuRanksPerNode;
+  runtime::MachineModel machine = runtime::cpu_rank_model();
+
+  /// Baseline normalization: non-LTS CPU at node_counts.front() with
+  /// kCpuRanksPerNode ranks per node (even for GPU experiments, per Fig. 9).
+  runtime::MachineModel baseline_machine = runtime::cpu_rank_model();
+};
+
+/// Result bundle: the non-LTS series, one series per strategy, and the ideal
+/// LTS curve (perfect speedup x perfect scaling).
+struct ScalingResult {
+  core::LevelAssignment lts_levels;
+  double theoretical_speedup = 1.0;
+  ScalingSeries non_lts;
+  std::vector<ScalingSeries> strategies;
+  std::vector<double> lts_ideal; ///< normalized ideal per node count
+};
+
+ScalingResult run_scaling(const ScalingExperiment& exp, const std::vector<StrategySpec>& specs);
+
+/// Simulates one configuration: partitions with `cfg` (num_parts set by the
+/// caller) and runs the cycle simulator.
+runtime::SimResult simulate_config(const mesh::HexMesh& m, const core::LevelAssignment& levels,
+                                   const partition::PartitionerConfig& cfg,
+                                   const runtime::MachineModel& machine);
+
+} // namespace ltswave::perf

@@ -1,0 +1,139 @@
+#include "runtime/comm_graph.hpp"
+
+#include <algorithm>
+
+namespace ltswave::runtime {
+
+std::vector<std::int64_t> CommGraph::work_per_cycle() const {
+  std::vector<std::int64_t> w(static_cast<std::size_t>(num_ranks), 0);
+  for (rank_t r = 0; r < num_ranks; ++r)
+    for (level_t k = 1; k <= num_levels; ++k)
+      w[static_cast<std::size_t>(r)] += level_rate(k) * applies[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)];
+  return w;
+}
+
+std::int64_t CommGraph::comm_volume_per_cycle() const {
+  std::int64_t total = 0;
+  for (level_t k = 1; k <= num_levels; ++k)
+    for (const auto& [pair, v] : volume[static_cast<std::size_t>(k - 1)])
+      total += 2 * v * level_rate(k); // both directions, p_k substeps
+  return total;
+}
+
+std::vector<std::uint32_t> element_participation(const mesh::HexMesh& m,
+                                                 std::span<const level_t> elem_levels) {
+  const index_t ne = m.num_elems();
+  LTS_CHECK(elem_levels.size() == static_cast<std::size_t>(ne));
+  const auto& n2e = m.node_to_elem();
+
+  // Corner-node level: max level among elements containing the corner.
+  std::vector<level_t> corner_level(static_cast<std::size_t>(m.num_nodes()), 0);
+  for (index_t n = 0; n < m.num_nodes(); ++n) {
+    level_t lv = 0;
+    for (const index_t* it = n2e.begin(n); it != n2e.end(n); ++it)
+      lv = std::max(lv, elem_levels[static_cast<std::size_t>(*it)]);
+    corner_level[static_cast<std::size_t>(n)] = lv;
+  }
+
+  // Edge-sharing max level: elements sharing the edge = intersection of the
+  // two corner element lists; the edge node level is the max over that set.
+  auto edge_level = [&](index_t a, index_t b) {
+    level_t lv = 0;
+    const index_t* ia = n2e.begin(a);
+    for (; ia != n2e.end(a); ++ia) {
+      const index_t e = *ia;
+      for (const index_t* ib = n2e.begin(b); ib != n2e.end(b); ++ib)
+        if (*ib == e) {
+          lv = std::max(lv, elem_levels[static_cast<std::size_t>(e)]);
+          break;
+        }
+    }
+    return lv;
+  };
+
+  const auto& fn = m.face_neighbors();
+  std::vector<std::uint32_t> mask(static_cast<std::size_t>(ne), 0);
+  constexpr std::array<std::array<int, 2>, 12> kEdgePairs = {{
+      {{0, 1}}, {{2, 3}}, {{4, 5}}, {{6, 7}}, // x
+      {{0, 2}}, {{1, 3}}, {{4, 6}}, {{5, 7}}, // y
+      {{0, 4}}, {{1, 5}}, {{2, 6}}, {{3, 7}}, // z
+  }};
+
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = m.corners(e);
+    std::uint32_t bits = 0;
+    const level_t own = elem_levels[static_cast<std::size_t>(e)];
+    bits |= 1u << (own - 1); // interior nodes
+    // Corner nodes.
+    for (int i = 0; i < 8; ++i) bits |= 1u << (corner_level[static_cast<std::size_t>(c[i])] - 1);
+    // Edge nodes.
+    for (const auto& ep : kEdgePairs) bits |= 1u << (edge_level(c[ep[0]], c[ep[1]]) - 1);
+    // Face nodes: level = max(own, face neighbour).
+    for (int f = 0; f < mesh::kFacesPerElem; ++f) {
+      const index_t nb = fn[static_cast<std::size_t>(e) * mesh::kFacesPerElem + f];
+      const level_t lv = nb == kInvalidIndex
+                             ? own
+                             : std::max(own, elem_levels[static_cast<std::size_t>(nb)]);
+      bits |= 1u << (lv - 1);
+    }
+    mask[static_cast<std::size_t>(e)] = bits;
+  }
+  return mask;
+}
+
+CommGraph build_comm_graph(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                           level_t num_levels, const Partition& p) {
+  CommGraph cg;
+  cg.num_levels = num_levels;
+  cg.num_ranks = p.num_parts;
+  cg.applies.assign(static_cast<std::size_t>(p.num_parts),
+                    std::vector<std::int64_t>(static_cast<std::size_t>(num_levels), 0));
+  cg.volume.assign(static_cast<std::size_t>(num_levels), {});
+
+  const auto participation = element_participation(m, elem_levels);
+  for (index_t e = 0; e < m.num_elems(); ++e) {
+    const rank_t r = p.part[static_cast<std::size_t>(e)];
+    const std::uint32_t bits = participation[static_cast<std::size_t>(e)];
+    for (level_t k = 1; k <= num_levels; ++k)
+      if (bits & (1u << (k - 1))) ++cg.applies[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)];
+  }
+
+  // Interface volumes: a corner node shared between ranks must be exchanged
+  // at level-k substeps iff one of its elements participates in E(k).
+  const auto& n2e = m.node_to_elem();
+  std::vector<rank_t> owners;
+  for (index_t n = 0; n < m.num_nodes(); ++n) {
+    owners.clear();
+    std::uint32_t bits = 0;
+    for (const index_t* it = n2e.begin(n); it != n2e.end(n); ++it) {
+      const rank_t r = p.part[static_cast<std::size_t>(*it)];
+      if (std::find(owners.begin(), owners.end(), r) == owners.end()) owners.push_back(r);
+      bits |= participation[static_cast<std::size_t>(*it)];
+    }
+    if (owners.size() <= 1) continue;
+    std::sort(owners.begin(), owners.end());
+    for (level_t k = 1; k <= num_levels; ++k) {
+      if (!(bits & (1u << (k - 1)))) continue;
+      auto& vol = cg.volume[static_cast<std::size_t>(k - 1)];
+      for (std::size_t i = 0; i < owners.size(); ++i)
+        for (std::size_t j = i + 1; j < owners.size(); ++j)
+          ++vol[{owners[i], owners[j]}];
+    }
+  }
+
+  cg.msgs_per_substep.assign(static_cast<std::size_t>(p.num_parts),
+                             std::vector<std::int64_t>(static_cast<std::size_t>(num_levels), 0));
+  cg.nodes_per_substep.assign(static_cast<std::size_t>(p.num_parts),
+                              std::vector<std::int64_t>(static_cast<std::size_t>(num_levels), 0));
+  for (level_t k = 1; k <= num_levels; ++k) {
+    for (const auto& [pair, v] : cg.volume[static_cast<std::size_t>(k - 1)]) {
+      for (rank_t r : {pair.first, pair.second}) {
+        ++cg.msgs_per_substep[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)];
+        cg.nodes_per_substep[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)] += v;
+      }
+    }
+  }
+  return cg;
+}
+
+} // namespace ltswave::runtime

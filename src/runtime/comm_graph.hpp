@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file comm_graph.hpp
+/// Distributed-execution bookkeeping for a partitioned LTS mesh: which rank
+/// computes how many elements at each level's substeps, and how much data
+/// flows between rank pairs at each level (the inputs to the cluster
+/// performance simulator).
+///
+/// Element participation E(k) is derived exactly from mesh topology (vertex /
+/// edge / face entity sharing), matching the SEM node-level rule without
+/// building the SEM numbering — this keeps multi-million-element simulator
+/// runs cheap.
+
+#include <map>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "partition/partition.hpp"
+
+namespace ltswave::runtime {
+
+using partition::Partition;
+
+/// Per-(rank, level) compute and per-(rank pair, level) communication counts
+/// for one LTS cycle.
+struct CommGraph {
+  level_t num_levels = 1;
+  rank_t num_ranks = 1;
+
+  /// applies[r][k-1]: elements rank r computes at *each* level-k substep
+  /// (own share of E(k), halo included). Total work per cycle on r is
+  /// sum_k p_k * applies[r][k-1].
+  std::vector<std::vector<std::int64_t>> applies;
+
+  /// volume[k-1] maps ordered rank pairs (r < r') to the number of interface
+  /// corner nodes whose values must be exchanged at each level-k substep.
+  std::vector<std::map<std::pair<rank_t, rank_t>, std::int64_t>> volume;
+
+  /// Per-rank per-level: number of neighbour messages per substep and total
+  /// exchanged corner nodes per substep (symmetrized).
+  std::vector<std::vector<std::int64_t>> msgs_per_substep;  // [r][k-1]
+  std::vector<std::vector<std::int64_t>> nodes_per_substep; // [r][k-1]
+
+  /// Work (element-applies per cycle) per rank.
+  [[nodiscard]] std::vector<std::int64_t> work_per_cycle() const;
+
+  /// Total corner-node communication volume per cycle (sum over levels of
+  /// p_k * per-substep volume); comparable to the paper's "MPI volume".
+  [[nodiscard]] std::int64_t comm_volume_per_cycle() const;
+};
+
+/// Per-element participation levels (which E(k) sets the element belongs to),
+/// derived from mesh entity sharing. `levels_present[e]` is a bitmask with
+/// bit (k-1) set iff e is in E(k).
+std::vector<std::uint32_t> element_participation(const mesh::HexMesh& m,
+                                                 std::span<const level_t> elem_levels);
+
+/// Builds the full comm graph for a partition.
+CommGraph build_comm_graph(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                           level_t num_levels, const Partition& p);
+
+} // namespace ltswave::runtime

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file machine.hpp
+/// Machine models for the cluster performance simulator, loosely calibrated
+/// to the paper's Piz Daint configuration (Sec. IV-C): 8-core Intel E5-2670
+/// CPU nodes (one MPI rank per core) and NVIDIA K20X GPU nodes (one rank per
+/// GPU), where the non-LTS GPU version is 6.9x faster than the non-LTS CPU
+/// version node-for-node (Fig. 9).
+///
+/// The CPU model includes a working-set cache term: as strong scaling shrinks
+/// per-rank partitions, the working set falls into cache and the per-element
+/// cost drops — the super-linear scaling the paper observes (Sec. IV-D,
+/// Fig. 12). The GPU model includes a per-kernel launch overhead, the cause
+/// of the paper's GPU LTS efficiency decay on small fine levels.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ltswave::runtime {
+
+struct MachineModel {
+  /// Base seconds per element stiffness application on one rank (flop part).
+  double elem_flop_seconds = 2.0e-6;
+  /// Bytes of state streamed per element apply (fields + geometry factors).
+  double elem_state_bytes = 13.0e3;
+  /// Memory bandwidth per rank from DRAM and from cache (bytes/s).
+  double dram_bw = 4.0e9;
+  double cache_bw = 40.0e9;
+  /// Cache capacity per rank (D1+D2-ish aggregate).
+  double cache_bytes = 1.5e6;
+
+  /// Per-evaluation-phase fixed overhead (kernel launch on GPUs; negligible
+  /// loop start on CPUs).
+  double phase_overhead_seconds = 0.0;
+
+  /// Network: per-message latency and per-rank link bandwidth.
+  double link_latency_seconds = 2.0e-6;
+  double link_bw = 5.0e9;
+  /// Bytes exchanged per interface corner node per substep. A corner node
+  /// stands for ~order^2 GLL interface nodes; 3 components x 8 bytes, with a
+  /// factor for partial-sum exchange.
+  double bytes_per_corner_node = 16.0 * 24.0;
+
+  /// Cache hit fraction for a working set of `ws` bytes: full reuse once the
+  /// set fits, square-root partial reuse beyond (blocked access patterns).
+  [[nodiscard]] double cache_hit_fraction(double ws_bytes) const {
+    if (ws_bytes <= cache_bytes) return 1.0;
+    return std::sqrt(cache_bytes / ws_bytes);
+  }
+
+  /// Effective seconds per element apply given the phase's working set.
+  [[nodiscard]] double elem_seconds(double ws_bytes) const {
+    const double hit = cache_hit_fraction(ws_bytes);
+    const double mem = elem_state_bytes * (hit / cache_bw + (1.0 - hit) / dram_bw);
+    return elem_flop_seconds + mem;
+  }
+
+  /// Time to exchange with `msgs` neighbours totalling `nodes` interface
+  /// corner nodes.
+  [[nodiscard]] double exchange_seconds(std::int64_t msgs, std::int64_t nodes) const {
+    return static_cast<double>(msgs) * link_latency_seconds +
+           static_cast<double>(nodes) * bytes_per_corner_node / link_bw;
+  }
+};
+
+/// One 8-core CPU node = 8 ranks of this model (paper's E5-2670).
+inline MachineModel cpu_rank_model() { return MachineModel{}; }
+
+/// One K20X GPU node = 1 rank. Calibrated so a GPU rank is ~6.9x an 8-rank
+/// CPU node on large non-LTS workloads (Fig. 9 bottom): 55x a single CPU
+/// rank in flop rate, with a large launch overhead per kernel and weaker
+/// caching (the paper notes the GPU cannot exploit the cache advantage).
+inline MachineModel gpu_rank_model() {
+  MachineModel m;
+  m.elem_flop_seconds = 2.0e-6 / 55.2;
+  m.dram_bw = 180.0e9;
+  m.cache_bw = 180.0e9; // no cache-fit speedup on the GPU
+  m.cache_bytes = 1.0e6;
+  m.phase_overhead_seconds = 8.0e-6; // kernel setup + launch
+  m.link_latency_seconds = 6.0e-6;   // includes GPU-CPU staging
+  m.link_bw = 5.0e9;
+  return m;
+}
+
+constexpr int kCpuRanksPerNode = 8;
+constexpr int kGpuRanksPerNode = 1;
+
+} // namespace ltswave::runtime

@@ -1,0 +1,91 @@
+#include "runtime/sim_cluster.hpp"
+
+#include <algorithm>
+
+namespace ltswave::runtime {
+
+namespace {
+void append_trace(level_t k, level_t num_levels, std::vector<level_t>& out) {
+  if (k > num_levels) return;
+  if (k == 1) {
+    out.push_back(1);
+    append_trace(2, num_levels, out);
+    return;
+  }
+  for (int m = 0; m < 2; ++m) {
+    out.push_back(k);
+    append_trace(k + 1, num_levels, out);
+  }
+}
+} // namespace
+
+std::vector<level_t> cycle_trace(level_t num_levels) {
+  LTS_CHECK(num_levels >= 1);
+  std::vector<level_t> out;
+  append_trace(1, num_levels, out);
+  return out;
+}
+
+SimResult simulate_cycle(const CommGraph& cg, const MachineModel& machine, real_t dt,
+                         bool record_timeline) {
+  const rank_t nr = cg.num_ranks;
+  SimResult res;
+  res.rank_busy.assign(static_cast<std::size_t>(nr), 0.0);
+  res.rank_stall.assign(static_cast<std::size_t>(nr), 0.0);
+
+  // Per-level neighbour lists.
+  std::vector<std::vector<std::vector<rank_t>>> nbrs(static_cast<std::size_t>(cg.num_levels));
+  for (level_t k = 1; k <= cg.num_levels; ++k) {
+    auto& nk = nbrs[static_cast<std::size_t>(k - 1)];
+    nk.assign(static_cast<std::size_t>(nr), {});
+    for (const auto& [pair, v] : cg.volume[static_cast<std::size_t>(k - 1)]) {
+      (void)v;
+      nk[static_cast<std::size_t>(pair.first)].push_back(pair.second);
+      nk[static_cast<std::size_t>(pair.second)].push_back(pair.first);
+    }
+  }
+
+  std::vector<double> t(static_cast<std::size_t>(nr), 0.0);
+  std::vector<double> t_after(static_cast<std::size_t>(nr), 0.0);
+  double weighted_hits = 0, total_work = 0;
+
+  for (level_t k : cycle_trace(cg.num_levels)) {
+    // Compute phase.
+    std::vector<double> start = t;
+    for (rank_t r = 0; r < nr; ++r) {
+      const auto n = cg.applies[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)];
+      if (n > 0) {
+        const double ws = static_cast<double>(n) * machine.elem_state_bytes;
+        const double c = machine.phase_overhead_seconds +
+                         static_cast<double>(n) * machine.elem_seconds(ws);
+        t[static_cast<std::size_t>(r)] += c;
+        res.rank_busy[static_cast<std::size_t>(r)] += c;
+        weighted_hits += static_cast<double>(n) * machine.cache_hit_fraction(ws);
+        total_work += static_cast<double>(n);
+      }
+    }
+    // Exchange phase: wait for the slowest relevant neighbour, then pay the
+    // wire cost for this level's interface data.
+    for (rank_t r = 0; r < nr; ++r) {
+      double ready = t[static_cast<std::size_t>(r)];
+      for (rank_t o : nbrs[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(r)])
+        ready = std::max(ready, t[static_cast<std::size_t>(o)]);
+      const double wire = machine.exchange_seconds(
+          cg.msgs_per_substep[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)],
+          cg.nodes_per_substep[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)]);
+      t_after[static_cast<std::size_t>(r)] = ready + wire;
+      res.rank_stall[static_cast<std::size_t>(r)] += (ready - t[static_cast<std::size_t>(r)]) + wire;
+      if (record_timeline)
+        res.timeline.push_back(
+            {r, k, start[static_cast<std::size_t>(r)], t[static_cast<std::size_t>(r)], ready + wire});
+    }
+    t = t_after;
+  }
+
+  res.cycle_seconds = *std::max_element(t.begin(), t.end());
+  res.advance_per_wall_second = dt / res.cycle_seconds;
+  res.cache_hit_fraction = total_work > 0 ? weighted_hits / total_work : 1.0;
+  return res;
+}
+
+} // namespace ltswave::runtime

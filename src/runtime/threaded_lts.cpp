@@ -1,0 +1,324 @@
+#include "runtime/threaded_lts.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/timer.hpp"
+
+namespace ltswave::runtime {
+
+ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
+                                     const core::LevelAssignment& levels,
+                                     const core::LtsStructure& structure,
+                                     const partition::Partition& part)
+    : op_(&op),
+      levels_(&levels),
+      structure_(&structure),
+      part_(&part),
+      nranks_(part.num_parts),
+      ncomp_(op.ncomp()),
+      dt_(levels.dt) {
+  LTS_CHECK(part.part.size() == static_cast<std::size_t>(op.space().num_elems()));
+  const auto& space = op.space();
+  ndof_ = static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
+
+  inv_mass_.resize(ndof_);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
+    for (int c = 0; c < ncomp_; ++c)
+      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] =
+          space.inv_mass()[static_cast<std::size_t>(g)];
+
+  u_.assign(ndof_, 0.0);
+  v_.assign(ndof_, 0.0);
+  scratch_.assign(ndof_, 0.0);
+  const level_t nl = levels.num_levels;
+  cumulative_.assign(nl > 1 ? ndof_ : 0, 0.0);
+  forces_.assign(static_cast<std::size_t>(std::max(0, nl - 1)), std::vector<real_t>(ndof_, 0.0));
+  vt_.assign(static_cast<std::size_t>(std::max(0, nl - 1)), std::vector<real_t>(ndof_, 0.0));
+  usave_.assign(static_cast<std::size_t>(std::max(0, nl - 1)), std::vector<real_t>(ndof_, 0.0));
+
+  build_rank_data();
+  barrier_ = std::make_unique<std::barrier<>>(nranks_);
+  busy_.assign(static_cast<std::size_t>(nranks_), 0.0);
+  stall_.assign(static_cast<std::size_t>(nranks_), 0.0);
+}
+
+void ThreadedLtsSolver::build_rank_data() {
+  const auto& space = op_->space();
+  const auto& st = *structure_;
+  const level_t nl = levels_->num_levels;
+  const int npts = space.nodes_per_elem();
+  const gindex_t nn = space.num_global_nodes();
+
+  // Global row owner: min rank among elements containing the node.
+  std::vector<rank_t> row_owner(static_cast<std::size_t>(nn), nranks_);
+  for (index_t e = 0; e < space.num_elems(); ++e) {
+    const rank_t r = part_->part[static_cast<std::size_t>(e)];
+    const gindex_t* l2g = space.elem_nodes(e);
+    for (int q = 0; q < npts; ++q) {
+      auto& o = row_owner[static_cast<std::size_t>(l2g[q])];
+      o = std::min(o, r);
+    }
+  }
+
+  ranks_.resize(static_cast<std::size_t>(nranks_));
+  for (auto& rd : ranks_) {
+    rd.eval_elems.assign(static_cast<std::size_t>(nl), {});
+    rd.private_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.solo_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.shared_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.shared_offsets.assign(static_cast<std::size_t>(nl), {});
+    rd.shared_touchers.assign(static_cast<std::size_t>(nl), {});
+    rd.update_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.private_buf.assign(ndof_, 0.0);
+    rd.workspace = std::make_unique<sem::KernelWorkspace>(op_->make_workspace());
+  }
+
+  for (level_t k = 1; k <= nl; ++k) {
+    // Split E(k) by element owner and gather per-rank private rows.
+    std::vector<std::pair<gindex_t, rank_t>> touch_pairs; // (row, rank)
+    for (index_t e : st.eval_elems[static_cast<std::size_t>(k - 1)]) {
+      const rank_t r = part_->part[static_cast<std::size_t>(e)];
+      ranks_[static_cast<std::size_t>(r)].eval_elems[static_cast<std::size_t>(k - 1)].push_back(e);
+      const gindex_t* l2g = space.elem_nodes(e);
+      for (int q = 0; q < npts; ++q) touch_pairs.emplace_back(l2g[q], r);
+    }
+    std::sort(touch_pairs.begin(), touch_pairs.end());
+    touch_pairs.erase(std::unique(touch_pairs.begin(), touch_pairs.end()), touch_pairs.end());
+
+    // Per-rank private rows (rows their own elements touch).
+    for (const auto& [g, r] : touch_pairs)
+      ranks_[static_cast<std::size_t>(r)].private_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+
+    // Reduction ownership: the minimum touching rank owns the row at this
+    // level; rows with one toucher are copies, others sum a toucher list.
+    std::size_t i = 0;
+    while (i < touch_pairs.size()) {
+      std::size_t j = i;
+      while (j < touch_pairs.size() && touch_pairs[j].first == touch_pairs[i].first) ++j;
+      const gindex_t g = touch_pairs[i].first;
+      const rank_t owner = touch_pairs[i].second; // sorted -> min rank first
+      auto& rd = ranks_[static_cast<std::size_t>(owner)];
+      if (j - i == 1) {
+        rd.solo_rows[static_cast<std::size_t>(k - 1)].emplace_back(g, touch_pairs[i].second);
+      } else {
+        auto& offs = rd.shared_offsets[static_cast<std::size_t>(k - 1)];
+        auto& tchs = rd.shared_touchers[static_cast<std::size_t>(k - 1)];
+        if (offs.empty()) offs.push_back(0);
+        rd.shared_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+        for (std::size_t p = i; p < j; ++p) tchs.push_back(touch_pairs[p].second);
+        offs.push_back(static_cast<index_t>(tchs.size()));
+      }
+      i = j;
+    }
+
+    // Row-update ownership uses the global row owner.
+    for (gindex_t g : st.update_rows[static_cast<std::size_t>(k - 1)])
+      ranks_[static_cast<std::size_t>(row_owner[static_cast<std::size_t>(g)])].update_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+    for (gindex_t g : st.recon_rows[static_cast<std::size_t>(k - 1)])
+      ranks_[static_cast<std::size_t>(row_owner[static_cast<std::size_t>(g)])].recon_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+  }
+}
+
+void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
+  LTS_CHECK(u0.size() == ndof_ && v0.size() == ndof_);
+  std::copy(u0.begin(), u0.end(), u_.begin());
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
+  for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
+  auto ws = op_->make_workspace();
+  op_->apply_add(all, u_.data(), scratch_.data(), ws);
+  for (std::size_t i = 0; i < ndof_; ++i) v_[i] = v0[i] + 0.5 * dt_ * inv_mass_[i] * scratch_[i];
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
+  if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
+  time_ = 0;
+}
+
+void ThreadedLtsSolver::sync(rank_t r) {
+  const WallTimer t;
+  barrier_->arrive_and_wait();
+  stall_[static_cast<std::size_t>(r)] += t.seconds();
+}
+
+void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
+  auto& rd = ranks_[static_cast<std::size_t>(r)];
+  const auto& st = *structure_;
+  const WallTimer timer;
+
+  // Private accumulation of this rank's share of E(k).
+  for (gindex_t g : rd.private_rows[static_cast<std::size_t>(k - 1)])
+    for (int c = 0; c < ncomp_; ++c)
+      rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+  op_->apply_add_level(rd.eval_elems[static_cast<std::size_t>(k - 1)], st.node_level.data(), k,
+                       u_.data(), rd.private_buf.data(), *rd.workspace);
+  busy_[static_cast<std::size_t>(r)] += timer.seconds();
+
+  sync(r); // all private contributions complete
+
+  // Reduction (the "MPI exchange"): owners combine contributions, scale by
+  // Minv, and refresh the frozen-force accumulators.
+  const WallTimer timer2;
+  const bool track_force = k < levels_->num_levels;
+  auto fold = [&](gindex_t g, real_t contrib, int c) {
+    const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+    const real_t fresh = inv_mass_[i] * contrib;
+    scratch_[i] = fresh;
+    if (track_force) {
+      auto& fk = forces_[static_cast<std::size_t>(k - 1)];
+      cumulative_[i] += fresh - fk[i];
+      fk[i] = fresh;
+    }
+  };
+  for (const auto& [g, toucher] : rd.solo_rows[static_cast<std::size_t>(k - 1)]) {
+    const auto& pb = ranks_[static_cast<std::size_t>(toucher)].private_buf;
+    for (int c = 0; c < ncomp_; ++c)
+      fold(g, pb[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)], c);
+  }
+  const auto& srows = rd.shared_rows[static_cast<std::size_t>(k - 1)];
+  const auto& soffs = rd.shared_offsets[static_cast<std::size_t>(k - 1)];
+  const auto& stch = rd.shared_touchers[static_cast<std::size_t>(k - 1)];
+  for (std::size_t s = 0; s < srows.size(); ++s) {
+    const gindex_t g = srows[s];
+    for (int c = 0; c < ncomp_; ++c) {
+      real_t sum = 0;
+      for (index_t t = soffs[s]; t < soffs[s + 1]; ++t)
+        sum += ranks_[static_cast<std::size_t>(stch[static_cast<std::size_t>(t)])]
+                   .private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)];
+      fold(g, sum, c);
+    }
+  }
+  busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+
+  sync(r); // scratch/cumulative consistent before row updates
+}
+
+void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
+  const level_t nl = levels_->num_levels;
+  const real_t delta = dt_ / static_cast<real_t>(level_rate(k));
+  auto& rd = ranks_[static_cast<std::size_t>(r)];
+  auto& vt = vt_[static_cast<std::size_t>(k - 2)];
+
+  for (int m = 0; m < 2; ++m) {
+    const bool first = (m == 0);
+    if (k == nl) {
+      eval_phase(r, k);
+      const WallTimer timer;
+      for (gindex_t g : rd.update_rows[static_cast<std::size_t>(k - 1)])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          const real_t F = cumulative_[i] + scratch_[i];
+          if (first)
+            vt[i] = -0.5 * delta * F;
+          else
+            vt[i] -= delta * F;
+          u_[i] += delta * vt[i];
+        }
+      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      sync(r); // updates visible before the next eval gathers u
+      continue;
+    }
+
+    eval_phase(r, k);
+    const WallTimer timer;
+    auto& save = usave_[static_cast<std::size_t>(k - 1)];
+    for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        save[i] = u_[i];
+      }
+    busy_[static_cast<std::size_t>(r)] += timer.seconds();
+    sync(r); // saves done before the child mutates u
+
+    run_level(r, k + 1);
+
+    const WallTimer timer2;
+    for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        if (first)
+          vt[i] = (u_[i] - save[i]) / delta;
+        else
+          vt[i] += 2.0 * (u_[i] - save[i]) / delta;
+        u_[i] = save[i] + delta * vt[i];
+      }
+    for (gindex_t g : rd.update_rows[static_cast<std::size_t>(k - 1)])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        const real_t F = cumulative_[i];
+        if (first)
+          vt[i] = -0.5 * delta * F;
+        else
+          vt[i] -= delta * F;
+        u_[i] += delta * vt[i];
+      }
+    busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+    sync(r);
+  }
+}
+
+void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
+  const level_t nl = levels_->num_levels;
+  auto& rd = ranks_[static_cast<std::size_t>(r)];
+
+  for (int cyc = 0; cyc < cycles; ++cyc) {
+    if (nl == 1) {
+      eval_phase(r, 1);
+      const WallTimer timer;
+      for (gindex_t g : rd.update_rows[0])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          v_[i] -= dt_ * scratch_[i];
+          u_[i] += dt_ * v_[i];
+        }
+      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      sync(r);
+      continue;
+    }
+
+    eval_phase(r, 1);
+    const WallTimer timer;
+    auto& save = usave_[0];
+    for (gindex_t g : rd.recon_rows[0])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        save[i] = u_[i];
+      }
+    busy_[static_cast<std::size_t>(r)] += timer.seconds();
+    sync(r);
+
+    run_level(r, 2);
+
+    const WallTimer timer2;
+    for (gindex_t g : rd.recon_rows[0])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
+        u_[i] = save[i] + dt_ * v_[i];
+      }
+    for (gindex_t g : rd.update_rows[0])
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        v_[i] -= dt_ * cumulative_[i];
+        u_[i] += dt_ * v_[i];
+      }
+    busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+    sync(r);
+  }
+}
+
+double ThreadedLtsSolver::run_cycles(int cycles) {
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  std::fill(stall_.begin(), stall_.end(), 0.0);
+  const WallTimer total;
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(nranks_));
+  for (rank_t r = 0; r < nranks_; ++r)
+    team.emplace_back([this, r, cycles] { thread_main(r, cycles); });
+  for (auto& th : team) th.join();
+  time_ += static_cast<real_t>(cycles) * dt_;
+  return total.seconds();
+}
+
+} // namespace ltswave::runtime

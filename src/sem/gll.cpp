@@ -1,0 +1,63 @@
+#include "sem/gll.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ltswave::sem {
+
+real_t legendre(int n, real_t x) {
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  real_t pkm1 = 1.0, pk = x;
+  for (int k = 2; k <= n; ++k) {
+    const real_t pkp1 = ((2 * k - 1) * x * pk - (k - 1) * pkm1) / k;
+    pkm1 = pk;
+    pk = pkp1;
+  }
+  return pk;
+}
+
+real_t legendre_deriv(int n, real_t x) {
+  if (n == 0) return 0.0;
+  // (1-x^2) P_n'(x) = n (P_{n-1}(x) - x P_n(x))
+  const real_t denom = 1.0 - x * x;
+  if (std::abs(denom) > 1e-12)
+    return n * (legendre(n - 1, x) - x * legendre(n, x)) / denom;
+  // endpoint limit: P_n'(±1) = ±^{n+1} n(n+1)/2
+  const real_t sign = (x > 0 || n % 2 == 1) ? 1.0 : -1.0;
+  return sign * n * (n + 1) / 2.0;
+}
+
+GllRule gll_rule(int order) {
+  LTS_CHECK_MSG(order >= 1, "GLL rule needs order >= 1");
+  const int n = order; // polynomial degree; n+1 nodes
+  GllRule rule;
+  rule.points.resize(static_cast<std::size_t>(n) + 1);
+  rule.weights.resize(static_cast<std::size_t>(n) + 1);
+
+  rule.points.front() = -1.0;
+  rule.points.back() = 1.0;
+  // Interior nodes are the roots of P_n'. Newton from Chebyshev-Lobatto
+  // initial guesses; second derivative via the Legendre ODE:
+  //   (1-x^2) P'' - 2x P' + n(n+1) P = 0  =>  P'' = (2x P' - n(n+1) P)/(1-x^2)
+  for (int i = 1; i < n; ++i) {
+    real_t x = -std::cos(M_PI * i / n);
+    for (int iter = 0; iter < 100; ++iter) {
+      const real_t f = legendre_deriv(n, x);
+      const real_t fp = (2 * x * f - n * (n + 1) * legendre(n, x)) / (1 - x * x);
+      const real_t dx = f / fp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    rule.points[static_cast<std::size_t>(i)] = x;
+  }
+
+  for (int i = 0; i <= n; ++i) {
+    const real_t p = legendre(n, rule.points[static_cast<std::size_t>(i)]);
+    rule.weights[static_cast<std::size_t>(i)] = 2.0 / (n * (n + 1) * p * p);
+  }
+  return rule;
+}
+
+} // namespace ltswave::sem

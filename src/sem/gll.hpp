@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file gll.hpp
+/// Gauss-Legendre-Lobatto (GLL) collocation points and quadrature weights.
+///
+/// The SEM (paper Sec. I-B) places nodal Lagrange basis functions at GLL
+/// points; GLL quadrature then yields a *diagonal* mass matrix, which is what
+/// makes explicit Newmark (and hence LTS-Newmark) practical.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ltswave::sem {
+
+/// Legendre polynomial P_n(x) (recurrence evaluation).
+real_t legendre(int n, real_t x);
+
+/// Derivative P_n'(x).
+real_t legendre_deriv(int n, real_t x);
+
+/// GLL points (degree = order, count = order+1) on [-1,1], ascending, and the
+/// matching quadrature weights w_i = 2 / (N(N+1) P_N(x_i)^2).
+/// Exact for polynomials of degree <= 2*order - 1.
+struct GllRule {
+  std::vector<real_t> points;
+  std::vector<real_t> weights;
+};
+
+/// Computes the GLL rule for polynomial order `order` >= 1 (order+1 nodes).
+GllRule gll_rule(int order);
+
+} // namespace ltswave::sem

@@ -1,0 +1,285 @@
+#include "sem/sem_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace ltswave::sem {
+
+namespace {
+
+struct PairHash {
+  std::size_t operator()(const std::pair<index_t, index_t>& p) const {
+    return static_cast<std::size_t>(p.first) * 0x9e3779b97f4a7c15ULL + static_cast<std::size_t>(p.second);
+  }
+};
+
+struct QuadKey {
+  std::array<index_t, 4> n; // sorted
+  bool operator==(const QuadKey& o) const { return n == o.n; }
+};
+struct QuadHash {
+  std::size_t operator()(const QuadKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (index_t v : k.n) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Canonical in-face coordinates of a face grid point.
+///
+/// The quad grid has global corner ids g = {g00, g10, g01, g11} at (u,v) in
+/// {0,1}^2 and a point at integer coords (a,b), 0..N. The canonical frame is
+/// anchored at the smallest corner id with its first axis pointing to the
+/// smaller of the two adjacent corners; both elements sharing the face compute
+/// identical canonical coordinates regardless of their local orientations
+/// (GLL points are symmetric, so flipped coordinates land on grid points).
+std::pair<int, int> canonical_face_coord(const std::array<index_t, 4>& g, int a, int b, int N) {
+  const index_t g00 = g[0], g10 = g[1], g01 = g[2], g11 = g[3];
+  index_t mn = std::min(std::min(g00, g10), std::min(g01, g11));
+  if (mn == g00) {
+    return (g10 < g01) ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  if (mn == g10) {
+    // neighbours of g10: g00 (coord N-a), g11 (coord b)
+    return (g00 < g11) ? std::make_pair(N - a, b) : std::make_pair(b, N - a);
+  }
+  if (mn == g01) {
+    // neighbours of g01: g00 (coord N-b), g11 (coord a)
+    return (g00 < g11) ? std::make_pair(N - b, a) : std::make_pair(a, N - b);
+  }
+  // mn == g11; neighbours: g01 (coord N-a), g10 (coord N-b)
+  return (g01 < g10) ? std::make_pair(N - a, N - b) : std::make_pair(N - b, N - a);
+}
+
+} // namespace
+
+SemSpace::SemSpace(const mesh::HexMesh& m, int order) : mesh_(&m), ref_(order) {
+  LTS_CHECK_MSG(m.num_elems() > 0, "empty mesh");
+  build_numbering();
+  build_geometry();
+}
+
+void SemSpace::build_numbering() {
+  const auto& m = *mesh_;
+  const int N = ref_.order();
+  const int n1 = ref_.nodes_1d();
+  const int npts = ref_.nodes_per_elem();
+  const index_t ne = m.num_elems();
+  const index_t nv = m.num_nodes();
+
+  // Entity discovery: unique edges (sorted corner pairs) and faces (sorted
+  // corner quads) with stable ids in first-seen order.
+  std::unordered_map<std::pair<index_t, index_t>, index_t, PairHash> edge_ids;
+  std::unordered_map<QuadKey, index_t, QuadHash> face_ids;
+  edge_ids.reserve(static_cast<std::size_t>(ne) * 4);
+  face_ids.reserve(static_cast<std::size_t>(ne) * 3);
+
+  auto edge_id = [&](index_t a, index_t b) -> index_t {
+    auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    auto [it, inserted] = edge_ids.try_emplace(key, static_cast<index_t>(edge_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+  auto face_id = [&](std::array<index_t, 4> q) -> index_t {
+    std::sort(q.begin(), q.end());
+    auto [it, inserted] = face_ids.try_emplace(QuadKey{q}, static_cast<index_t>(face_ids.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  // First pass: count entities so block offsets are known.
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = m.corners(e);
+    for (int base : {0, 2, 4, 6}) edge_id(c[base], c[base | 1]);     // x edges
+    for (int base : {0, 1, 4, 5}) edge_id(c[base], c[base | 2]);     // y edges
+    for (int base : {0, 1, 2, 3}) edge_id(c[base], c[base | 4]);     // z edges
+    for (const auto& fc : mesh::kFaceCorners)
+      face_id({c[fc[0]], c[fc[1]], c[fc[2]], c[fc[3]]});
+  }
+  const auto n_edges = static_cast<gindex_t>(edge_ids.size());
+  const auto n_faces = static_cast<gindex_t>(face_ids.size());
+  const int ni = N - 1; // interior nodes per direction
+
+  const gindex_t edge_base = nv;
+  const gindex_t face_base = edge_base + n_edges * ni;
+  const gindex_t cell_base = face_base + n_faces * static_cast<gindex_t>(ni) * ni;
+  num_global_ = cell_base + static_cast<gindex_t>(ne) * ni * ni * ni;
+
+  // Second pass: assign local -> global per node class.
+  local_to_global_.assign(static_cast<std::size_t>(ne) * static_cast<std::size_t>(npts), -1);
+
+  // Face (u,v) axes expressed as local (i,j,k) assignments, matching
+  // mesh::kFaceCorners ordering (see reference_element local numbering).
+  auto face_point_local = [&](int f, int a, int b) -> int {
+    switch (f) {
+      case 0: return ref_.local_index(0, a, b); // XMin: u=y, v=z
+      case 1: return ref_.local_index(N, a, b); // XMax
+      case 2: return ref_.local_index(a, 0, b); // YMin: u=x, v=z
+      case 3: return ref_.local_index(a, N, b); // YMax
+      case 4: return ref_.local_index(a, b, 0); // ZMin: u=x, v=y
+      default: return ref_.local_index(a, b, N); // ZMax
+    }
+  };
+
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = m.corners(e);
+    gindex_t* l2g = local_to_global_.data() + static_cast<std::size_t>(e) * static_cast<std::size_t>(npts);
+
+    // Vertices.
+    for (int corner = 0; corner < 8; ++corner)
+      l2g[ref_.corner_local_index(corner)] = c[corner];
+
+    // Edges: for each of the 12 edges, interior points t = 1..N-1 measured
+    // from the edge's first local corner; canonical direction is from the
+    // smaller global id.
+    auto assign_edge = [&](int c0, int c1, auto&& local_of_t) {
+      const index_t ga = c[c0], gb = c[c1];
+      const index_t id = edge_id(ga, gb);
+      for (int t = 1; t < N; ++t) {
+        const int tc = (ga < gb) ? t : N - t;
+        l2g[local_of_t(t)] = edge_base + static_cast<gindex_t>(id) * ni + (tc - 1);
+      }
+    };
+    for (int base : {0, 2, 4, 6}) { // x edges: (i varies)
+      const int j = (base & 2) ? N : 0, k = (base & 4) ? N : 0;
+      assign_edge(base, base | 1, [&](int t) { return ref_.local_index(t, j, k); });
+    }
+    for (int base : {0, 1, 4, 5}) { // y edges
+      const int i = (base & 1) ? N : 0, k = (base & 4) ? N : 0;
+      assign_edge(base, base | 2, [&](int t) { return ref_.local_index(i, t, k); });
+    }
+    for (int base : {0, 1, 2, 3}) { // z edges
+      const int i = (base & 1) ? N : 0, j = (base & 2) ? N : 0;
+      assign_edge(base, base | 4, [&](int t) { return ref_.local_index(i, j, t); });
+    }
+
+    // Faces.
+    for (int f = 0; f < mesh::kFacesPerElem; ++f) {
+      const auto& fc = mesh::kFaceCorners[static_cast<std::size_t>(f)];
+      const std::array<index_t, 4> g = {c[fc[0]], c[fc[1]], c[fc[2]], c[fc[3]]};
+      const index_t id = face_id(g);
+      for (int b = 1; b < N; ++b)
+        for (int a = 1; a < N; ++a) {
+          const auto [ca, cb] = canonical_face_coord(g, a, b, N);
+          const gindex_t off = static_cast<gindex_t>(cb - 1) * ni + (ca - 1);
+          l2g[face_point_local(f, a, b)] =
+              face_base + static_cast<gindex_t>(id) * ni * ni + off;
+        }
+    }
+
+    // Cell interiors.
+    for (int k = 1; k < N; ++k)
+      for (int j = 1; j < N; ++j)
+        for (int i = 1; i < N; ++i) {
+          const gindex_t off = (static_cast<gindex_t>(k - 1) * ni + (j - 1)) * ni + (i - 1);
+          l2g[ref_.local_index(i, j, k)] =
+              cell_base + static_cast<gindex_t>(e) * ni * ni * ni + off;
+        }
+
+    for (int q = 0; q < npts; ++q)
+      LTS_DCHECK(l2g[q] >= 0 && l2g[q] < num_global_);
+    (void)n1;
+  }
+}
+
+void SemSpace::build_geometry() {
+  const auto& m = *mesh_;
+  const int N = ref_.order();
+  const int n1 = ref_.nodes_1d();
+  const int npts = ref_.nodes_per_elem();
+  const index_t ne = m.num_elems();
+  const auto& xi = ref_.points();
+  const auto& w = ref_.weights();
+
+  coords_.assign(static_cast<std::size_t>(num_global_) * 3, 0.0);
+  jinv_.assign(static_cast<std::size_t>(ne) * npts * 9, 0.0);
+  wdet_.assign(static_cast<std::size_t>(ne) * npts, 0.0);
+  mass_.assign(static_cast<std::size_t>(num_global_), 0.0);
+
+  for (index_t e = 0; e < ne; ++e) {
+    const index_t* c = m.corners(e);
+    const gindex_t* l2g = elem_nodes(e);
+    const real_t rho = m.material(e).rho;
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j)
+        for (int i = 0; i < n1; ++i) {
+          const int q = ref_.local_index(i, j, k);
+          const real_t X = xi[static_cast<std::size_t>(i)], Y = xi[static_cast<std::size_t>(j)], Z = xi[static_cast<std::size_t>(k)];
+          // Trilinear map and its Jacobian from the 8 corners.
+          real_t pos[3] = {0, 0, 0};
+          real_t J[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+          for (int corner = 0; corner < 8; ++corner) {
+            const real_t sx = (corner & 1) ? 1.0 : -1.0;
+            const real_t sy = (corner & 2) ? 1.0 : -1.0;
+            const real_t sz = (corner & 4) ? 1.0 : -1.0;
+            const real_t fx = (1 + sx * X) / 2, fy = (1 + sy * Y) / 2, fz = (1 + sz * Z) / 2;
+            const real_t shape = fx * fy * fz;
+            const real_t dN[3] = {sx / 2 * fy * fz, fx * sy / 2 * fz, fx * fy * sz / 2};
+            const real_t* xc = m.node(c[corner]);
+            for (int d = 0; d < 3; ++d) {
+              pos[d] += shape * xc[d];
+              for (int r = 0; r < 3; ++r) J[d][r] += xc[d] * dN[r];
+            }
+          }
+          const real_t det = J[0][0] * (J[1][1] * J[2][2] - J[1][2] * J[2][1]) -
+                             J[0][1] * (J[1][0] * J[2][2] - J[1][2] * J[2][0]) +
+                             J[0][2] * (J[1][0] * J[2][1] - J[1][1] * J[2][0]);
+          LTS_CHECK_MSG(det > 0, "inverted element " << e << " at quad point " << q);
+          // inv(J): row r, col d = d xi_r / d x_d = cofactor(J)^T / det.
+          real_t* ji = jinv_.data() + (static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)) * 9;
+          ji[0 * 3 + 0] = (J[1][1] * J[2][2] - J[1][2] * J[2][1]) / det;
+          ji[0 * 3 + 1] = (J[0][2] * J[2][1] - J[0][1] * J[2][2]) / det;
+          ji[0 * 3 + 2] = (J[0][1] * J[1][2] - J[0][2] * J[1][1]) / det;
+          ji[1 * 3 + 0] = (J[1][2] * J[2][0] - J[1][0] * J[2][2]) / det;
+          ji[1 * 3 + 1] = (J[0][0] * J[2][2] - J[0][2] * J[2][0]) / det;
+          ji[1 * 3 + 2] = (J[0][2] * J[1][0] - J[0][0] * J[1][2]) / det;
+          ji[2 * 3 + 0] = (J[1][0] * J[2][1] - J[1][1] * J[2][0]) / det;
+          ji[2 * 3 + 1] = (J[0][1] * J[2][0] - J[0][0] * J[2][1]) / det;
+          ji[2 * 3 + 2] = (J[0][0] * J[1][1] - J[0][1] * J[1][0]) / det;
+
+          const real_t wq = w[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(k)];
+          wdet_[static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)] = wq * det;
+
+          const gindex_t g = l2g[q];
+          coords_[static_cast<std::size_t>(g) * 3 + 0] = pos[0];
+          coords_[static_cast<std::size_t>(g) * 3 + 1] = pos[1];
+          coords_[static_cast<std::size_t>(g) * 3 + 2] = pos[2];
+          mass_[static_cast<std::size_t>(g)] += rho * wq * det;
+        }
+  }
+  (void)N;
+
+  inv_mass_.resize(mass_.size());
+  for (std::size_t g = 0; g < mass_.size(); ++g) {
+    LTS_CHECK_MSG(mass_[g] > 0, "non-positive lumped mass at node " << g);
+    inv_mass_[g] = 1.0 / mass_[g];
+  }
+}
+
+gindex_t SemSpace::nearest_node(std::array<real_t, 3> x) const {
+  gindex_t best = 0;
+  real_t best_d = std::numeric_limits<real_t>::max();
+  for (gindex_t g = 0; g < num_global_; ++g) {
+    const std::size_t b = static_cast<std::size_t>(g) * 3;
+    const real_t dx = coords_[b] - x[0], dy = coords_[b + 1] - x[1], dz = coords_[b + 2] - x[2];
+    const real_t d = dx * dx + dy * dy + dz * dz;
+    if (d < best_d) {
+      best_d = d;
+      best = g;
+    }
+  }
+  return best;
+}
+
+real_t SemSpace::quadrature_volume() const {
+  real_t vol = 0;
+  for (real_t v : wdet_) vol += v;
+  return vol;
+}
+
+} // namespace ltswave::sem

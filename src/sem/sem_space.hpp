@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file sem_space.hpp
+/// Global spectral-element discretization of a conforming hex mesh:
+/// continuous global GLL-node numbering (vertex/edge/face/interior entities),
+/// per-quadrature-point geometric factors, and the diagonal (lumped) global
+/// mass matrix (paper Sec. I-B).
+///
+/// Unlike DG codes, the SEM *shares* nodes between neighbouring elements; this
+/// sharing is exactly what complicates LTS (paper Sec. II-C) and what the
+/// level/halo machinery in src/core handles.
+
+#include <array>
+#include <vector>
+
+#include "mesh/hex_mesh.hpp"
+#include "sem/reference_element.hpp"
+
+namespace ltswave::sem {
+
+class SemSpace {
+public:
+  /// Builds the discretization. Throws if an element's trilinear geometry is
+  /// inverted (non-positive Jacobian at a quadrature point).
+  SemSpace(const mesh::HexMesh& mesh, int order);
+
+  [[nodiscard]] const mesh::HexMesh& mesh() const noexcept { return *mesh_; }
+  [[nodiscard]] const ReferenceElement& ref() const noexcept { return ref_; }
+  [[nodiscard]] int order() const noexcept { return ref_.order(); }
+  [[nodiscard]] int nodes_per_elem() const noexcept { return ref_.nodes_per_elem(); }
+
+  [[nodiscard]] gindex_t num_global_nodes() const noexcept { return num_global_; }
+  [[nodiscard]] index_t num_elems() const noexcept { return mesh_->num_elems(); }
+
+  /// Element-local -> global node map; length nodes_per_elem().
+  [[nodiscard]] const gindex_t* elem_nodes(index_t e) const {
+    return local_to_global_.data() + static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem());
+  }
+
+  /// Physical coordinates of global node g (xyz).
+  [[nodiscard]] std::array<real_t, 3> node_coord(gindex_t g) const {
+    const std::size_t b = static_cast<std::size_t>(g) * 3;
+    return {coords_[b], coords_[b + 1], coords_[b + 2]};
+  }
+
+  /// Global node nearest to a physical point (linear scan; intended for
+  /// source/receiver placement, not inner loops).
+  [[nodiscard]] gindex_t nearest_node(std::array<real_t, 3> x) const;
+
+  /// Inverse Jacobian at quadrature point q of element e, row-major 3x3 with
+  /// entry (r,d) = d xi_r / d x_d.
+  [[nodiscard]] const real_t* jinv(index_t e, int q) const {
+    return jinv_.data() + (static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)) * 9;
+  }
+
+  /// Quadrature weight times Jacobian determinant at point q of element e.
+  [[nodiscard]] real_t wdet(index_t e, int q) const {
+    return wdet_[static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)];
+  }
+
+  /// Diagonal global mass matrix (length num_global_nodes()); strictly
+  /// positive. Shared by all field components.
+  [[nodiscard]] const std::vector<real_t>& mass() const noexcept { return mass_; }
+
+  /// 1 / mass, precomputed (used on every right-hand-side evaluation).
+  [[nodiscard]] const std::vector<real_t>& inv_mass() const noexcept { return inv_mass_; }
+
+  /// Total mesh volume as integrated by the quadrature (for sanity tests).
+  [[nodiscard]] real_t quadrature_volume() const;
+
+private:
+  void build_numbering();
+  void build_geometry();
+
+  const mesh::HexMesh* mesh_;
+  ReferenceElement ref_;
+  std::vector<gindex_t> local_to_global_;
+  gindex_t num_global_ = 0;
+  std::vector<real_t> coords_; // 3 * num_global_
+  std::vector<real_t> jinv_;   // nelem * npts * 9
+  std::vector<real_t> wdet_;   // nelem * npts
+  std::vector<real_t> mass_;
+  std::vector<real_t> inv_mass_;
+};
+
+} // namespace ltswave::sem

@@ -1,0 +1,45 @@
+#include "sem/sources.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace ltswave::sem {
+
+real_t RickerWavelet::operator()(real_t t) const noexcept {
+  const real_t a = M_PI * f0_ * (t - t0_);
+  const real_t a2 = a * a;
+  return (1 - 2 * a2) * std::exp(-a2);
+}
+
+PointSource PointSource::at(const SemSpace& space, std::array<real_t, 3> location, real_t f0,
+                            std::array<real_t, 3> direction, real_t amplitude) {
+  PointSource s;
+  s.node = space.nearest_node(location);
+  s.direction = direction;
+  s.wavelet = RickerWavelet(f0);
+  s.amplitude = amplitude;
+  return s;
+}
+
+void PointSource::accumulate(real_t t, int ncomp, real_t* rhs) const {
+  const real_t v = amplitude * wavelet(t);
+  for (int c = 0; c < ncomp; ++c)
+    rhs[static_cast<std::size_t>(node) * static_cast<std::size_t>(ncomp) + static_cast<std::size_t>(c)] += v * direction[static_cast<std::size_t>(c)];
+}
+
+Receiver::Receiver(const SemSpace& space, std::array<real_t, 3> location, int component)
+    : node_(space.nearest_node(location)), component_(component) {}
+
+void Receiver::sample(real_t t, const real_t* u, int ncomp) {
+  times_.push_back(t);
+  values_.push_back(u[static_cast<std::size_t>(node_) * static_cast<std::size_t>(ncomp) + static_cast<std::size_t>(component_)]);
+}
+
+void Receiver::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  LTS_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "time,value\n";
+  for (std::size_t i = 0; i < times_.size(); ++i) out << times_[i] << ',' << values_[i] << '\n';
+}
+
+} // namespace ltswave::sem

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file sources.hpp
+/// Seismic source time functions, point sources and receivers — the pieces a
+/// forward simulation needs around the discretized operator (paper Eq. 1
+/// right-hand side f(x_s, t)).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sem/sem_space.hpp"
+
+namespace ltswave::sem {
+
+/// Ricker wavelet (second derivative of a Gaussian), the standard synthetic
+/// seismic source time function. Peak frequency f0, delayed by t0 so the
+/// onset is effectively zero at t=0 (default t0 = 1.2/f0).
+class RickerWavelet {
+public:
+  explicit RickerWavelet(real_t f0, real_t t0 = -1.0)
+      : f0_(f0), t0_(t0 > 0 ? t0 : 1.2 / f0) {}
+
+  [[nodiscard]] real_t operator()(real_t t) const noexcept;
+  [[nodiscard]] real_t peak_frequency() const noexcept { return f0_; }
+  [[nodiscard]] real_t delay() const noexcept { return t0_; }
+
+private:
+  real_t f0_;
+  real_t t0_;
+};
+
+/// A point source: a time-dependent force applied to the global node nearest
+/// the requested location. `direction` selects the force components (for the
+/// acoustic operator only component 0 is used).
+struct PointSource {
+  gindex_t node = 0;
+  std::array<real_t, 3> direction = {0, 0, 1};
+  RickerWavelet wavelet{1.0};
+  real_t amplitude = 1.0;
+
+  static PointSource at(const SemSpace& space, std::array<real_t, 3> location, real_t f0,
+                        std::array<real_t, 3> direction = {0, 0, 1}, real_t amplitude = 1.0);
+
+  /// Adds the force at time t to an interleaved rhs array (ncomp stride).
+  void accumulate(real_t t, int ncomp, real_t* rhs) const;
+};
+
+/// Records one field component at a fixed global node every time it is
+/// sampled; used by examples to write seismograms.
+class Receiver {
+public:
+  Receiver(const SemSpace& space, std::array<real_t, 3> location, int component = 0);
+
+  void sample(real_t t, const real_t* u, int ncomp);
+
+  [[nodiscard]] const std::vector<real_t>& times() const noexcept { return times_; }
+  [[nodiscard]] const std::vector<real_t>& values() const noexcept { return values_; }
+  [[nodiscard]] gindex_t node() const noexcept { return node_; }
+
+  /// Writes "time,value" CSV.
+  void write_csv(const std::string& path) const;
+
+private:
+  gindex_t node_;
+  int component_;
+  std::vector<real_t> times_;
+  std::vector<real_t> values_;
+};
+
+} // namespace ltswave::sem

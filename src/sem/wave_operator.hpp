@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file wave_operator.hpp
+/// Matrix-free application of the SEM stiffness matrix K (paper Eq. 3):
+/// acoustic (scalar) and isotropic elastic (3-component) variants.
+///
+/// Two entry points matter for LTS:
+///  * apply_add:        out += K u over a subset of elements (all columns);
+///  * apply_add_level:  out += K P_k u — the *column-restricted* apply that
+///    reads only degrees of freedom belonging to LTS level k (paper Sec. II-C:
+///    "the action of A P u~ only contributes to nodes in P" in DG; in the SEM
+///    the columns are restricted but the rows still spread into neighbours).
+///
+/// Kernels are written against a caller-owned scratch workspace so that the
+/// same operator object can be used concurrently from many threads (one
+/// workspace per thread), which the rank-parallel executor relies on.
+
+#include <span>
+#include <vector>
+
+#include "sem/sem_space.hpp"
+
+namespace ltswave::sem {
+
+/// Scratch buffers for one concurrent kernel evaluation.
+class KernelWorkspace {
+public:
+  explicit KernelWorkspace(const SemSpace& space, int ncomp);
+
+  [[nodiscard]] real_t* buffer(int which) noexcept {
+    return buf_.data() + static_cast<std::size_t>(which) * stride_;
+  }
+
+private:
+  std::size_t stride_;
+  std::vector<real_t> buf_;
+};
+
+/// Abstract stiffness operator; `ncomp` field components per global node,
+/// fields stored interleaved (value of component c at node g is u[g*ncomp+c]).
+class WaveOperator {
+public:
+  virtual ~WaveOperator() = default;
+
+  [[nodiscard]] virtual int ncomp() const noexcept = 0;
+  [[nodiscard]] const SemSpace& space() const noexcept { return *space_; }
+
+  /// out += K u restricted to the given elements.
+  virtual void apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
+                         KernelWorkspace& ws) const = 0;
+
+  /// out += K P_level u: gathers only columns g with node_level[g] == level.
+  /// node_level has one entry per *global* node.
+  virtual void apply_add_level(std::span<const index_t> elems, const level_t* node_level,
+                               level_t level, const real_t* u, real_t* out,
+                               KernelWorkspace& ws) const = 0;
+
+  [[nodiscard]] KernelWorkspace make_workspace() const {
+    return KernelWorkspace(*space_, ncomp());
+  }
+
+protected:
+  explicit WaveOperator(const SemSpace& space) : space_(&space) {}
+
+private:
+  const SemSpace* space_;
+};
+
+/// Scalar acoustic wave: rho u_tt = div(kappa grad u), kappa = rho vp^2.
+class AcousticOperator final : public WaveOperator {
+public:
+  explicit AcousticOperator(const SemSpace& space);
+
+  [[nodiscard]] int ncomp() const noexcept override { return 1; }
+  void apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
+                 KernelWorkspace& ws) const override;
+  void apply_add_level(std::span<const index_t> elems, const level_t* node_level, level_t level,
+                       const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+
+private:
+  template <bool Masked>
+  void apply_impl(std::span<const index_t> elems, const level_t* node_level, level_t level,
+                  const real_t* u, real_t* out, KernelWorkspace& ws) const;
+
+  std::vector<real_t> kappa_; // per element
+};
+
+/// Isotropic elastic wave (paper Eq. 1-2 with isotropic C):
+/// rho u_tt = div sigma, sigma = lambda tr(eps) I + 2 mu eps.
+class ElasticOperator final : public WaveOperator {
+public:
+  explicit ElasticOperator(const SemSpace& space);
+
+  [[nodiscard]] int ncomp() const noexcept override { return 3; }
+  void apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
+                 KernelWorkspace& ws) const override;
+  void apply_add_level(std::span<const index_t> elems, const level_t* node_level, level_t level,
+                       const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+
+private:
+  template <bool Masked>
+  void apply_impl(std::span<const index_t> elems, const level_t* node_level, level_t level,
+                  const real_t* u, real_t* out, KernelWorkspace& ws) const;
+
+  std::vector<real_t> lambda_; // per element
+  std::vector<real_t> mu_;     // per element
+};
+
+} // namespace ltswave::sem

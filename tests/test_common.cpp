@@ -1,0 +1,142 @@
+// Unit tests for the common utilities: checked assertions, deterministic RNG,
+// table formatting and CSV output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace ltswave {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(LTS_CHECK(1 == 2), CheckFailure);
+  try {
+    LTS_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingIsSilent) { EXPECT_NO_THROW(LTS_CHECK(2 + 2 == 4)); }
+
+TEST(LevelRate, PowersOfTwo) {
+  EXPECT_EQ(level_rate(1), 1);
+  EXPECT_EQ(level_rate(2), 2);
+  EXPECT_EQ(level_rate(3), 4);
+  EXPECT_EQ(level_rate(6), 32);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const double r = rng.uniform_real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(99);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[static_cast<std::size_t>(rng.uniform(8))];
+  for (int h : hits) EXPECT_GT(h, 700); // ~1000 expected each
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a() != b());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Table, AlignsAndPrints) {
+  TextTable t({"name", "value", "pct"});
+  t.row().cell("alpha").cell(std::int64_t{42}).percent(12.5, 1);
+  t.row().cell("bb").cell(3.14159, 2).scientific(1.4e6, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12.5%"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("1.4e+06"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsCellWithoutRow) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), CheckFailure);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  TextTable t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), CheckFailure);
+}
+
+TEST(FormatCount, EngineeringSuffixes) {
+  EXPECT_EQ(format_count(950), "950");
+  EXPECT_EQ(format_count(2500), "2.5k");
+  EXPECT_EQ(format_count(2.5e6), "2.5M");
+  EXPECT_EQ(format_count(1.7e9), "1.7B");
+}
+
+TEST(Csv, RoundTrips) {
+  const std::string path = testing::TempDir() + "/ltswave_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.write_row(std::vector<std::string>{"1", "hello, world"});
+    w.write_row(std::vector<double>{2.5, -3.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,-3");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  const std::string path = testing::TempDir() + "/ltswave_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.write_row(std::vector<std::string>{"only-one"}), CheckFailure);
+  std::remove(path.c_str());
+}
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+} // namespace
+} // namespace ltswave

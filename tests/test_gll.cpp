@@ -1,0 +1,138 @@
+// GLL quadrature and Lagrange-basis tests: known node/weight values,
+// quadrature exactness to degree 2N-1, and exact differentiation of
+// polynomials up to degree N by the collocation derivative matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sem/gll.hpp"
+#include "sem/reference_element.hpp"
+
+namespace ltswave::sem {
+namespace {
+
+TEST(Legendre, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-15);
+  EXPECT_NEAR(legendre(3, -1.0), -1.0, 1e-15);
+  EXPECT_NEAR(legendre(4, 1.0), 1.0, 1e-15);
+}
+
+TEST(Gll, Order1IsTrapezoid) {
+  const auto r = gll_rule(1);
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points[0], -1.0);
+  EXPECT_DOUBLE_EQ(r.points[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.weights[1], 1.0);
+}
+
+TEST(Gll, Order2KnownValues) {
+  const auto r = gll_rule(2);
+  ASSERT_EQ(r.points.size(), 3u);
+  EXPECT_NEAR(r.points[1], 0.0, 1e-15);
+  EXPECT_NEAR(r.weights[0], 1.0 / 3, 1e-14);
+  EXPECT_NEAR(r.weights[1], 4.0 / 3, 1e-14);
+}
+
+TEST(Gll, Order4KnownValues) {
+  // Classic 5-point GLL rule: +-1, +-sqrt(3/7), 0.
+  const auto r = gll_rule(4);
+  ASSERT_EQ(r.points.size(), 5u);
+  EXPECT_NEAR(r.points[1], -std::sqrt(3.0 / 7.0), 1e-13);
+  EXPECT_NEAR(r.points[2], 0.0, 1e-14);
+  EXPECT_NEAR(r.weights[0], 1.0 / 10, 1e-13);
+  EXPECT_NEAR(r.weights[1], 49.0 / 90, 1e-13);
+  EXPECT_NEAR(r.weights[2], 32.0 / 45, 1e-13);
+}
+
+class GllOrder : public testing::TestWithParam<int> {};
+
+TEST_P(GllOrder, PointsSortedSymmetricInUnitInterval) {
+  const int n = GetParam();
+  const auto r = gll_rule(n);
+  ASSERT_EQ(r.points.size(), static_cast<std::size_t>(n + 1));
+  for (std::size_t i = 1; i < r.points.size(); ++i) EXPECT_LT(r.points[i - 1], r.points[i]);
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    EXPECT_NEAR(r.points[i], -r.points[r.points.size() - 1 - i], 1e-13);
+    EXPECT_NEAR(r.weights[i], r.weights[r.points.size() - 1 - i], 1e-13);
+    EXPECT_GT(r.weights[i], 0.0);
+  }
+}
+
+TEST_P(GllOrder, WeightsSumToTwo) {
+  const auto r = gll_rule(GetParam());
+  real_t s = 0;
+  for (real_t w : r.weights) s += w;
+  EXPECT_NEAR(s, 2.0, 1e-13);
+}
+
+TEST_P(GllOrder, QuadratureExactToDegree2Nminus1) {
+  const int n = GetParam();
+  const auto r = gll_rule(n);
+  for (int deg = 0; deg <= 2 * n - 1; ++deg) {
+    real_t q = 0;
+    for (std::size_t i = 0; i < r.points.size(); ++i)
+      q += r.weights[i] * std::pow(r.points[i], deg);
+    const real_t exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(q, exact, 1e-12) << "order " << n << " degree " << deg;
+  }
+}
+
+TEST_P(GllOrder, DerivativeMatrixExactForPolynomials) {
+  const int n = GetParam();
+  ReferenceElement ref(n);
+  const auto& x = ref.points();
+  for (int deg = 0; deg <= n; ++deg) {
+    for (int i = 0; i <= n; ++i) {
+      real_t d = 0;
+      for (int j = 0; j <= n; ++j) d += ref.deriv(i, j) * std::pow(x[static_cast<std::size_t>(j)], deg);
+      const real_t exact = deg == 0 ? 0.0 : deg * std::pow(x[static_cast<std::size_t>(i)], deg - 1);
+      EXPECT_NEAR(d, exact, 1e-10 * std::max(1.0, std::abs(exact)))
+          << "order " << n << " deg " << deg << " row " << i;
+    }
+  }
+}
+
+TEST_P(GllOrder, DerivativeRowsSumToZero) {
+  // d/dx of the constant function is zero: rows of D sum to 0.
+  ReferenceElement ref(GetParam());
+  for (int i = 0; i <= GetParam(); ++i) {
+    real_t s = 0;
+    for (int j = 0; j <= GetParam(); ++j) s += ref.deriv(i, j);
+    EXPECT_NEAR(s, 0.0, 1e-11);
+  }
+}
+
+TEST_P(GllOrder, LagrangeBasisIsNodal) {
+  ReferenceElement ref(GetParam());
+  const auto& x = ref.points();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto l = ref.lagrange_at(x[i]);
+    for (std::size_t j = 0; j < l.size(); ++j)
+      EXPECT_NEAR(l[j], i == j ? 1.0 : 0.0, 1e-12);
+  }
+  // Partition of unity off the nodes.
+  const auto l = ref.lagrange_at(0.1234);
+  real_t s = 0;
+  for (real_t v : l) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GllOrder, testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(ReferenceElement, LocalIndexingAndCorners) {
+  ReferenceElement ref(4);
+  EXPECT_EQ(ref.nodes_per_elem(), 125);
+  EXPECT_EQ(ref.local_index(0, 0, 0), 0);
+  EXPECT_EQ(ref.local_index(4, 4, 4), 124);
+  EXPECT_EQ(ref.corner_local_index(0), 0);
+  EXPECT_EQ(ref.corner_local_index(1), 4);
+  EXPECT_EQ(ref.corner_local_index(2), ref.local_index(0, 4, 0));
+  EXPECT_EQ(ref.corner_local_index(7), 124);
+}
+
+} // namespace
+} // namespace ltswave::sem

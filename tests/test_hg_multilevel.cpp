@@ -1,0 +1,110 @@
+// Multilevel hypergraph partitioner tests: connectivity cut (Eq. 20) quality,
+// balance with the final_imbal knob, and agreement between the hypergraph cut
+// size and the independently computed per-cycle communication volume.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builders.hpp"
+#include "mesh/generators.hpp"
+#include "partition/hg_multilevel.hpp"
+#include "partition/partition.hpp"
+
+namespace ltswave::partition {
+namespace {
+
+/// Level assignment straight from the CFL ratios (avoids the SEM stack).
+std::pair<std::vector<level_t>, level_t> cfl_levels(const mesh::HexMesh& m) {
+  real_t dtmax = 0;
+  for (index_t e = 0; e < m.num_elems(); ++e) dtmax = std::max(dtmax, m.cfl_dt(e, 0.3));
+  std::vector<level_t> lv(static_cast<std::size_t>(m.num_elems()));
+  level_t nl = 1;
+  for (index_t e = 0; e < m.num_elems(); ++e) {
+    const real_t ratio = dtmax / m.cfl_dt(e, 0.3);
+    const level_t k =
+        ratio <= 1 + 1e-12 ? 1 : 1 + static_cast<level_t>(std::ceil(std::log2(ratio) - 1e-12));
+    lv[static_cast<std::size_t>(e)] = k;
+    nl = std::max(nl, k);
+  }
+  return {lv, nl};
+}
+
+TEST(HgBisect, BalancedOnUniformMesh) {
+  const auto m = mesh::make_uniform_box(8, 8, 4);
+  std::vector<level_t> lv(static_cast<std::size_t>(m.num_elems()), 1);
+  const auto h = graph::build_lts_hypergraph(m, lv, 1);
+  MultilevelConfig cfg;
+  const auto side = hg_multilevel_bisect(h, 0.5, cfg);
+  index_t n0 = 0;
+  for (auto s : side) n0 += (s == 0);
+  EXPECT_NEAR(n0, 128, 128 * cfg.eps + 2);
+}
+
+TEST(HgBisect, DeterministicBySeed) {
+  const auto m = mesh::make_uniform_box(6, 6, 3);
+  std::vector<level_t> lv(static_cast<std::size_t>(m.num_elems()), 1);
+  const auto h = graph::build_lts_hypergraph(m, lv, 1);
+  MultilevelConfig cfg;
+  cfg.seed = 4242;
+  EXPECT_EQ(hg_multilevel_bisect(h, 0.5, cfg), hg_multilevel_bisect(h, 0.5, cfg));
+}
+
+class HgKway : public testing::TestWithParam<rank_t> {};
+
+TEST_P(HgKway, ValidBalancedAndCutMatchesCommVolume) {
+  const rank_t k = GetParam();
+  const auto m = mesh::make_trench_mesh({.n = 10, .nz = 6, .squeeze = 4.0,
+                                         .trench_halfwidth = 0.08, .depth_power = 2.0, .mat = {}});
+  const auto [lv, nl] = cfl_levels(m);
+
+  const auto h = graph::build_lts_hypergraph(m, lv, nl);
+  MultilevelConfig cfg;
+  cfg.eps = 0.05;
+  const auto p = hg_recursive_bisection(h, k, cfg);
+  p.validate();
+
+  // Hypergraph cut (Eq. 20 with merged costs) == independently counted
+  // per-cycle MPI volume.
+  const auto cut = graph::hypergraph_cutsize(h, p.part);
+  const auto vol = comm_volume_per_cycle(m, lv, p);
+  EXPECT_EQ(cut, vol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, HgKway, testing::Values(2, 4, 8));
+
+TEST(HgKway, TighterImbalanceDoesNotWorsenBalance) {
+  const auto m = mesh::make_trench_mesh({.n = 12, .nz = 8, .squeeze = 8.0,
+                                         .trench_halfwidth = 0.06, .depth_power = 2.0, .mat = {}});
+  const auto [lv, nl] = cfl_levels(m);
+  const auto h = graph::build_lts_hypergraph(m, lv, nl);
+
+  auto imbalance_of = [&, &lv = lv, &nl = nl](double eps) {
+    MultilevelConfig cfg;
+    cfg.eps = eps;
+    Partition p = hg_recursive_bisection(h, 8, cfg);
+    PartitionMetrics mtr = compute_metrics(m, lv, nl, p);
+    return mtr.total_imbalance_pct;
+  };
+  const double loose = imbalance_of(0.10);
+  const double tight = imbalance_of(0.01);
+  EXPECT_LE(tight, loose + 3.0);
+  EXPECT_LE(tight, 20.0);
+}
+
+TEST(HgKway, CutGrowsSublinearlyWithParts) {
+  const auto m = mesh::make_uniform_box(8, 8, 8);
+  std::vector<level_t> lv(static_cast<std::size_t>(m.num_elems()), 1);
+  const auto h = graph::build_lts_hypergraph(m, lv, 1);
+  MultilevelConfig cfg;
+  const auto p2 = hg_recursive_bisection(h, 2, cfg);
+  const auto p8 = hg_recursive_bisection(h, 8, cfg);
+  const auto c2 = graph::hypergraph_cutsize(h, p2.part);
+  const auto c8 = graph::hypergraph_cutsize(h, p8.part);
+  EXPECT_GT(c8, c2);
+  EXPECT_LT(c8, 8 * c2);
+}
+
+} // namespace
+} // namespace ltswave::partition

@@ -1,0 +1,170 @@
+// Explicit-Newmark tests: second-order convergence in time against an exact
+// standing-wave solution, CFL stability threshold behaviour, and discrete
+// energy conservation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy.hpp"
+#include "core/newmark.hpp"
+#include "mesh/generators.hpp"
+
+namespace ltswave::core {
+namespace {
+
+/// Acoustic standing wave in the unit cube with natural (free-surface)
+/// boundaries: u(x,t) = cos(pi x) cos(pi y) cos(pi z) cos(omega t),
+/// omega = vp * pi * sqrt(3).
+struct StandingWave {
+  real_t vp = 1.0;
+  [[nodiscard]] real_t omega() const { return vp * M_PI * std::sqrt(3.0); }
+  [[nodiscard]] real_t eval(const std::array<real_t, 3>& x, real_t t) const {
+    return std::cos(M_PI * x[0]) * std::cos(M_PI * x[1]) * std::cos(M_PI * x[2]) *
+           std::cos(omega() * t);
+  }
+  [[nodiscard]] real_t eval_dt(const std::array<real_t, 3>& x, real_t t) const {
+    return -omega() * std::cos(M_PI * x[0]) * std::cos(M_PI * x[1]) * std::cos(M_PI * x[2]) *
+           std::sin(omega() * t);
+  }
+};
+
+real_t run_and_measure_error(const sem::SemSpace& space, const sem::AcousticOperator& op,
+                             real_t dt, real_t t_end) {
+  StandingWave wave;
+  NewmarkSolver solver(op, dt);
+  const std::size_t n = static_cast<std::size_t>(space.num_global_nodes());
+  std::vector<real_t> u0(n), v0(n);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g) {
+    u0[static_cast<std::size_t>(g)] = wave.eval(space.node_coord(g), 0.0);
+    v0[static_cast<std::size_t>(g)] = wave.eval_dt(space.node_coord(g), 0.0);
+  }
+  solver.set_state(u0, v0);
+  const auto steps = static_cast<std::int64_t>(std::round(t_end / dt));
+  for (std::int64_t s = 0; s < steps; ++s) solver.step();
+
+  // Mass-weighted L2 error at t_end.
+  real_t err2 = 0, norm2 = 0;
+  const real_t t = solver.time();
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g) {
+    const real_t exact = wave.eval(space.node_coord(g), t);
+    const real_t diff = solver.u()[static_cast<std::size_t>(g)] - exact;
+    const real_t mg = space.mass()[static_cast<std::size_t>(g)];
+    err2 += mg * diff * diff;
+    norm2 += mg * exact * exact;
+  }
+  return std::sqrt(err2 / std::max(norm2, real_t(1e-30)));
+}
+
+TEST(Newmark, SecondOrderConvergenceInTime) {
+  // High spatial order so the time error dominates.
+  const auto m = mesh::make_uniform_box(3, 3, 3);
+  sem::SemSpace space(m, 6);
+  sem::AcousticOperator op(space);
+
+  const real_t t_end = 0.5;
+  const real_t dt0 = 2e-3;
+  const real_t e1 = run_and_measure_error(space, op, dt0, t_end);
+  const real_t e2 = run_and_measure_error(space, op, dt0 / 2, t_end);
+  const real_t e4 = run_and_measure_error(space, op, dt0 / 4, t_end);
+  const real_t rate12 = std::log2(e1 / e2);
+  const real_t rate24 = std::log2(e2 / e4);
+  EXPECT_GT(rate12, 1.7) << "e1=" << e1 << " e2=" << e2;
+  EXPECT_GT(rate24, 1.7) << "e2=" << e2 << " e4=" << e4;
+  EXPECT_LT(e4, 1e-3);
+}
+
+TEST(Newmark, EnergyConservedBelowCfl) {
+  const auto m = mesh::make_uniform_box(3, 3, 3);
+  sem::SemSpace space(m, 4);
+  sem::AcousticOperator op(space);
+  StandingWave wave;
+
+  const real_t dt = 2e-3;
+  NewmarkSolver solver(op, dt);
+  const std::size_t n = static_cast<std::size_t>(space.num_global_nodes());
+  std::vector<real_t> u0(n), v0(n);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g) {
+    u0[static_cast<std::size_t>(g)] = wave.eval(space.node_coord(g), 0.0);
+    v0[static_cast<std::size_t>(g)] = wave.eval_dt(space.node_coord(g), 0.0);
+  }
+  solver.set_state(u0, v0);
+
+  real_t e_first = 0;
+  std::vector<real_t> u_prev;
+  for (int s = 0; s < 500; ++s) {
+    u_prev = solver.u();
+    solver.step();
+    const real_t e = staggered_energy(op, u_prev, solver.u(), solver.v_half());
+    if (s == 0) e_first = e;
+    ASSERT_GT(e, 0);
+    EXPECT_NEAR(e, e_first, 1e-9 * e_first) << "step " << s;
+  }
+}
+
+TEST(Newmark, UnstableAboveCfl) {
+  const auto m = mesh::make_uniform_box(4, 4, 4);
+  sem::SemSpace space(m, 4);
+  sem::AcousticOperator op(space);
+  StandingWave wave;
+
+  // Far above any plausible CFL limit for this mesh (h=0.25, vp=1).
+  const real_t dt = 0.2;
+  NewmarkSolver solver(op, dt);
+  const std::size_t n = static_cast<std::size_t>(space.num_global_nodes());
+  std::vector<real_t> u0(n), v0(n, 0.0);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
+    u0[static_cast<std::size_t>(g)] = wave.eval(space.node_coord(g), 0.0);
+  solver.set_state(u0, v0);
+  for (int s = 0; s < 50; ++s) solver.step();
+  real_t umax = 0;
+  for (real_t v : solver.u()) umax = std::max(umax, std::abs(v));
+  EXPECT_GT(umax, 1e3); // blow-up
+}
+
+TEST(Newmark, PointSourceProducesCausalResponse) {
+  mesh::Material mat; // vp = 1
+  const auto m = mesh::make_uniform_box(6, 6, 6, {1, 1, 1}, mat);
+  sem::SemSpace space(m, 3);
+  sem::AcousticOperator op(space);
+  NewmarkSolver solver(op, 5e-4);
+  solver.add_source(sem::PointSource::at(space, {0.5, 0.5, 0.5}, /*f0=*/8.0, {1, 0, 0}, 100.0));
+
+  const gindex_t near = space.nearest_node({0.55, 0.5, 0.5});
+  const gindex_t far = space.nearest_node({0.0, 0.0, 0.0});
+
+  // After a short time, the wave has reached the near receiver but not the
+  // far corner (distance ~0.87 / vp=1).
+  const real_t t_probe = 0.25;
+  while (solver.time() < t_probe) solver.step();
+  EXPECT_GT(std::abs(solver.u()[static_cast<std::size_t>(near)]), 1e-8);
+  EXPECT_LT(std::abs(solver.u()[static_cast<std::size_t>(far)]),
+            1e-3 * std::abs(solver.u()[static_cast<std::size_t>(near)]));
+}
+
+TEST(Newmark, FixedNodesStayFixed) {
+  const auto m = mesh::make_uniform_box(3, 3, 3);
+  sem::SemSpace space(m, 3);
+  sem::AcousticOperator op(space);
+  NewmarkSolver solver(op, 1e-3);
+
+  // Fix the whole z=0 plane, start from a nonzero field.
+  std::vector<gindex_t> fixed;
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
+    if (space.node_coord(g)[2] < 1e-9) fixed.push_back(g);
+  ASSERT_FALSE(fixed.empty());
+  solver.set_fixed_nodes(fixed);
+
+  std::vector<real_t> u0(static_cast<std::size_t>(space.num_global_nodes()));
+  std::vector<real_t> v0(u0.size(), 0.0);
+  for (gindex_t g = 0; g < space.num_global_nodes(); ++g) {
+    const auto x = space.node_coord(g);
+    u0[static_cast<std::size_t>(g)] = std::sin(M_PI * x[2]); // zero on the fixed plane
+  }
+  solver.set_state(u0, v0);
+  for (int s = 0; s < 100; ++s) solver.step();
+  for (gindex_t g : fixed) EXPECT_EQ(solver.u()[static_cast<std::size_t>(g)], 0.0);
+}
+
+} // namespace
+} // namespace ltswave::core

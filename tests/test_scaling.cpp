@@ -1,0 +1,121 @@
+// Perf-layer tests: the scaling-experiment driver's normalization contract,
+// the qualitative orderings the paper's figures rely on, and the machine
+// calibration helper.
+
+#include <gtest/gtest.h>
+
+#include "mesh/generators.hpp"
+#include "perf/calibrate.hpp"
+#include "perf/scaling.hpp"
+
+namespace ltswave::perf {
+namespace {
+
+mesh::HexMesh small_trench() {
+  // Large enough that per-rank element counts keep sync/halo overheads from
+  // swamping the LTS advantage at the node counts used below.
+  return mesh::make_trench_mesh({.n = 24, .nz = 16, .squeeze = 8.0, .trench_halfwidth = 0.06,
+                                 .depth_power = 2.0, .mat = {}});
+}
+
+TEST(Scaling, BaselineNormalizesToOne) {
+  const auto m = small_trench();
+  ScalingExperiment exp;
+  exp.mesh = &m;
+  exp.node_counts = {1, 2};
+  const auto res = run_scaling(exp, {});
+  ASSERT_EQ(res.non_lts.points.size(), 2u);
+  EXPECT_NEAR(res.non_lts.points[0].normalized, 1.0, 1e-9);
+  // Scaling up cannot slow the simulated machine down on this mesh.
+  EXPECT_GT(res.non_lts.points[1].normalized, 1.0);
+}
+
+TEST(Scaling, LtsOutperformsNonLtsAndIdealBounds) {
+  const auto m = small_trench();
+  ScalingExperiment exp;
+  exp.mesh = &m;
+  exp.node_counts = {1, 2, 4};
+
+  std::vector<StrategySpec> specs;
+  StrategySpec sp;
+  sp.label = "SCOTCH-P";
+  sp.cfg.strategy = partition::Strategy::ScotchP;
+  specs.push_back(sp);
+
+  const auto res = run_scaling(exp, specs);
+  ASSERT_EQ(res.strategies.size(), 1u);
+  EXPECT_GT(res.theoretical_speedup, 2.0);
+  for (std::size_t i = 0; i < exp.node_counts.size(); ++i) {
+    const double lts = res.strategies[0].points[i].normalized;
+    const double non = res.non_lts.points[i].normalized;
+    EXPECT_GT(lts, 1.2 * non) << "point " << i;
+    // The ideal curve bounds measured LTS performance (within model noise).
+    EXPECT_LT(lts, res.lts_ideal[i] * 1.05) << "point " << i;
+  }
+}
+
+TEST(Scaling, BaselinePartitionImbalanceShowsUp) {
+  // The SCOTCH baseline (total-work weighting only) must lose to SCOTCH-P on
+  // a multi-level mesh — the paper's central claim.
+  const auto m = small_trench();
+  ScalingExperiment exp;
+  exp.mesh = &m;
+  exp.node_counts = {4};
+
+  std::vector<StrategySpec> specs(2);
+  specs[0].label = "SCOTCH";
+  specs[0].cfg.strategy = partition::Strategy::Scotch;
+  specs[1].label = "SCOTCH-P";
+  specs[1].cfg.strategy = partition::Strategy::ScotchP;
+
+  const auto res = run_scaling(exp, specs);
+  const double scotch = res.strategies[0].points[0].normalized;
+  const double scotchp = res.strategies[1].points[0].normalized;
+  EXPECT_GT(scotchp, scotch);
+  // And the stall fraction diagnosis points at the imbalance.
+  EXPECT_GT(res.strategies[0].points[0].max_stall_fraction,
+            res.strategies[1].points[0].max_stall_fraction);
+}
+
+TEST(Scaling, GpuModelLosesLtsEfficiencyAtScale) {
+  const auto m = small_trench();
+  ScalingExperiment exp;
+  exp.mesh = &m;
+  exp.node_counts = {2, 16};
+  exp.ranks_per_node = runtime::kGpuRanksPerNode;
+  exp.machine = runtime::gpu_rank_model();
+
+  std::vector<StrategySpec> specs(1);
+  specs[0].label = "SCOTCH-P";
+  specs[0].cfg.strategy = partition::Strategy::ScotchP;
+
+  const auto res = run_scaling(exp, specs);
+  // LTS efficiency = measured / ideal; must decay as fine levels shrink per
+  // rank (kernel launch overhead dominates), the paper's GPU observation.
+  const double eff_small = res.strategies[0].points[0].normalized / res.lts_ideal[0];
+  const double eff_large = res.strategies[0].points[1].normalized / res.lts_ideal[1];
+  EXPECT_LT(eff_large, eff_small);
+}
+
+TEST(Scaling, CacheHitRisesWithNodeCount) {
+  const auto m = small_trench();
+  ScalingExperiment exp;
+  exp.mesh = &m;
+  exp.node_counts = {1, 8};
+  const auto res = run_scaling(exp, {});
+  EXPECT_GE(res.non_lts.points[1].cache_hit, res.non_lts.points[0].cache_hit);
+}
+
+TEST(Calibrate, MeasuresPositiveKernelCost) {
+  const auto m = mesh::make_uniform_box(4, 4, 4);
+  sem::SemSpace space(m, 4);
+  sem::AcousticOperator op(space);
+  const double t = measure_elem_apply_seconds(op, 3);
+  EXPECT_GT(t, 1e-9);
+  EXPECT_LT(t, 1e-2);
+  const auto model = calibrated_cpu_model(op);
+  EXPECT_GT(model.elem_flop_seconds, 0);
+}
+
+} // namespace
+} // namespace ltswave::perf

