@@ -4,24 +4,41 @@
 // K = 16/32/64 parts of the trench mesh.
 
 #include <iostream>
+#include <numeric>
 
 #include "common/table.hpp"
 #include "paper_meshes.hpp"
+#include "partition/participation.hpp"
 #include "partition/partitioners.hpp"
+#include "runtime/threaded_lts.hpp"
 
 using namespace ltswave;
 using partition::PartitionerConfig;
 using partition::Strategy;
 
 namespace {
-double imbalance_for(const bench::PaperMesh& pm, Strategy s, rank_t k, double eps) {
+partition::Partition partition_for(const bench::PaperMesh& pm, Strategy s, rank_t k, double eps) {
   PartitionerConfig cfg;
   cfg.strategy = s;
   cfg.num_parts = k;
   cfg.imbalance = eps;
-  const auto p = partition::partition_mesh(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, cfg);
+  return partition::partition_mesh(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, cfg);
+}
+
+double imbalance_of(const bench::PaperMesh& pm, const partition::Partition& p) {
   return partition::compute_metrics(pm.mesh, pm.levels.elem_level, pm.levels.num_levels, p)
       .total_imbalance_pct;
+}
+
+/// "a/b/c" per-level active rank counts of a partition.
+std::string active_ranks_of(const bench::PaperMesh& pm, const partition::Partition& p) {
+  const auto ps = partition::compute_participation(pm.levels.elem_level, pm.levels.num_levels, p);
+  std::string out;
+  for (level_t l = 1; l <= ps.num_levels; ++l) {
+    if (l > 1) out += "/";
+    out += std::to_string(ps.active_ranks[static_cast<std::size_t>(l - 1)]);
+  }
+  return out;
 }
 } // namespace
 
@@ -34,17 +51,65 @@ int main() {
             << "PaToH 0.01 2/5/7%,  SCOTCH-P 6/6/7%  (K = 16/32/64).\n\n";
 
   TextTable t({"# of parts", "MeTiS", "PaToH 0.05", "PaToH 0.01", "SCOTCH-P"});
+  // Per-level participation rides along on the same partitions: how many of
+  // the K ranks own elements of each level. Levels concentrated on few ranks
+  // leave the rest stalled at every substep of that level (or, under the
+  // level-aware scheduler, sleeping through it — and under stealing, helping).
+  TextTable pt({"# of parts", "MeTiS", "PaToH 0.05", "PaToH 0.01", "SCOTCH-P"});
   for (rank_t k : {16, 32, 64}) {
+    const auto metis = partition_for(pm, Strategy::Metis, k, 0.05);
+    const auto patoh5 = partition_for(pm, Strategy::Patoh, k, 0.05);
+    const auto patoh1 = partition_for(pm, Strategy::Patoh, k, 0.01);
+    const auto scotchp = partition_for(pm, Strategy::ScotchP, k, 0.05);
     t.row()
         .cell(static_cast<std::int64_t>(k))
-        .percent(imbalance_for(pm, Strategy::Metis, k, 0.05), 0)
-        .percent(imbalance_for(pm, Strategy::Patoh, k, 0.05), 0)
-        .percent(imbalance_for(pm, Strategy::Patoh, k, 0.01), 0)
-        .percent(imbalance_for(pm, Strategy::ScotchP, k, 0.05), 0);
+        .percent(imbalance_of(pm, metis), 0)
+        .percent(imbalance_of(pm, patoh5), 0)
+        .percent(imbalance_of(pm, patoh1), 0)
+        .percent(imbalance_of(pm, scotchp), 0);
+    pt.row()
+        .cell(static_cast<std::int64_t>(k))
+        .cell(active_ranks_of(pm, metis))
+        .cell(active_ranks_of(pm, patoh5))
+        .cell(active_ranks_of(pm, patoh1))
+        .cell(active_ranks_of(pm, scotchp));
   }
   t.print(std::cout);
 
   std::cout << "\nShape check vs paper: MeTiS-like multi-constraint degrades sharply with K;\n"
                "PaToH 0.01 and SCOTCH-P stay in single digits; PaToH 0.05 sits between.\n";
+
+  print_section(std::cout, "Per-level active ranks (level 1/2/.../N) — participation export");
+  pt.print(std::cout);
+
+  // Wall-clock cross-check on a reduced trench: the scheduler modes of the
+  // threaded executor on the imbalanced mesh at 4 ranks. Stealing should
+  // report the lowest total stall seconds.
+  print_section(std::cout, "Threaded executor total stall on the trench mesh (4 ranks, 6 cycles)");
+  const auto small = bench::make_paper_trench(16);
+  sem::SemSpace space(small.mesh, 3);
+  sem::AcousticOperator op(space);
+  const auto st = core::build_lts_structure(space, small.levels);
+  std::vector<real_t> u0(static_cast<std::size_t>(space.num_global_nodes()), 1.0);
+  const std::vector<real_t> v0(u0.size(), 0.0);
+  const auto part = partition_for(small, Strategy::Scotch, 4, 0.05);
+  TextTable tt({"scheduler", "wall ms/cycle", "stall s", "steals"});
+  for (const runtime::SchedulerMode mode : runtime::kAllSchedulerModes) {
+    runtime::SchedulerConfig scfg;
+    scfg.mode = mode;
+    scfg.oversubscribe = runtime::Oversubscribe::Warn;
+    runtime::ThreadedLtsSolver solver(op, small.levels, st, part, scfg);
+    solver.set_state(u0, v0);
+    solver.run_cycles(2);
+    solver.reset_counters();
+    const double wall = solver.run_cycles(6) / 6;
+    tt.row()
+        .cell(to_string(mode))
+        .cell(wall * 1e3, 2)
+        .cell(std::accumulate(solver.stall_seconds().begin(), solver.stall_seconds().end(), 0.0), 3)
+        .cell(std::accumulate(solver.steal_counts().begin(), solver.steal_counts().end(),
+                              std::int64_t{0}));
+  }
+  tt.print(std::cout);
   return 0;
 }

@@ -10,7 +10,13 @@
 #include <optional>
 
 #include "core/lts_newmark.hpp"
+#include "partition/partitioners.hpp"
+#include "runtime/scheduler.hpp"
 #include "sem/sources.hpp"
+
+namespace ltswave::runtime {
+class ThreadedLtsSolver;
+}
 
 namespace ltswave::core {
 
@@ -22,11 +28,21 @@ struct SimulationConfig {
   real_t courant = 0.12;       ///< CFL constant C_cfl of Eq. 7 (relative to min edge)
   bool use_lts = true;         ///< false -> global Newmark at Delta-t_min
   level_t max_levels = 12;
+  /// Rank-parallel shared-memory execution: 0 or 1 runs the serial solvers;
+  /// > 1 partitions the mesh and runs the threaded LTS executor on that many
+  /// ranks under `scheduler` (barrier-all / level-aware / level-aware+steal).
+  rank_t num_ranks = 0;
+  runtime::SchedulerConfig scheduler{};
+  partition::Strategy partitioner = partition::Strategy::ScotchP;
 };
 
 class WaveSimulation {
 public:
-  WaveSimulation(const mesh::HexMesh& mesh, SimulationConfig cfg = {});
+  /// Takes the mesh by value: the facade owns its whole stack (the SEM space
+  /// keeps pointers into the mesh, so borrowing a caller temporary would
+  /// dangle). Pass std::move(mesh) to avoid the copy.
+  explicit WaveSimulation(mesh::HexMesh mesh, SimulationConfig cfg = {});
+  ~WaveSimulation();
 
   [[nodiscard]] const sem::SemSpace& space() const noexcept { return *space_; }
   [[nodiscard]] const sem::WaveOperator& op() const noexcept { return *op_; }
@@ -57,14 +73,30 @@ public:
   /// Theoretical LTS speedup of this mesh/config (Eq. 9).
   [[nodiscard]] double theoretical_speedup() const { return core::theoretical_speedup(levels_); }
 
+  /// The rank-parallel executor when num_ranks > 1, else nullptr. Exposes
+  /// scheduler mode, per-rank busy/stall/steal counters, and per-level
+  /// participation to benches and examples.
+  [[nodiscard]] const runtime::ThreadedLtsSolver* threaded() const noexcept {
+    return threaded_solver_.get();
+  }
+  [[nodiscard]] runtime::ThreadedLtsSolver* threaded() noexcept { return threaded_solver_.get(); }
+
+  /// The mesh partition driving the threaded executor (empty when serial).
+  [[nodiscard]] const partition::Partition& part() const noexcept { return part_; }
+
+  [[nodiscard]] const mesh::HexMesh& mesh() const noexcept { return mesh_; }
+
 private:
   SimulationConfig cfg_;
+  mesh::HexMesh mesh_;
   std::unique_ptr<sem::SemSpace> space_;
   std::unique_ptr<sem::WaveOperator> op_;
   LevelAssignment levels_;
   LtsStructure structure_;
+  partition::Partition part_;
   std::unique_ptr<LtsNewmarkSolver> lts_solver_;
   std::unique_ptr<NewmarkSolver> newmark_solver_;
+  std::unique_ptr<runtime::ThreadedLtsSolver> threaded_solver_;
   std::vector<sem::Receiver> receivers_;
 };
 

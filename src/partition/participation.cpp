@@ -1,0 +1,51 @@
+#include "partition/participation.hpp"
+
+#include "common/check.hpp"
+
+namespace ltswave::partition {
+
+bool Participation::all_active_everywhere() const {
+  for (level_t k = 1; k <= num_levels; ++k)
+    if (active_ranks[static_cast<std::size_t>(k - 1)] != num_parts) return false;
+  return true;
+}
+
+Participation compute_participation(std::span<const level_t> elem_level, level_t num_levels,
+                                    const Partition& p) {
+  LTS_CHECK(elem_level.size() == p.part.size());
+  LTS_CHECK(num_levels >= 1 && p.num_parts >= 1);
+
+  Participation out;
+  out.num_parts = p.num_parts;
+  out.num_levels = num_levels;
+  const auto nr = static_cast<std::size_t>(p.num_parts);
+  const auto nl = static_cast<std::size_t>(num_levels);
+  out.counts.assign(nr, std::vector<index_t>(nl, 0));
+  out.active.assign(nr, std::vector<std::uint8_t>(nl, 0));
+  out.at_or_finer.assign(nr, std::vector<std::uint8_t>(nl, 0));
+  out.active_ranks.assign(nl, 0);
+
+  for (std::size_t e = 0; e < p.part.size(); ++e) {
+    const level_t k = elem_level[e];
+    LTS_CHECK_MSG(k >= 1 && k <= num_levels, "element level " << k << " out of range");
+    ++out.counts[static_cast<std::size_t>(p.part[e])][static_cast<std::size_t>(k - 1)];
+  }
+
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t k = 0; k < nl; ++k) {
+      if (out.counts[r][k] > 0) {
+        out.active[r][k] = 1;
+        ++out.active_ranks[k];
+      }
+    }
+    // Monotone closure: active at level >= k+1 implies participation at k.
+    std::uint8_t seen = 0;
+    for (std::size_t k = nl; k-- > 0;) {
+      seen = static_cast<std::uint8_t>(seen | out.active[r][k]);
+      out.at_or_finer[r][k] = seen;
+    }
+  }
+  return out;
+}
+
+} // namespace ltswave::partition

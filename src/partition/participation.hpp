@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file participation.hpp
+/// Per-rank, per-level participation sets of a partition.
+///
+/// LTS substeps at level k only involve the ranks that own elements of level k
+/// (plus, through shared SEM nodes, ranks owning rows evaluated at level k).
+/// A partitioner that concentrates a level on few ranks therefore leaves the
+/// rest idle at every one of that level's p_k substeps — this is exactly the
+/// Fig. 1 pathology, and the per-level *participation* of a partition is the
+/// cheapest summary of it. The level-aware scheduler in runtime/ synchronizes
+/// on the monotone closure of these sets (a rank active at any level >= k
+/// takes part in level-k barriers, because fine substeps nest inside coarse
+/// phases); `at_or_finer` exports exactly that closure.
+
+#include <span>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace ltswave::partition {
+
+struct Participation {
+  rank_t num_parts = 0;
+  level_t num_levels = 1;
+
+  /// counts[r][k-1] = number of level-k elements assigned to rank r.
+  std::vector<std::vector<index_t>> counts;
+  /// active[r][k-1] != 0 iff rank r owns at least one level-k element.
+  std::vector<std::vector<std::uint8_t>> active;
+  /// at_or_finer[r][k-1] != 0 iff rank r owns an element of level >= k
+  /// (monotone in k: the barrier-participation closure).
+  std::vector<std::vector<std::uint8_t>> at_or_finer;
+  /// active_ranks[k-1] = number of ranks with active[.][k-1] set.
+  std::vector<rank_t> active_ranks;
+
+  /// True when every rank is active in every level — the case where
+  /// level-aware scheduling degenerates to barrier-all.
+  [[nodiscard]] bool all_active_everywhere() const;
+};
+
+/// `elem_level` holds 1-based LTS levels, one per element.
+Participation compute_participation(std::span<const level_t> elem_level, level_t num_levels,
+                                    const Partition& p);
+
+} // namespace ltswave::partition

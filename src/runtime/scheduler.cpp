@@ -1,0 +1,20 @@
+#include "runtime/scheduler.hpp"
+
+namespace ltswave::runtime {
+
+std::string to_string(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::BarrierAll: return "barrier-all";
+    case SchedulerMode::LevelAware: return "level-aware";
+    case SchedulerMode::LevelAwareSteal: return "level-aware+steal";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulerMode> parse_scheduler_mode(std::string_view name) {
+  for (const SchedulerMode m : kAllSchedulerModes)
+    if (name == to_string(m)) return m;
+  return std::nullopt;
+}
+
+} // namespace ltswave::runtime

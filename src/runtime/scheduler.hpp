@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Scheduler policy for the rank-parallel LTS runtime. Split out of
+/// threaded_lts.hpp so the core::Simulation facade and the benches can select
+/// a mode without pulling in the whole executor.
+///
+/// Three modes, in increasing order of load-imbalance tolerance:
+///  * BarrierAll      — the legacy structure: every rank synchronizes at every
+///    LTS substep, even ranks with zero elements in the active level. This is
+///    the paper's plain MPI execution model and the Fig. 1 baseline.
+///  * LevelAware      — per-level participation barriers: only ranks with work
+///    at level k or finer take part in level-k substep barriers, so a rank
+///    that owns only coarse elements sleeps through the whole fine-level
+///    recursion at a single coarse barrier instead of being woken at every
+///    fine substep.
+///  * LevelAwareSteal — LevelAware plus chunked per-level element work queues
+///    with work stealing between the ranks participating in a level, which
+///    absorbs the residual intra-level imbalance the partitioner leaves
+///    behind (at the price of run-to-run bitwise reproducibility; results
+///    still match the serial solver to roundoff).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ltswave::runtime {
+
+enum class SchedulerMode {
+  BarrierAll,
+  LevelAware,
+  LevelAwareSteal,
+};
+
+[[nodiscard]] std::string to_string(SchedulerMode mode);
+
+/// Parses "barrier-all", "level-aware", "level-aware+steal" (the bench/CLI
+/// spellings); returns nullopt for anything else.
+[[nodiscard]] std::optional<SchedulerMode> parse_scheduler_mode(std::string_view name);
+
+/// All three modes are listed here so benches can iterate them.
+inline constexpr SchedulerMode kAllSchedulerModes[] = {
+    SchedulerMode::BarrierAll, SchedulerMode::LevelAware, SchedulerMode::LevelAwareSteal};
+
+struct SchedulerConfig {
+  SchedulerMode mode = SchedulerMode::LevelAware;
+  /// More ranks than hardware threads throws by default (see thread_pool.hpp).
+  Oversubscribe oversubscribe = Oversubscribe::Forbid;
+  /// Elements per work-stealing chunk (LevelAwareSteal only); 0 picks a size
+  /// that gives each participating rank several chunks per level.
+  index_t chunk_elems = 0;
+};
+
+} // namespace ltswave::runtime

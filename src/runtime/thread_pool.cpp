@@ -1,0 +1,78 @@
+#include "runtime/thread_pool.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace ltswave::runtime {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+ThreadPool::ThreadPool(int num_threads, Oversubscribe policy) {
+  LTS_CHECK_MSG(num_threads >= 1, "thread pool needs at least one worker");
+  const unsigned hw = hardware_threads();
+  if (static_cast<unsigned>(num_threads) > hw) {
+    LTS_CHECK_MSG(policy == Oversubscribe::Warn,
+                  "requested " << num_threads << " workers but the machine has only " << hw
+                               << " hardware threads; oversubscribed ranks serialize at every "
+                                  "LTS barrier. Pass Oversubscribe::Warn to run anyway.");
+    std::fprintf(stderr,
+                 "[ltswave] warning: oversubscribing %d workers onto %u hardware threads\n",
+                 num_threads, hw);
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      task = task_;
+    }
+    std::exception_ptr err;
+    try {
+      (*task)(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      const std::scoped_lock lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  std::unique_lock lock(mu_);
+  LTS_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant");
+  task_ = &fn;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+} // namespace ltswave::runtime

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Persistent fork-join worker team for the rank-parallel LTS runtime.
+///
+/// The pool spawns its workers once and reuses them for every run() — the
+/// threaded solver used to spawn/join a fresh team per run_cycles call, which
+/// costs a few hundred microseconds per call and defeats cross-call cache
+/// warmth. run(fn) executes fn(worker_index) on every worker concurrently and
+/// blocks the caller until all workers have returned (a parallel region, not a
+/// task queue: LTS ranks are long-lived peers that synchronize among
+/// themselves with barriers).
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace ltswave::runtime {
+
+/// What to do when more workers are requested than the machine has hardware
+/// threads. Oversubscribed LTS ranks serialize at every barrier, silently
+/// destroying the wall-clock numbers, so it is never allowed silently.
+enum class Oversubscribe {
+  Forbid, ///< throw CheckFailure with a clear message
+  Warn,   ///< print one warning to stderr and proceed (correctness tests on
+          ///< small machines model more ranks than there are cores)
+};
+
+class ThreadPool {
+public:
+  explicit ThreadPool(int num_threads, Oversubscribe policy = Oversubscribe::Forbid);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(worker_index) on every worker and blocks until all return.
+  /// The first exception escaping a worker is rethrown here (note that if the
+  /// workers synchronize among themselves, a throwing worker can leave its
+  /// peers blocked — exceptions are for fatal invariant violations, not
+  /// control flow).
+  void run(const std::function<void(int)>& fn);
+
+  /// std::thread::hardware_concurrency(), but never 0 (unknown -> 1).
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+} // namespace ltswave::runtime

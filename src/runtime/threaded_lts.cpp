@@ -1,7 +1,6 @@
 #include "runtime/threaded_lts.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/timer.hpp"
 
@@ -10,15 +9,17 @@ namespace ltswave::runtime {
 ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
                                      const core::LevelAssignment& levels,
                                      const core::LtsStructure& structure,
-                                     const partition::Partition& part)
+                                     const partition::Partition& part, SchedulerConfig cfg)
     : op_(&op),
       levels_(&levels),
       structure_(&structure),
       part_(&part),
+      cfg_(cfg),
       nranks_(part.num_parts),
       ncomp_(op.ncomp()),
       dt_(levels.dt) {
   LTS_CHECK(part.part.size() == static_cast<std::size_t>(op.space().num_elems()));
+  LTS_CHECK(nranks_ >= 1);
   const auto& space = op.space();
   ndof_ = static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
 
@@ -38,9 +39,22 @@ ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
   usave_.assign(static_cast<std::size_t>(std::max(0, nl - 1)), std::vector<real_t>(ndof_, 0.0));
 
   build_rank_data();
-  barrier_ = std::make_unique<std::barrier<>>(nranks_);
+  build_participation();
+  if (cfg_.mode == SchedulerMode::LevelAwareSteal) build_chunks();
+
+  level_barriers_.resize(static_cast<std::size_t>(nl));
+  for (level_t k = 1; k <= nl; ++k) {
+    const auto n = static_cast<std::ptrdiff_t>(group_[static_cast<std::size_t>(k - 1)].size());
+    level_barriers_[static_cast<std::size_t>(k - 1)] =
+        n > 0 ? std::make_unique<std::barrier<>>(n) : nullptr;
+  }
+
   busy_.assign(static_cast<std::size_t>(nranks_), 0.0);
   stall_.assign(static_cast<std::size_t>(nranks_), 0.0);
+  steals_.assign(static_cast<std::size_t>(nranks_), 0);
+
+  // The persistent worker team: spawned once, reused by every run_cycles.
+  pool_ = std::make_unique<ThreadPool>(static_cast<int>(nranks_), cfg_.oversubscribe);
 }
 
 void ThreadedLtsSolver::build_rank_data() {
@@ -69,6 +83,7 @@ void ThreadedLtsSolver::build_rank_data() {
     rd.shared_rows.assign(static_cast<std::size_t>(nl), {});
     rd.shared_offsets.assign(static_cast<std::size_t>(nl), {});
     rd.shared_touchers.assign(static_cast<std::size_t>(nl), {});
+    rd.owned_rows.assign(static_cast<std::size_t>(nl), {});
     rd.update_rows.assign(static_cast<std::size_t>(nl), {});
     rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
     rd.private_buf.assign(ndof_, 0.0);
@@ -110,6 +125,7 @@ void ThreadedLtsSolver::build_rank_data() {
         for (std::size_t p = i; p < j; ++p) tchs.push_back(touch_pairs[p].second);
         offs.push_back(static_cast<index_t>(tchs.size()));
       }
+      rd.owned_rows[static_cast<std::size_t>(k - 1)].push_back(g);
       i = j;
     }
 
@@ -119,6 +135,90 @@ void ThreadedLtsSolver::build_rank_data() {
     for (gindex_t g : st.recon_rows[static_cast<std::size_t>(k - 1)])
       ranks_[static_cast<std::size_t>(row_owner[static_cast<std::size_t>(g)])].recon_rows[static_cast<std::size_t>(k - 1)].push_back(g);
   }
+}
+
+void ThreadedLtsSolver::build_participation() {
+  const level_t nl = levels_->num_levels;
+  part_mask_.assign(static_cast<std::size_t>(nl) * static_cast<std::size_t>(nranks_), 0);
+  group_.assign(static_cast<std::size_t>(nl), {});
+
+  for (rank_t r = 0; r < nranks_; ++r) {
+    const auto& rd = ranks_[static_cast<std::size_t>(r)];
+    // A rank takes part in level-k barriers when it has work at level k or at
+    // any finer level (monotone closure: fine substeps are nested inside
+    // coarse phases, and the row/force state written at level k is published
+    // to coarser readers through the enclosing coarser barrier — so finer
+    // ranks must join coarser barriers, never the other way around). The
+    // legacy barrier-all mode keeps everyone in every level.
+    bool finer = false;
+    for (level_t k = nl; k >= 1; --k) {
+      const auto L = static_cast<std::size_t>(k - 1);
+      const bool work = !rd.eval_elems[L].empty() || !rd.private_rows[L].empty() ||
+                        !rd.solo_rows[L].empty() || !rd.shared_rows[L].empty() ||
+                        !rd.update_rows[L].empty() || !rd.recon_rows[L].empty();
+      finer = finer || work;
+      const bool take_part = cfg_.mode == SchedulerMode::BarrierAll || finer;
+      part_mask_[L * static_cast<std::size_t>(nranks_) + static_cast<std::size_t>(r)] =
+          take_part ? 1 : 0;
+    }
+  }
+  for (level_t k = 1; k <= nl; ++k)
+    for (rank_t r = 0; r < nranks_; ++r)
+      if (participates(r, k)) group_[static_cast<std::size_t>(k - 1)].push_back(r);
+}
+
+void ThreadedLtsSolver::build_chunks() {
+  const auto& space = op_->space();
+  const level_t nl = levels_->num_levels;
+  const int npts = space.nodes_per_elem();
+
+  for (auto& rd : ranks_) {
+    rd.chunks.assign(static_cast<std::size_t>(nl), {});
+    rd.chunk_cursor = std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nl));
+    rd.touch_epoch.assign(static_cast<std::size_t>(space.num_global_nodes()), 0);
+    for (level_t k = 1; k <= nl; ++k) {
+      const auto L = static_cast<std::size_t>(k - 1);
+      const auto n = static_cast<index_t>(rd.eval_elems[L].size());
+      if (n == 0) {
+        rd.chunk_cursor[L].store(0, std::memory_order_relaxed);
+        continue;
+      }
+      // Several chunks per rank so idle participants find work to steal, but
+      // large enough that the per-chunk kernel launch stays negligible.
+      const index_t size = cfg_.chunk_elems > 0
+                               ? cfg_.chunk_elems
+                               : std::clamp<index_t>(n / 8, index_t{4}, index_t{128});
+      for (index_t b = 0; b < n; b += size) {
+        Chunk ch;
+        ch.begin = b;
+        ch.end = std::min<index_t>(b + size, n);
+        for (index_t e = ch.begin; e < ch.end; ++e) {
+          const gindex_t* l2g = space.elem_nodes(rd.eval_elems[L][static_cast<std::size_t>(e)]);
+          for (int q = 0; q < npts; ++q) ch.rows.push_back(l2g[q]);
+        }
+        std::sort(ch.rows.begin(), ch.rows.end());
+        ch.rows.erase(std::unique(ch.rows.begin(), ch.rows.end()), ch.rows.end());
+        rd.chunks[L].push_back(std::move(ch));
+      }
+      // Cursors start *exhausted*: a queue only opens when its owner resets
+      // it at the start of an eval phase. A zero-initialized cursor would let
+      // a fast thief drain the queue before the owner's first reset, after
+      // which the owner's reset replays every chunk — double contributions.
+      rd.chunk_cursor[L].store(static_cast<index_t>(rd.chunks[L].size()),
+                               std::memory_order_relaxed);
+    }
+  }
+}
+
+rank_t ThreadedLtsSolver::level_participants(level_t k) const {
+  LTS_CHECK(k >= 1 && k <= levels_->num_levels);
+  return static_cast<rank_t>(group_[static_cast<std::size_t>(k - 1)].size());
+}
+
+void ThreadedLtsSolver::reset_counters() {
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  std::fill(stall_.begin(), stall_.end(), 0.0);
+  std::fill(steals_.begin(), steals_.end(), 0);
 }
 
 void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
@@ -136,26 +236,77 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
   time_ = 0;
 }
 
-void ThreadedLtsSolver::sync(rank_t r) {
+void ThreadedLtsSolver::sync(rank_t r, level_t k) {
+  if (!participates(r, k)) return;
   const WallTimer t;
-  barrier_->arrive_and_wait();
+  level_barriers_[static_cast<std::size_t>(k - 1)]->arrive_and_wait();
   stall_[static_cast<std::size_t>(r)] += t.seconds();
 }
 
+void ThreadedLtsSolver::run_chunk(RankData& self, const RankData& owner, level_t k,
+                                  const Chunk& chunk) {
+  // Zero-on-touch: a buffer row is valid for this substep once it carries the
+  // executing rank's current epoch; rows from older substeps are garbage.
+  const auto nc = static_cast<std::size_t>(ncomp_);
+  for (const gindex_t g : chunk.rows) {
+    auto& stamp = self.touch_epoch[static_cast<std::size_t>(g)];
+    if (stamp != self.epoch) {
+      stamp = self.epoch;
+      for (std::size_t c = 0; c < nc; ++c)
+        self.private_buf[static_cast<std::size_t>(g) * nc + c] = 0.0;
+    }
+  }
+  const auto& elems = owner.eval_elems[static_cast<std::size_t>(k - 1)];
+  op_->apply_add_level(std::span<const index_t>(elems).subspan(
+                           static_cast<std::size_t>(chunk.begin),
+                           static_cast<std::size_t>(chunk.end - chunk.begin)),
+                       structure_->node_level.data(), k, u_.data(), self.private_buf.data(),
+                       *self.workspace);
+}
+
 void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
+  if (!participates(r, k)) return;
   auto& rd = ranks_[static_cast<std::size_t>(r)];
   const auto& st = *structure_;
+  const auto L = static_cast<std::size_t>(k - 1);
+  const bool steal = cfg_.mode == SchedulerMode::LevelAwareSteal;
   const WallTimer timer;
 
-  // Private accumulation of this rank's share of E(k).
-  for (gindex_t g : rd.private_rows[static_cast<std::size_t>(k - 1)])
-    for (int c = 0; c < ncomp_; ++c)
-      rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
-  op_->apply_add_level(rd.eval_elems[static_cast<std::size_t>(k - 1)], st.node_level.data(), k,
-                       u_.data(), rd.private_buf.data(), *rd.workspace);
+  if (steal) {
+    // Chunked evaluation with work stealing among the level's participants.
+    ++rd.epoch;
+    auto& my_cursor = rd.chunk_cursor[L];
+    my_cursor.store(0, std::memory_order_relaxed);
+    const auto& mine = rd.chunks[L];
+    for (index_t c;
+         (c = my_cursor.fetch_add(1, std::memory_order_relaxed)) < static_cast<index_t>(mine.size());)
+      run_chunk(rd, rd, k, mine[static_cast<std::size_t>(c)]);
+
+    const auto& grp = group_[L];
+    if (grp.size() > 1) {
+      const auto pos = static_cast<std::size_t>(
+          std::lower_bound(grp.begin(), grp.end(), r) - grp.begin());
+      for (std::size_t off = 1; off < grp.size(); ++off) {
+        auto& vd = ranks_[static_cast<std::size_t>(grp[(pos + off) % grp.size()])];
+        const auto& theirs = vd.chunks[L];
+        for (index_t c; (c = vd.chunk_cursor[L].fetch_add(1, std::memory_order_relaxed)) <
+                        static_cast<index_t>(theirs.size());) {
+          run_chunk(rd, vd, k, theirs[static_cast<std::size_t>(c)]);
+          ++steals_[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+  } else {
+    // Private accumulation of this rank's share of E(k).
+    for (gindex_t g : rd.private_rows[L])
+      for (int c = 0; c < ncomp_; ++c)
+        rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+    op_->apply_add_level(rd.eval_elems[L], st.node_level.data(), k, u_.data(),
+                         rd.private_buf.data(), *rd.workspace);
+  }
   busy_[static_cast<std::size_t>(r)] += timer.seconds();
 
-  sync(r); // all private contributions complete
+  sync(r, k); // all private contributions complete
 
   // Reduction (the "MPI exchange"): owners combine contributions, scale by
   // Minv, and refresh the frozen-force accumulators.
@@ -166,32 +317,53 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
     const real_t fresh = inv_mass_[i] * contrib;
     scratch_[i] = fresh;
     if (track_force) {
-      auto& fk = forces_[static_cast<std::size_t>(k - 1)];
+      auto& fk = forces_[L];
       cumulative_[i] += fresh - fk[i];
       fk[i] = fresh;
     }
   };
-  for (const auto& [g, toucher] : rd.solo_rows[static_cast<std::size_t>(k - 1)]) {
-    const auto& pb = ranks_[static_cast<std::size_t>(toucher)].private_buf;
-    for (int c = 0; c < ncomp_; ++c)
-      fold(g, pb[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)], c);
-  }
-  const auto& srows = rd.shared_rows[static_cast<std::size_t>(k - 1)];
-  const auto& soffs = rd.shared_offsets[static_cast<std::size_t>(k - 1)];
-  const auto& stch = rd.shared_touchers[static_cast<std::size_t>(k - 1)];
-  for (std::size_t s = 0; s < srows.size(); ++s) {
-    const gindex_t g = srows[s];
-    for (int c = 0; c < ncomp_; ++c) {
-      real_t sum = 0;
-      for (index_t t = soffs[s]; t < soffs[s + 1]; ++t)
-        sum += ranks_[static_cast<std::size_t>(stch[static_cast<std::size_t>(t)])]
-                   .private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)];
-      fold(g, sum, c);
+  if (steal) {
+    // Stealing makes the toucher set dynamic: any participant's buffer can
+    // hold contributions for any row of the level, so owners scan every
+    // participant and keep rows stamped with that participant's current
+    // epoch. Scan order is fixed (ascending rank), so results only differ
+    // from the static reduction by floating-point association.
+    const auto& grp = group_[L];
+    for (const gindex_t g : rd.owned_rows[L]) {
+      for (int c = 0; c < ncomp_; ++c) {
+        real_t sum = 0;
+        for (const rank_t t : grp) {
+          const auto& td = ranks_[static_cast<std::size_t>(t)];
+          if (td.touch_epoch[static_cast<std::size_t>(g)] == td.epoch)
+            sum += td.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) +
+                                  static_cast<std::size_t>(c)];
+        }
+        fold(g, sum, c);
+      }
+    }
+  } else {
+    for (const auto& [g, toucher] : rd.solo_rows[L]) {
+      const auto& pb = ranks_[static_cast<std::size_t>(toucher)].private_buf;
+      for (int c = 0; c < ncomp_; ++c)
+        fold(g, pb[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)], c);
+    }
+    const auto& srows = rd.shared_rows[L];
+    const auto& soffs = rd.shared_offsets[L];
+    const auto& stch = rd.shared_touchers[L];
+    for (std::size_t s = 0; s < srows.size(); ++s) {
+      const gindex_t g = srows[s];
+      for (int c = 0; c < ncomp_; ++c) {
+        real_t sum = 0;
+        for (index_t t = soffs[s]; t < soffs[s + 1]; ++t)
+          sum += ranks_[static_cast<std::size_t>(stch[static_cast<std::size_t>(t)])]
+                     .private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)];
+        fold(g, sum, c);
+      }
     }
   }
   busy_[static_cast<std::size_t>(r)] += timer2.seconds();
 
-  sync(r); // scratch/cumulative consistent before row updates
+  sync(r, k); // scratch/cumulative consistent before row updates
 }
 
 void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
@@ -199,124 +371,140 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
   const real_t delta = dt_ / static_cast<real_t>(level_rate(k));
   auto& rd = ranks_[static_cast<std::size_t>(r)];
   auto& vt = vt_[static_cast<std::size_t>(k - 2)];
+  const bool in = participates(r, k);
 
   for (int m = 0; m < 2; ++m) {
     const bool first = (m == 0);
     if (k == nl) {
       eval_phase(r, k);
+      if (in) {
+        const WallTimer timer;
+        for (gindex_t g : rd.update_rows[static_cast<std::size_t>(k - 1)])
+          for (int c = 0; c < ncomp_; ++c) {
+            const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+            const real_t F = cumulative_[i] + scratch_[i];
+            if (first)
+              vt[i] = -0.5 * delta * F;
+            else
+              vt[i] -= delta * F;
+            u_[i] += delta * vt[i];
+          }
+        busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      }
+      // m == 0: updates visible before the next eval gathers u. m == 1: the
+      // caller's post-child barrier publishes instead.
+      if (first) sync(r, k);
+      continue;
+    }
+
+    eval_phase(r, k);
+    if (in) {
       const WallTimer timer;
+      auto& save = usave_[static_cast<std::size_t>(k - 1)];
+      for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          save[i] = u_[i];
+        }
+      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+    }
+    sync(r, k); // saves done before the child mutates u
+
+    run_level(r, k + 1);
+    sync(r, k); // child updates visible before reconstruction reads u
+
+    if (in) {
+      const WallTimer timer2;
+      const auto& save = usave_[static_cast<std::size_t>(k - 1)];
+      for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          if (first)
+            vt[i] = (u_[i] - save[i]) / delta;
+          else
+            vt[i] += 2.0 * (u_[i] - save[i]) / delta;
+          u_[i] = save[i] + delta * vt[i];
+        }
       for (gindex_t g : rd.update_rows[static_cast<std::size_t>(k - 1)])
         for (int c = 0; c < ncomp_; ++c) {
           const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-          const real_t F = cumulative_[i] + scratch_[i];
+          const real_t F = cumulative_[i];
           if (first)
             vt[i] = -0.5 * delta * F;
           else
             vt[i] -= delta * F;
           u_[i] += delta * vt[i];
         }
-      busy_[static_cast<std::size_t>(r)] += timer.seconds();
-      sync(r); // updates visible before the next eval gathers u
-      continue;
+      busy_[static_cast<std::size_t>(r)] += timer2.seconds();
     }
-
-    eval_phase(r, k);
-    const WallTimer timer;
-    auto& save = usave_[static_cast<std::size_t>(k - 1)];
-    for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        save[i] = u_[i];
-      }
-    busy_[static_cast<std::size_t>(r)] += timer.seconds();
-    sync(r); // saves done before the child mutates u
-
-    run_level(r, k + 1);
-
-    const WallTimer timer2;
-    for (gindex_t g : rd.recon_rows[static_cast<std::size_t>(k - 1)])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        if (first)
-          vt[i] = (u_[i] - save[i]) / delta;
-        else
-          vt[i] += 2.0 * (u_[i] - save[i]) / delta;
-        u_[i] = save[i] + delta * vt[i];
-      }
-    for (gindex_t g : rd.update_rows[static_cast<std::size_t>(k - 1)])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        const real_t F = cumulative_[i];
-        if (first)
-          vt[i] = -0.5 * delta * F;
-        else
-          vt[i] -= delta * F;
-        u_[i] += delta * vt[i];
-      }
-    busy_[static_cast<std::size_t>(r)] += timer2.seconds();
-    sync(r);
+    if (first) sync(r, k); // level-k updates visible before the next eval
   }
 }
 
 void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
   const level_t nl = levels_->num_levels;
   auto& rd = ranks_[static_cast<std::size_t>(r)];
+  const bool in = participates(r, 1);
 
   for (int cyc = 0; cyc < cycles; ++cyc) {
     if (nl == 1) {
       eval_phase(r, 1);
-      const WallTimer timer;
-      for (gindex_t g : rd.update_rows[0])
-        for (int c = 0; c < ncomp_; ++c) {
-          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-          v_[i] -= dt_ * scratch_[i];
-          u_[i] += dt_ * v_[i];
-        }
-      busy_[static_cast<std::size_t>(r)] += timer.seconds();
-      sync(r);
+      if (in) {
+        const WallTimer timer;
+        for (gindex_t g : rd.update_rows[0])
+          for (int c = 0; c < ncomp_; ++c) {
+            const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+            v_[i] -= dt_ * scratch_[i];
+            u_[i] += dt_ * v_[i];
+          }
+        busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      }
+      sync(r, 1);
       continue;
     }
 
     eval_phase(r, 1);
-    const WallTimer timer;
-    auto& save = usave_[0];
-    for (gindex_t g : rd.recon_rows[0])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        save[i] = u_[i];
-      }
-    busy_[static_cast<std::size_t>(r)] += timer.seconds();
-    sync(r);
+    if (in) {
+      const WallTimer timer;
+      auto& save = usave_[0];
+      for (gindex_t g : rd.recon_rows[0])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          save[i] = u_[i];
+        }
+      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+    }
+    sync(r, 1); // saves done before the child mutates u
 
     run_level(r, 2);
+    sync(r, 1); // child updates visible before reconstruction reads u
 
-    const WallTimer timer2;
-    for (gindex_t g : rd.recon_rows[0])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
-        u_[i] = save[i] + dt_ * v_[i];
-      }
-    for (gindex_t g : rd.update_rows[0])
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        v_[i] -= dt_ * cumulative_[i];
-        u_[i] += dt_ * v_[i];
-      }
-    busy_[static_cast<std::size_t>(r)] += timer2.seconds();
-    sync(r);
+    if (in) {
+      const WallTimer timer2;
+      const auto& save = usave_[0];
+      for (gindex_t g : rd.recon_rows[0])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
+          u_[i] = save[i] + dt_ * v_[i];
+        }
+      for (gindex_t g : rd.update_rows[0])
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          v_[i] -= dt_ * cumulative_[i];
+          u_[i] += dt_ * v_[i];
+        }
+      busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+    }
+    sync(r, 1); // cycle boundary: all updates visible for the next cycle
   }
 }
 
 double ThreadedLtsSolver::run_cycles(int cycles) {
-  std::fill(busy_.begin(), busy_.end(), 0.0);
-  std::fill(stall_.begin(), stall_.end(), 0.0);
+  LTS_CHECK(cycles >= 0);
+  if (cycles == 0) return 0.0;
   const WallTimer total;
-  std::vector<std::thread> team;
-  team.reserve(static_cast<std::size_t>(nranks_));
-  for (rank_t r = 0; r < nranks_; ++r)
-    team.emplace_back([this, r, cycles] { thread_main(r, cycles); });
-  for (auto& th : team) th.join();
+  pool_->run([this, cycles](int worker) { thread_main(static_cast<rank_t>(worker), cycles); });
   time_ += static_cast<real_t>(cycles) * dt_;
   return total.seconds();
 }

@@ -1,46 +1,78 @@
 #pragma once
 
 /// \file threaded_lts.hpp
-/// Rank-parallel LTS-Newmark execution on shared memory: one thread per
-/// partition, mirroring the paper's MPI structure (SPECFEM-style partial
-/// assembly + interface exchange, synchronizing at every LTS substep).
+/// Rank-parallel LTS-Newmark execution on shared memory: one persistent pool
+/// worker per partition, mirroring the paper's MPI structure (SPECFEM-style
+/// partial assembly + interface exchange).
 ///
 /// Each rank owns the elements its partition assigns; stiffness applications
 /// accumulate into rank-private buffers, and a reduction phase (the stand-in
 /// for MPI point-to-point exchange) combines interface contributions. Every
-/// global row is updated by exactly one owner rank. Barriers delimit the same
-/// substep boundaries an MPI run would synchronize at, so per-thread busy and
-/// stall times measured here reproduce the load-imbalance behaviour of Fig. 1
-/// with *real* wall-clock on up to hardware-core many ranks.
+/// global row is updated by exactly one owner rank.
+///
+/// Synchronization is governed by a SchedulerMode (see runtime/scheduler.hpp):
+/// the legacy barrier-all mode makes every rank arrive at every substep
+/// barrier, reproducing the load-imbalance behaviour of Fig. 1 with *real*
+/// wall-clock; the level-aware modes synchronize each level-k substep only
+/// over the ranks participating at level k or finer (the monotone closure —
+/// fine substeps nest inside coarse phases, so finer ranks must join coarser
+/// barriers but never vice versa). Level-aware+steal additionally splits each
+/// rank's per-level element list into chunks that idle participants steal,
+/// absorbing residual intra-level imbalance the partitioner leaves behind.
+///
+/// Busy/stall/steal counters accumulate across run_cycles calls (the pool and
+/// all solver state persist between calls) until reset_counters().
 
+#include <atomic>
 #include <barrier>
-#include <thread>
+#include <cstdint>
+#include <memory>
 
 #include "core/lts_newmark.hpp"
 #include "partition/partition.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ltswave::runtime {
 
 class ThreadedLtsSolver {
 public:
   ThreadedLtsSolver(const sem::WaveOperator& op, const core::LevelAssignment& levels,
-                    const core::LtsStructure& structure, const partition::Partition& part);
+                    const core::LtsStructure& structure, const partition::Partition& part,
+                    SchedulerConfig cfg = {});
 
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
 
-  /// Runs `cycles` LTS cycles on num_parts threads; returns wall seconds.
+  /// Runs `cycles` LTS cycles on the persistent worker team; returns wall
+  /// seconds. State (u, v, time, counters) carries over between calls.
   double run_cycles(int cycles);
 
   [[nodiscard]] const std::vector<real_t>& u() const noexcept { return u_; }
   [[nodiscard]] const std::vector<real_t>& v_half() const noexcept { return v_; }
   [[nodiscard]] real_t time() const noexcept { return time_; }
   [[nodiscard]] rank_t num_ranks() const noexcept { return nranks_; }
+  [[nodiscard]] SchedulerMode mode() const noexcept { return cfg_.mode; }
 
-  /// Per-rank compute seconds and barrier-wait seconds of the last run.
+  /// Per-rank compute seconds, barrier-wait seconds, and stolen chunk counts,
+  /// accumulated since construction or the last reset_counters().
   [[nodiscard]] const std::vector<double>& busy_seconds() const noexcept { return busy_; }
   [[nodiscard]] const std::vector<double>& stall_seconds() const noexcept { return stall_; }
+  [[nodiscard]] const std::vector<std::int64_t>& steal_counts() const noexcept { return steals_; }
+  void reset_counters();
+
+  /// Number of ranks taking part in level-k substep barriers under the
+  /// current mode (== num_ranks() for barrier-all and for level 1).
+  [[nodiscard]] rank_t level_participants(level_t k) const;
 
 private:
+  /// A contiguous slice [begin, end) of a rank's per-level element list, with
+  /// the global rows it touches (needed for zero-on-touch when stolen).
+  struct Chunk {
+    index_t begin = 0;
+    index_t end = 0;
+    std::vector<gindex_t> rows;
+  };
+
   struct RankData {
     // Elements this rank evaluates per level (its share of E(k)).
     std::vector<std::vector<index_t>> eval_elems; // [level]
@@ -52,23 +84,39 @@ private:
     std::vector<std::vector<gindex_t>> shared_rows;                  // [level]
     std::vector<std::vector<index_t>> shared_offsets;                // [level] CSR into touchers
     std::vector<std::vector<rank_t>> shared_touchers;                // [level]
+    // All owned rows per level (solo ∪ shared) — the dynamic reduction of the
+    // stealing scheduler scans participant buffers row by row.
+    std::vector<std::vector<gindex_t>> owned_rows; // [level]
     // Row-update sets owned by this rank.
     std::vector<std::vector<gindex_t>> update_rows; // S(k) ∩ mine
     std::vector<std::vector<gindex_t>> recon_rows;  // R(k+1) ∩ mine
     std::vector<real_t> private_buf;                // ndof accumulation buffer
     std::unique_ptr<sem::KernelWorkspace> workspace;
+    // Work-stealing state (LevelAwareSteal only).
+    std::vector<std::vector<Chunk>> chunks;                  // [level]
+    std::unique_ptr<std::atomic<index_t>[]> chunk_cursor;    // [level]
+    std::vector<std::uint64_t> touch_epoch;                  // per global node
+    std::uint64_t epoch = 0; ///< bumped at each eval participation
   };
 
   void build_rank_data();
+  void build_participation();
+  void build_chunks();
+  [[nodiscard]] bool participates(rank_t r, level_t k) const {
+    return part_mask_[static_cast<std::size_t>(k - 1) * static_cast<std::size_t>(nranks_) +
+                      static_cast<std::size_t>(r)] != 0;
+  }
   void thread_main(rank_t r, int cycles);
   void eval_phase(rank_t r, level_t k);
+  void run_chunk(RankData& self, const RankData& owner, level_t k, const Chunk& chunk);
   void run_level(rank_t r, level_t k);
-  void sync(rank_t r);
+  void sync(rank_t r, level_t k);
 
   const sem::WaveOperator* op_;
   const core::LevelAssignment* levels_;
   const core::LtsStructure* structure_;
   const partition::Partition* part_;
+  SchedulerConfig cfg_;
   rank_t nranks_;
   int ncomp_;
   real_t dt_;
@@ -84,9 +132,16 @@ private:
   std::vector<std::vector<real_t>> usave_;
 
   std::vector<RankData> ranks_;
-  std::unique_ptr<std::barrier<>> barrier_;
+  // part_mask_[(k-1)*nranks + r]: rank r takes part in level-k barriers.
+  std::vector<std::uint8_t> part_mask_;
+  // group_[k-1]: ascending rank ids of level-k participants (steal/reduction
+  // scan order; fixed so the non-stealing modes stay bitwise deterministic).
+  std::vector<std::vector<rank_t>> group_;
+  std::vector<std::unique_ptr<std::barrier<>>> level_barriers_; // [level]
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<double> busy_;
   std::vector<double> stall_;
+  std::vector<std::int64_t> steals_;
 };
 
 } // namespace ltswave::runtime

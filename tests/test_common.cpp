@@ -132,7 +132,7 @@ TEST(Csv, RejectsWidthMismatch) {
 TEST(Timer, MeasuresNonNegativeTime) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_LT(t.seconds(), 1.0);

@@ -1,0 +1,84 @@
+// Per-rank per-level participation sets: the summary the level-aware
+// scheduler synchronizes on and the partition benches report.
+
+#include <gtest/gtest.h>
+
+#include "core/lts_levels.hpp"
+#include "mesh/generators.hpp"
+#include "partition/participation.hpp"
+#include "partition/partitioners.hpp"
+
+namespace ltswave::partition {
+namespace {
+
+TEST(Participation, HandmadeCountsAndMasks) {
+  // 6 elements, levels {1,1,2,2,3,3}, ranks {0,0,0,1,1,2}:
+  //   rank 0: two level-1 + one level-2; rank 1: one level-2 + one level-3;
+  //   rank 2: one level-3.
+  Partition p;
+  p.num_parts = 3;
+  p.part = {0, 0, 0, 1, 1, 2};
+  const std::vector<level_t> lv = {1, 1, 2, 2, 3, 3};
+  const auto ps = compute_participation(lv, 3, p);
+
+  ASSERT_EQ(ps.num_parts, 3);
+  ASSERT_EQ(ps.num_levels, 3);
+  EXPECT_EQ(ps.counts[0], (std::vector<index_t>{2, 1, 0}));
+  EXPECT_EQ(ps.counts[1], (std::vector<index_t>{0, 1, 1}));
+  EXPECT_EQ(ps.counts[2], (std::vector<index_t>{0, 0, 1}));
+
+  EXPECT_EQ(ps.active[0], (std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_EQ(ps.active[1], (std::vector<std::uint8_t>{0, 1, 1}));
+  EXPECT_EQ(ps.active[2], (std::vector<std::uint8_t>{0, 0, 1}));
+
+  // Monotone closure: active at any level >= k implies participation at k.
+  EXPECT_EQ(ps.at_or_finer[0], (std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_EQ(ps.at_or_finer[1], (std::vector<std::uint8_t>{1, 1, 1}));
+  EXPECT_EQ(ps.at_or_finer[2], (std::vector<std::uint8_t>{1, 1, 1}));
+
+  EXPECT_EQ(ps.active_ranks, (std::vector<rank_t>{1, 2, 2}));
+  EXPECT_FALSE(ps.all_active_everywhere());
+}
+
+TEST(Participation, ClosureIsMonotone) {
+  const auto m = mesh::make_strip_mesh(16, 0.3, 4.0);
+  const auto lv = core::assign_levels(m, 0.08);
+  ASSERT_GE(lv.num_levels, 2);
+  PartitionerConfig cfg;
+  cfg.strategy = Strategy::Scotch;
+  cfg.num_parts = 4;
+  const auto p = partition_mesh(m, lv.elem_level, lv.num_levels, cfg);
+  const auto ps = compute_participation(lv.elem_level, lv.num_levels, p);
+
+  index_t total = 0;
+  for (rank_t r = 0; r < 4; ++r) {
+    for (level_t k = 1; k < ps.num_levels; ++k) {
+      const auto K = static_cast<std::size_t>(k - 1);
+      // at_or_finer may only switch off when moving coarser -> finer.
+      EXPECT_GE(ps.at_or_finer[static_cast<std::size_t>(r)][K],
+                ps.at_or_finer[static_cast<std::size_t>(r)][K + 1]);
+      EXPECT_GE(ps.at_or_finer[static_cast<std::size_t>(r)][K],
+                ps.active[static_cast<std::size_t>(r)][K]);
+    }
+    for (level_t k = 1; k <= ps.num_levels; ++k)
+      total += ps.counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(k - 1)];
+  }
+  EXPECT_EQ(total, m.num_elems());
+}
+
+TEST(Participation, ScotchPActivatesEveryRankPerLevel) {
+  // Per-level balance is ScotchP's whole point: with enough elements in every
+  // level, every rank should own a share of every level.
+  const auto m = mesh::make_strip_mesh(32, 0.5, 2.0);
+  const auto lv = core::assign_levels(m, 0.08);
+  ASSERT_EQ(lv.num_levels, 2);
+  PartitionerConfig cfg;
+  cfg.strategy = Strategy::ScotchP;
+  cfg.num_parts = 4;
+  const auto p = partition_mesh(m, lv.elem_level, lv.num_levels, cfg);
+  const auto ps = compute_participation(lv.elem_level, lv.num_levels, p);
+  EXPECT_TRUE(ps.all_active_everywhere());
+}
+
+} // namespace
+} // namespace ltswave::partition

@@ -78,8 +78,9 @@ TEST(Strategies, ScotchPBalancesEveryLevel) {
   for (level_t l = 1; l <= nl; ++l) {
     index_t count = 0;
     for (level_t x : lv) count += (x == l);
-    if (count >= 8 * 4) // enough elements to balance meaningfully
+    if (count >= 8 * 4) { // enough elements to balance meaningfully
       EXPECT_LE(mtr.level_imbalance_pct[static_cast<std::size_t>(l - 1)], 50.0) << "level " << l;
+    }
   }
   EXPECT_LE(mtr.total_imbalance_pct, 25.0);
 }

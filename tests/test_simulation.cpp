@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/simulation.hpp"
+#include "runtime/threaded_lts.hpp"
 #include "mesh/generators.hpp"
 
 namespace ltswave::core {
@@ -117,6 +118,48 @@ TEST(Simulation, ElasticFacadeRuns) {
   for (real_t v : sim.u()) umax = std::max(umax, std::abs(v));
   EXPECT_GT(umax, 0);     // source injected energy
   EXPECT_LT(umax, 1e6);   // and the run is stable
+}
+
+TEST(Simulation, ThreadedFacadeMatchesSerialForEveryScheduler) {
+  const auto m = refined_mesh();
+  SimulationConfig serial_cfg;
+  serial_cfg.order = 2;
+  WaveSimulation serial(m, serial_cfg);
+  const auto u0 = gaussian_state(serial);
+  const std::vector<real_t> v0(u0.size(), 0.0);
+  serial.set_state(u0, v0);
+  serial.run(serial.dt() * 4);
+
+  for (const runtime::SchedulerMode mode : runtime::kAllSchedulerModes) {
+    SimulationConfig cfg;
+    cfg.order = 2;
+    cfg.num_ranks = 4;
+    cfg.scheduler.mode = mode;
+    cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+    WaveSimulation sim(m, cfg);
+    ASSERT_NE(sim.threaded(), nullptr);
+    EXPECT_EQ(sim.threaded()->mode(), mode);
+    EXPECT_EQ(sim.threaded()->num_ranks(), 4);
+    EXPECT_EQ(sim.part().num_parts, 4);
+
+    sim.set_state(u0, v0);
+    sim.run(sim.dt() * 4);
+    EXPECT_NEAR(sim.time(), serial.time(), 1e-12);
+    EXPECT_EQ(sim.element_applies(), serial.element_applies());
+    real_t diff = 0;
+    for (std::size_t i = 0; i < u0.size(); ++i)
+      diff = std::max(diff, std::abs(sim.u()[i] - serial.u()[i]));
+    EXPECT_LT(diff, 1e-11) << to_string(mode);
+  }
+}
+
+TEST(Simulation, ThreadedFacadeRejectsPointSources) {
+  SimulationConfig cfg;
+  cfg.order = 2;
+  cfg.num_ranks = 2;
+  cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+  WaveSimulation sim(refined_mesh(), cfg);
+  EXPECT_THROW(sim.add_source({0.1, 0.0, 0.0}, 2.0), CheckFailure);
 }
 
 TEST(Simulation, FailureInjection) {

@@ -1,0 +1,70 @@
+// Persistent fork-join pool tests: the LTS runtime reuses one worker team
+// across every run_cycles call, so the pool must dispatch to all workers,
+// support arbitrarily many reuses, propagate errors, and enforce the
+// oversubscription policy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ltswave::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4, Oversubscribe::Warn);
+  ASSERT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int w) { ++hits[static_cast<std::size_t>(w)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRuns) {
+  ThreadPool pool(3, Oversubscribe::Warn);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run([&](int) { ++total; });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, WorkersRunConcurrently) {
+  // All workers must be live at once — LTS ranks synchronize among
+  // themselves, so serialized dispatch would deadlock the solver.
+  ThreadPool pool(4, Oversubscribe::Warn);
+  std::barrier<> rendezvous(4);
+  pool.run([&](int) { rendezvous.arrive_and_wait(); });
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2, Oversubscribe::Warn);
+  EXPECT_THROW(pool.run([](int w) {
+                 if (w == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool stays usable after a failed run.
+  std::atomic<int> total{0};
+  pool.run([&](int) { ++total; });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, OversubscriptionForbiddenByDefault) {
+  const int too_many = static_cast<int>(ThreadPool::hardware_threads()) + 1;
+  EXPECT_THROW(ThreadPool pool(too_many), CheckFailure);
+  EXPECT_THROW(ThreadPool pool(0, Oversubscribe::Warn), CheckFailure);
+  // Warn policy lets correctness tests model more ranks than cores.
+  ThreadPool pool(too_many, Oversubscribe::Warn);
+  std::atomic<int> total{0};
+  pool.run([&](int) { ++total; });
+  EXPECT_EQ(total.load(), too_many);
+}
+
+} // namespace
+} // namespace ltswave::runtime

@@ -1,10 +1,12 @@
-// Threaded rank-parallel executor tests: the shared-memory MPI-analogue must
-// reproduce the serial production solver's results for any rank count, stay
-// deterministic, and report sane busy/stall accounting.
+// Threaded rank-parallel executor tests: every scheduler mode must reproduce
+// the serial production solver's results for any rank count and level depth,
+// reuse its worker team across calls, and report sane busy/stall/steal
+// accounting.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "mesh/generators.hpp"
 #include "partition/partitioners.hpp"
@@ -12,6 +14,14 @@
 
 namespace ltswave::runtime {
 namespace {
+
+SchedulerConfig cfg_for(SchedulerMode mode) {
+  SchedulerConfig cfg;
+  cfg.mode = mode;
+  // Correctness tests model more ranks than small CI machines have cores.
+  cfg.oversubscribe = Oversubscribe::Warn;
+  return cfg;
+}
 
 struct Rig {
   mesh::HexMesh mesh;
@@ -58,15 +68,9 @@ real_t max_abs_diff(const std::vector<real_t>& a, const std::vector<real_t>& b) 
   return d;
 }
 
-class ThreadedRanks : public testing::TestWithParam<rank_t> {};
-
-TEST_P(ThreadedRanks, MatchesSerialSolver) {
-  const rank_t k = GetParam();
-  Rig s(mesh::make_strip_mesh(16, 0.3, 4.0));
-  ASSERT_GE(s.levels.num_levels, 2);
-
-  const auto part = s.make_partition(k);
-  ThreadedLtsSolver threaded(*s.op, s.levels, s.structure, part);
+void expect_matches_serial(Rig& s, const partition::Partition& part, SchedulerMode mode,
+                           int cycles) {
+  ThreadedLtsSolver threaded(*s.op, s.levels, s.structure, part, cfg_for(mode));
   core::LtsNewmarkSolver serial(*s.op, s.levels, s.structure);
 
   const auto u0 = s.initial();
@@ -74,16 +78,43 @@ TEST_P(ThreadedRanks, MatchesSerialSolver) {
   threaded.set_state(u0, v0);
   serial.set_state(u0, v0);
 
-  const int cycles = 5;
   threaded.run_cycles(cycles);
   for (int i = 0; i < cycles; ++i) serial.step();
 
-  EXPECT_LT(max_abs_diff(threaded.u(), serial.u()), 1e-11);
-  EXPECT_LT(max_abs_diff(threaded.v_half(), serial.v_half()), 1e-10);
+  EXPECT_LT(max_abs_diff(threaded.u(), serial.u()), 1e-11) << to_string(mode);
+  EXPECT_LT(max_abs_diff(threaded.v_half(), serial.v_half()), 1e-10) << to_string(mode);
   EXPECT_NEAR(threaded.time(), serial.time(), 1e-12);
 }
 
-INSTANTIATE_TEST_SUITE_P(Ranks, ThreadedRanks, testing::Values(1, 2, 4, 8));
+class ThreadedModes
+    : public testing::TestWithParam<std::tuple<SchedulerMode, rank_t>> {};
+
+TEST_P(ThreadedModes, MatchesSerialOnTwoLevelMesh) {
+  const auto [mode, k] = GetParam();
+  Rig s(mesh::make_strip_mesh(16, 0.3, 2.0));
+  ASSERT_EQ(s.levels.num_levels, 2);
+  const auto part = s.make_partition(k);
+  expect_matches_serial(s, part, mode, 5);
+}
+
+TEST_P(ThreadedModes, MatchesSerialOnThreeLevelMesh) {
+  const auto [mode, k] = GetParam();
+  Rig s(mesh::make_strip_mesh(16, 0.3, 4.0));
+  ASSERT_GE(s.levels.num_levels, 3);
+  const auto part = s.make_partition(k);
+  expect_matches_serial(s, part, mode, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndRanks, ThreadedModes,
+    testing::Combine(testing::ValuesIn(kAllSchedulerModes), testing::Values<rank_t>(1, 2, 4, 8)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) == "barrier-all"
+                 ? "BarrierAll" + std::to_string(std::get<1>(info.param))
+             : to_string(std::get<0>(info.param)) == "level-aware"
+                 ? "LevelAware" + std::to_string(std::get<1>(info.param))
+                 : "LevelAwareSteal" + std::to_string(std::get<1>(info.param));
+    });
 
 TEST(Threaded, MatchesSerialOn3DElastic) {
   Rig s(mesh::make_embedding_mesh({.n = 5, .squeeze = 4.0, .radius = 0.45,
@@ -91,64 +122,132 @@ TEST(Threaded, MatchesSerialOn3DElastic) {
         2, /*elastic=*/true);
   ASSERT_GE(s.levels.num_levels, 2);
   const auto part = s.make_partition(4);
-  ThreadedLtsSolver threaded(*s.op, s.levels, s.structure, part);
-  core::LtsNewmarkSolver serial(*s.op, s.levels, s.structure);
-  const auto u0 = s.initial();
-  const std::vector<real_t> v0(s.ndof, 0.0);
-  threaded.set_state(u0, v0);
-  serial.set_state(u0, v0);
-  threaded.run_cycles(3);
-  for (int i = 0; i < 3; ++i) serial.step();
-  EXPECT_LT(max_abs_diff(threaded.u(), serial.u()), 1e-11);
+  for (const SchedulerMode mode : kAllSchedulerModes) expect_matches_serial(s, part, mode, 3);
 }
 
 TEST(Threaded, DeterministicAcrossRuns) {
+  // Fixed reduction order -> bitwise equality for the non-stealing modes.
   Rig s(mesh::make_strip_mesh(12, 0.4, 4.0));
   const auto part = s.make_partition(4);
   const auto u0 = s.initial();
   const std::vector<real_t> v0(s.ndof, 0.0);
 
-  std::vector<real_t> first;
-  for (int run = 0; run < 2; ++run) {
-    ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part);
-    solver.set_state(u0, v0);
-    solver.run_cycles(4);
-    if (run == 0)
-      first = solver.u();
-    else
-      EXPECT_EQ(first, solver.u()); // fixed reduction order -> bitwise equal
+  for (const SchedulerMode mode : {SchedulerMode::BarrierAll, SchedulerMode::LevelAware}) {
+    std::vector<real_t> first;
+    for (int run = 0; run < 2; ++run) {
+      ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part, cfg_for(mode));
+      solver.set_state(u0, v0);
+      solver.run_cycles(4);
+      if (run == 0)
+        first = solver.u();
+      else
+        EXPECT_EQ(first, solver.u()) << to_string(mode);
+    }
   }
+}
+
+TEST(Threaded, StateAndTeamReusedAcrossCalls) {
+  // Splitting the cycles over several run_cycles calls must give the exact
+  // result of one big call: the pool and all solver state persist.
+  Rig s(mesh::make_strip_mesh(16, 0.3, 4.0));
+  const auto part = s.make_partition(4);
+  const auto u0 = s.initial();
+  const std::vector<real_t> v0(s.ndof, 0.0);
+
+  ThreadedLtsSolver once(*s.op, s.levels, s.structure, part, cfg_for(SchedulerMode::LevelAware));
+  once.set_state(u0, v0);
+  once.run_cycles(5);
+
+  ThreadedLtsSolver split(*s.op, s.levels, s.structure, part, cfg_for(SchedulerMode::LevelAware));
+  split.set_state(u0, v0);
+  split.run_cycles(2);
+  split.run_cycles(3);
+
+  EXPECT_EQ(once.u(), split.u());
+  EXPECT_EQ(once.v_half(), split.v_half());
+  EXPECT_NEAR(once.time(), split.time(), 1e-12);
 }
 
 TEST(Threaded, SingleLevelFallsBackToNewmark) {
   Rig s(mesh::make_uniform_box(4, 4, 2));
   ASSERT_EQ(s.levels.num_levels, 1);
   const auto part = s.make_partition(4);
-  ThreadedLtsSolver threaded(*s.op, s.levels, s.structure, part);
-  core::NewmarkSolver serial(*s.op, s.levels.dt);
-  const auto u0 = s.initial();
-  const std::vector<real_t> v0(s.ndof, 0.0);
-  threaded.set_state(u0, v0);
-  serial.set_state(u0, v0);
-  threaded.run_cycles(5);
-  for (int i = 0; i < 5; ++i) serial.step();
-  EXPECT_LT(max_abs_diff(threaded.u(), serial.u()), 1e-12);
+  for (const SchedulerMode mode : kAllSchedulerModes) {
+    ThreadedLtsSolver threaded(*s.op, s.levels, s.structure, part, cfg_for(mode));
+    core::NewmarkSolver serial(*s.op, s.levels.dt);
+    const auto u0 = s.initial();
+    const std::vector<real_t> v0(s.ndof, 0.0);
+    threaded.set_state(u0, v0);
+    serial.set_state(u0, v0);
+    threaded.run_cycles(5);
+    for (int i = 0; i < 5; ++i) serial.step();
+    EXPECT_LT(max_abs_diff(threaded.u(), serial.u()), 1e-12) << to_string(mode);
+  }
 }
 
-TEST(Threaded, ReportsBusyAndStall) {
+TEST(Threaded, LevelParticipationExcludesCoarseOnlyRanks) {
+  // Strip of 8: elements 0-3 fine (level 2), 4-7 coarse. Rank 2 owns only
+  // far-coarse elements, so it must not take part in fine substep barriers;
+  // ranks 0 and 1 do (rank 1 through the halo element 4).
+  Rig s(mesh::make_strip_mesh(8, 0.5, 2.0));
+  ASSERT_EQ(s.levels.num_levels, 2);
+  partition::Partition part;
+  part.num_parts = 3;
+  part.part = {0, 0, 0, 0, 1, 1, 2, 2};
+
+  ThreadedLtsSolver aware(*s.op, s.levels, s.structure, part, cfg_for(SchedulerMode::LevelAware));
+  EXPECT_EQ(aware.level_participants(1), 3);
+  EXPECT_EQ(aware.level_participants(2), 2);
+
+  ThreadedLtsSolver all(*s.op, s.levels, s.structure, part, cfg_for(SchedulerMode::BarrierAll));
+  EXPECT_EQ(all.level_participants(1), 3);
+  EXPECT_EQ(all.level_participants(2), 3);
+
+  // The handmade imbalanced partition must still be bit-correct in all modes.
+  for (const SchedulerMode mode : kAllSchedulerModes) expect_matches_serial(s, part, mode, 4);
+}
+
+TEST(Threaded, CountersAccumulateUntilReset) {
   Rig s(mesh::make_strip_mesh(16, 0.3, 4.0));
   const auto part = s.make_partition(4);
-  ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part);
+  ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part,
+                           cfg_for(SchedulerMode::LevelAwareSteal));
   const auto u0 = s.initial();
   const std::vector<real_t> v0(s.ndof, 0.0);
   solver.set_state(u0, v0);
+
   const double wall = solver.run_cycles(10);
   EXPECT_GT(wall, 0);
   ASSERT_EQ(solver.busy_seconds().size(), 4u);
+  ASSERT_EQ(solver.steal_counts().size(), 4u);
+  std::vector<double> busy_after_first = solver.busy_seconds();
   for (rank_t r = 0; r < 4; ++r) {
     EXPECT_GT(solver.busy_seconds()[static_cast<std::size_t>(r)], 0);
     EXPECT_GE(solver.stall_seconds()[static_cast<std::size_t>(r)], 0);
+    EXPECT_GE(solver.steal_counts()[static_cast<std::size_t>(r)], 0);
   }
+
+  // Counters accumulate across calls (no implicit reset)...
+  solver.run_cycles(5);
+  for (rank_t r = 0; r < 4; ++r)
+    EXPECT_GE(solver.busy_seconds()[static_cast<std::size_t>(r)],
+              busy_after_first[static_cast<std::size_t>(r)]);
+
+  // ...until reset explicitly.
+  solver.reset_counters();
+  for (rank_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(solver.busy_seconds()[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_EQ(solver.stall_seconds()[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_EQ(solver.steal_counts()[static_cast<std::size_t>(r)], 0);
+  }
+}
+
+TEST(Threaded, OversubscriptionThrowsByDefault) {
+  Rig s(mesh::make_strip_mesh(16, 0.3, 2.0));
+  const auto n = static_cast<rank_t>(ThreadPool::hardware_threads());
+  const auto part = s.make_partition(n + 1);
+  SchedulerConfig strict; // default policy: Forbid
+  EXPECT_THROW(ThreadedLtsSolver(*s.op, s.levels, s.structure, part, strict), CheckFailure);
 }
 
 } // namespace

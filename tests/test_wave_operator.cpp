@@ -164,7 +164,9 @@ TEST(AcousticOperator, InteriorEquilibriumForLinearField) {
     const auto x = space.node_coord(g);
     const bool interior = x[0] > 1e-9 && x[0] < 1 - 1e-9 && x[1] > 1e-9 && x[1] < 1 - 1e-9 &&
                           x[2] > 1e-9 && x[2] < 1 - 1e-9;
-    if (interior) EXPECT_NEAR(ku[static_cast<std::size_t>(g)], 0.0, 1e-9);
+    if (interior) {
+      EXPECT_NEAR(ku[static_cast<std::size_t>(g)], 0.0, 1e-9);
+    }
   }
 }
 
