@@ -1,13 +1,28 @@
 // SEM kernel microbenchmarks (google-benchmark): per-element cost of the
 // acoustic and elastic stiffness application by polynomial order, and the
-// cost of the column-masked (LTS) apply relative to the full apply. These
+// cost of the column-masked (LTS) apply relative to the full apply — both the
+// legacy per-node-branch gather and the branch-free LevelMask plan. These
 // measurements anchor the cluster simulator's machine model (see
 // perf/calibrate.hpp).
+//
+// Each benchmark reports:
+//   elems/s        element applies per second,
+//   flops          arithmetic throughput (flop/s; the per-element flop count
+//                  follows the kernel structure, see flop model below),
+//   bytes_per_elem main-memory bytes streamed per element apply (gather,
+//                  metric tensors, scatter; D and the workspace stay cached).
+//
+// Unless --benchmark_out is given explicitly, results are also written as
+// machine-readable JSON to BENCH_kernels.json so the perf trajectory
+// accumulates across runs/commits.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/lts_newmark.hpp"
 #include "mesh/generators.hpp"
@@ -16,6 +31,46 @@
 using namespace ltswave;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Flop / traffic model of the element kernels (per element, n = nodes_1d).
+// ---------------------------------------------------------------------------
+
+// tensor_gradient: 3 directions x npts outputs x (n mul + n-1 add);
+// tensor_divergence_add: 3 x npts x (n mul + n add, accumulating);
+// acoustic pointwise: 18 flops/qp (symmetric 3x3 apply + kappa scale);
+// scatter: 1 add per node.
+double acoustic_flops_per_elem(int n) {
+  const double npts = static_cast<double>(n) * n * n;
+  return npts * (3.0 * (2 * n - 1) + 3.0 * (2 * n) + 18.0 + 1.0);
+}
+
+// Elastic: gradients/divergences for 3 fields, ~116 flops/qp pointwise
+// (H: 45, stress: ~26, flux: 45), 3 scatter adds per node.
+double elastic_flops_per_elem(int n) {
+  const double npts = static_cast<double>(n) * n * n;
+  return npts * (9.0 * (2 * n - 1) + 9.0 * (2 * n) + 116.0 + 3.0);
+}
+
+// Streamed bytes: l2g (8B) + field gather + metric data + out read/write.
+double acoustic_bytes_per_elem(int n) {
+  const double npts = static_cast<double>(n) * n * n;
+  return npts * 8.0 * (1 + 1 + 6 + 2); // l2g, u, gmat(6), out r+w
+}
+
+double elastic_bytes_per_elem(int n) {
+  const double npts = static_cast<double>(n) * n * n;
+  return npts * 8.0 * (1 + 3 + 9 + 9 + 6); // l2g, u(3), jinv(9), wjinv(9), out r+w(3)
+}
+
+void set_kernel_counters(benchmark::State& state, std::size_t nelems, double flops_per_elem,
+                         double bytes_per_elem) {
+  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(nelems),
+                                                 benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["flops"] = benchmark::Counter(flops_per_elem * static_cast<double>(nelems),
+                                               benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bytes_per_elem"] = benchmark::Counter(bytes_per_elem);
+}
 
 struct KernelFixture {
   mesh::HexMesh m;
@@ -27,7 +82,23 @@ struct KernelFixture {
     all.resize(static_cast<std::size_t>(m.num_elems()));
     std::iota(all.begin(), all.end(), 0);
   }
+
+  /// Uniform single-level structure: every node level 1. The legacy gather
+  /// still tests node_level[g] per node; the LevelMask plan classifies every
+  /// element homogeneous and skips masking entirely.
+  [[nodiscard]] core::LtsStructure uniform_structure() const {
+    core::LevelAssignment levels;
+    levels.num_levels = 1;
+    levels.dt = 1e-3;
+    levels.elem_level.assign(static_cast<std::size_t>(m.num_elems()), 1);
+    levels.level_counts.assign(1, m.num_elems());
+    return core::build_lts_structure(*space, levels);
+  }
 };
+
+// ---------------------------------------------------------------------------
+// Full applies
+// ---------------------------------------------------------------------------
 
 void BM_AcousticApply(benchmark::State& state) {
   KernelFixture f(static_cast<int>(state.range(0)));
@@ -39,8 +110,9 @@ void BM_AcousticApply(benchmark::State& state) {
     op.apply_add(f.all, u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
-                                                 benchmark::Counter::kIsIterationInvariantRate);
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
+                      acoustic_bytes_per_elem(n1));
 }
 BENCHMARK(BM_AcousticApply)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
@@ -54,14 +126,18 @@ void BM_ElasticApply(benchmark::State& state) {
     op.apply_add(f.all, u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
-                                                 benchmark::Counter::kIsIterationInvariantRate);
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
+                      elastic_bytes_per_elem(n1));
 }
 BENCHMARK(BM_ElasticApply)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Column-masked (LTS) applies: legacy per-node branch vs LevelMask plan
+// ---------------------------------------------------------------------------
+
 void BM_MaskedApply(benchmark::State& state) {
-  // Column-masked (LTS) apply over the same elements: measures the gather
-  // mask overhead relative to BM_AcousticApply at the same order.
+  // Legacy gather: branches on node_level[g] for every node of every element.
   KernelFixture f(static_cast<int>(state.range(0)));
   sem::AcousticOperator op(*f.space);
   auto ws = op.make_workspace();
@@ -72,10 +148,64 @@ void BM_MaskedApply(benchmark::State& state) {
     op.apply_add_level(f.all, node_level.data(), 1, u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  state.counters["elems/s"] = benchmark::Counter(static_cast<double>(f.all.size()),
-                                                 benchmark::Counter::kIsIterationInvariantRate);
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
+                      acoustic_bytes_per_elem(n1));
 }
 BENCHMARK(BM_MaskedApply)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MaskedApplyPlan(benchmark::State& state) {
+  // Branch-free LevelMask gather on the same workload: homogeneous elements
+  // take the unmasked fast path, so this should match BM_AcousticApply.
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const auto st = f.uniform_structure();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_level(f.all, st.mask, 1, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
+                      acoustic_bytes_per_elem(n1));
+}
+BENCHMARK(BM_MaskedApplyPlan)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticMaskedApply(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::ElasticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  std::vector<level_t> node_level(static_cast<std::size_t>(f.space->num_global_nodes()), 1);
+  std::vector<real_t> u(node_level.size() * 3, 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_level(f.all, node_level.data(), 1, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
+                      elastic_bytes_per_elem(n1));
+}
+BENCHMARK(BM_ElasticMaskedApply)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticMaskedApplyPlan(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::ElasticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const auto st = f.uniform_structure();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()) * 3, 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_level(f.all, st.mask, 1, u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
+                      elastic_bytes_per_elem(n1));
+}
+BENCHMARK(BM_ElasticMaskedApplyPlan)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_LtsCyclePerDof(benchmark::State& state) {
   // End-to-end: one LTS cycle on a 3-level strip, per-dof cost.
@@ -97,4 +227,23 @@ BENCHMARK(BM_LtsCyclePerDof)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to emitting machine-readable JSON next to the binary so perf
+  // trends accumulate without the caller having to remember the flags; an
+  // explicit --benchmark_out always wins.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false, has_fmt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out_format", 22) == 0) has_fmt = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) args.push_back(out_flag.data());
+  if (!has_fmt) args.push_back(fmt_flag.data());
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

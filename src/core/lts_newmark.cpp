@@ -4,16 +4,12 @@
 
 namespace ltswave::core {
 
-namespace {
-std::vector<real_t> expand_inv_mass(const sem::SemSpace& space, int ncomp) {
-  std::vector<real_t> im(static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp));
-  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
-    for (int c = 0; c < ncomp; ++c)
-      im[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp) + static_cast<std::size_t>(c)] =
-          space.inv_mass()[static_cast<std::size_t>(g)];
-  return im;
-}
-} // namespace
+// The lumped inverse mass is shared by all field components, so both solvers
+// keep one entry per *node* (not per dof) and index it by g inside the
+// component loops — one third of the mass-vector traffic on every elastic row
+// update. Dirichlet rows are realized by zeroing the node's entry
+// (set_fixed_nodes), which zeroes every component at once, exactly as the
+// former per-dof expansion did.
 
 // ===========================================================================
 // Production solver
@@ -30,7 +26,7 @@ LtsNewmarkSolver::LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssig
   const auto& space = op.space();
   const std::size_t ndof =
       static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
-  inv_mass_ = expand_inv_mass(space, ncomp_);
+  inv_mass_ = space.inv_mass();
   u_.assign(ndof, 0.0);
   v_.assign(ndof, 0.0);
   scratch_.assign(ndof, 0.0);
@@ -53,9 +49,7 @@ void LtsNewmarkSolver::add_source(const sem::PointSource& src) {
 }
 
 void LtsNewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
-  for (gindex_t g : nodes)
-    for (int c = 0; c < ncomp_; ++c)
-      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+  for (gindex_t g : nodes) inv_mass_[static_cast<std::size_t>(g)] = 0.0;
 }
 
 void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
@@ -68,8 +62,14 @@ void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const rea
   op_->apply_add(all, u_.data(), scratch_.data(), ws_);
   std::vector<real_t> f(u_.size(), 0.0);
   for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
-  for (std::size_t i = 0; i < v_.size(); ++i)
-    v_[i] = v0[i] - 0.5 * dt_ * inv_mass_[i] * (f[i] - scratch_[i]);
+  for (gindex_t g = 0; g < op_->space().num_global_nodes(); ++g) {
+    const real_t im = inv_mass_[static_cast<std::size_t>(g)];
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+      v_[i] = v0[i] - 0.5 * dt_ * im * (f[i] - scratch_[i]);
+    }
+  }
   time_ = 0;
 }
 
@@ -80,10 +80,11 @@ void LtsNewmarkSolver::apply_sources_to(level_t k, real_t t_sub,
   // the (full-length, persistently zero) accumulator can be cleared in O(#src).
   for (const auto& s : sources_by_level_[static_cast<std::size_t>(k - 1)]) {
     const real_t val = s.amplitude * s.wavelet(t_sub);
+    const real_t im = inv_mass_[static_cast<std::size_t>(s.node)];
     for (int c = 0; c < ncomp_; ++c) {
       const std::size_t i =
           static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-      force_accum[i] -= inv_mass_[i] * val * s.direction[static_cast<std::size_t>(c)];
+      force_accum[i] -= im * val * s.direction[static_cast<std::size_t>(c)];
       src_dirty_.push_back(i);
     }
   }
@@ -104,19 +105,24 @@ void LtsNewmarkSolver::recompute_force(level_t k) {
     for (int c = 0; c < ncomp_; ++c)
       scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
 
-  op_->apply_add_level(elems, structure_->node_level.data(), k, u_.data(), scratch_.data(), ws_);
+  apply_level_restricted(elems, k);
   applies_total_ += static_cast<std::int64_t>(elems.size());
   applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
 
   for (gindex_t g : rows) {
+    const real_t im = inv_mass_[static_cast<std::size_t>(g)];
     for (int c = 0; c < ncomp_; ++c) {
       const std::size_t i =
           static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-      const real_t fresh = inv_mass_[i] * scratch_[i];
+      const real_t fresh = im * scratch_[i];
       cumulative_[i] += fresh - fk[i];
       fk[i] = fresh;
     }
   }
+}
+
+void LtsNewmarkSolver::apply_level_restricted(std::span<const index_t> elems, level_t k) {
+  structure_->apply_level_restricted(*op_, elems, k, u_.data(), scratch_.data(), ws_);
 }
 
 void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> rows, bool first,
@@ -169,16 +175,15 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
       for (gindex_t g : rows)
         for (int c = 0; c < ncomp_; ++c)
           scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
-      op_->apply_add_level(elems, structure_->node_level.data(), k, u_.data(), scratch_.data(), ws_);
+      apply_level_restricted(elems, k);
       applies_total_ += static_cast<std::int64_t>(elems.size());
       applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
       // Scale K u by Minv in place (rows only).
-      for (gindex_t g : rows)
-        for (int c = 0; c < ncomp_; ++c) {
-          const std::size_t i =
-              static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-          scratch_[i] *= inv_mass_[i];
-        }
+      for (gindex_t g : rows) {
+        const real_t im = inv_mass_[static_cast<std::size_t>(g)];
+        for (int c = 0; c < ncomp_; ++c)
+          scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] *= im;
+      }
       collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
                        tm, vt, scratch_.data());
       continue;
@@ -229,11 +234,16 @@ void LtsNewmarkSolver::step() {
     applies_per_level_[0] += static_cast<std::int64_t>(elems.size());
     const bool has_sources = !sources_.empty();
     if (has_sources) apply_sources_to(1, time_, src_scratch_);
-    for (std::size_t i = 0; i < u_.size(); ++i) {
-      real_t F = inv_mass_[i] * scratch_[i];
-      if (has_sources) F += src_scratch_[i];
-      v_[i] -= dt_ * F;
-      u_[i] += dt_ * v_[i];
+    for (gindex_t g = 0; g < op_->space().num_global_nodes(); ++g) {
+      const real_t im = inv_mass_[static_cast<std::size_t>(g)];
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i =
+            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        real_t F = im * scratch_[i];
+        if (has_sources) F += src_scratch_[i];
+        v_[i] -= dt_ * F;
+        u_[i] += dt_ * v_[i];
+      }
     }
     if (has_sources) clear_source_scratch();
     time_ += dt_;
@@ -300,7 +310,7 @@ LtsNewmarkReference::LtsNewmarkReference(const sem::WaveOperator& op,
   const auto& space = op.space();
   const std::size_t ndof =
       static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
-  inv_mass_ = expand_inv_mass(space, ncomp_);
+  inv_mass_ = space.inv_mass();
   u_.assign(ndof, 0.0);
   v_.assign(ndof, 0.0);
 }
@@ -312,15 +322,23 @@ void LtsNewmarkReference::set_state(std::span<const real_t> u0, std::span<const 
   for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
   std::vector<real_t> ku(u_.size(), 0.0);
   op_->apply_add(all, u_.data(), ku.data(), ws_);
-  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] = v0[i] + 0.5 * dt_ * inv_mass_[i] * ku[i];
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+    const real_t im = inv_mass_[g];
+    for (std::size_t c = 0; c < nc; ++c) v_[g * nc + c] = v0[g * nc + c] + 0.5 * dt_ * im * ku[g * nc + c];
+  }
   time_ = 0;
 }
 
 std::vector<real_t> LtsNewmarkReference::apply_level(level_t k, const std::vector<real_t>& field) {
   std::vector<real_t> out(field.size(), 0.0);
-  op_->apply_add_level(structure_->eval_elems[static_cast<std::size_t>(k - 1)],
-                       structure_->node_level.data(), k, field.data(), out.data(), ws_);
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= inv_mass_[i];
+  structure_->apply_level_restricted(*op_, structure_->eval_elems[static_cast<std::size_t>(k - 1)],
+                                     k, field.data(), out.data(), ws_);
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+    const real_t im = inv_mass_[g];
+    for (std::size_t c = 0; c < nc; ++c) out[g * nc + c] *= im;
+  }
   return out;
 }
 

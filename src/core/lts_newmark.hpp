@@ -59,6 +59,7 @@ public:
 
 private:
   void recompute_force(level_t k);
+  void apply_level_restricted(std::span<const index_t> elems, level_t k);
   void run_level(level_t k, real_t t0);
   void collapsed_update(level_t k, std::span<const gindex_t> rows, bool first, real_t delta,
                         real_t t_sub, std::vector<real_t>& vt, const real_t* extra);
@@ -73,7 +74,8 @@ private:
   real_t cycle_t0_ = 0; ///< start of the current cycle; sources freeze here
   int ncomp_;
 
-  std::vector<real_t> inv_mass_; // interleaved per dof; Dirichlet rows zeroed
+  std::vector<real_t> inv_mass_; // one entry per node (components share it);
+                                 // Dirichlet nodes zeroed
   std::vector<real_t> u_, v_;
   std::vector<real_t> scratch_;               // K-apply target
   std::vector<real_t> cumulative_;            // C = sum_{j<=N-1} forces[j]

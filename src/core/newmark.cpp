@@ -14,18 +14,12 @@ NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
   scratch_.assign(ndof, 0.0);
   all_elems_.resize(static_cast<std::size_t>(space.num_elems()));
   std::iota(all_elems_.begin(), all_elems_.end(), 0);
-  // Expand the scalar inverse mass to the interleaved dof layout once.
-  inv_mass_.resize(ndof);
-  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
-    for (int c = 0; c < ncomp_; ++c)
-      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] =
-          space.inv_mass()[static_cast<std::size_t>(g)];
+  // One inverse-mass entry per node; all components share it.
+  inv_mass_ = space.inv_mass();
 }
 
 void NewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
-  for (gindex_t g : nodes)
-    for (int c = 0; c < ncomp_; ++c)
-      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
+  for (gindex_t g : nodes) inv_mass_[static_cast<std::size_t>(g)] = 0.0;
 }
 
 void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
@@ -37,8 +31,14 @@ void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t
   applies_ += static_cast<std::int64_t>(all_elems_.size());
   std::vector<real_t> f(u_.size(), 0.0);
   for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
-  for (std::size_t i = 0; i < v_.size(); ++i)
-    v_[i] = v0[i] - 0.5 * dt_ * inv_mass_[i] * (f[i] - scratch_[i]);
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+    const real_t im = inv_mass_[g];
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::size_t i = g * nc + c;
+      v_[i] = v0[i] - 0.5 * dt_ * im * (f[i] - scratch_[i]);
+    }
+  }
   time_ = 0;
 }
 
@@ -53,9 +53,14 @@ void NewmarkSolver::step() {
       scratch_[static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] +=
           val * s.direction[static_cast<std::size_t>(c)];
   }
-  for (std::size_t i = 0; i < u_.size(); ++i) {
-    v_[i] -= dt_ * inv_mass_[i] * scratch_[i];
-    u_[i] += dt_ * v_[i];
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+    const real_t im = inv_mass_[g];
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::size_t i = g * nc + c;
+      v_[i] -= dt_ * im * scratch_[i];
+      u_[i] += dt_ * v_[i];
+    }
   }
   time_ += dt_;
 }

@@ -47,7 +47,7 @@ private:
   real_t dt_;
   real_t time_ = 0;
   int ncomp_;
-  std::vector<real_t> inv_mass_; // possibly with Dirichlet rows zeroed
+  std::vector<real_t> inv_mass_; // per node (components share it); Dirichlet nodes zeroed
   std::vector<index_t> all_elems_;
   std::vector<real_t> u_, v_, scratch_;
   std::vector<sem::PointSource> sources_;

@@ -23,11 +23,8 @@ ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
   const auto& space = op.space();
   ndof_ = static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
 
-  inv_mass_.resize(ndof_);
-  for (gindex_t g = 0; g < space.num_global_nodes(); ++g)
-    for (int c = 0; c < ncomp_; ++c)
-      inv_mass_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] =
-          space.inv_mass()[static_cast<std::size_t>(g)];
+  // One inverse-mass entry per node; all components share it.
+  inv_mass_ = space.inv_mass();
 
   u_.assign(ndof_, 0.0);
   v_.assign(ndof_, 0.0);
@@ -229,7 +226,12 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
   for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
   auto ws = op_->make_workspace();
   op_->apply_add(all, u_.data(), scratch_.data(), ws);
-  for (std::size_t i = 0; i < ndof_; ++i) v_[i] = v0[i] + 0.5 * dt_ * inv_mass_[i] * scratch_[i];
+  const std::size_t nc = static_cast<std::size_t>(ncomp_);
+  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+    const real_t im = inv_mass_[g];
+    for (std::size_t c = 0; c < nc; ++c)
+      v_[g * nc + c] = v0[g * nc + c] + 0.5 * dt_ * im * scratch_[g * nc + c];
+  }
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
   for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
   if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
@@ -257,11 +259,11 @@ void ThreadedLtsSolver::run_chunk(RankData& self, const RankData& owner, level_t
     }
   }
   const auto& elems = owner.eval_elems[static_cast<std::size_t>(k - 1)];
-  op_->apply_add_level(std::span<const index_t>(elems).subspan(
-                           static_cast<std::size_t>(chunk.begin),
-                           static_cast<std::size_t>(chunk.end - chunk.begin)),
-                       structure_->node_level.data(), k, u_.data(), self.private_buf.data(),
-                       *self.workspace);
+  structure_->apply_level_restricted(*op_,
+                                     std::span<const index_t>(elems).subspan(
+                                         static_cast<std::size_t>(chunk.begin),
+                                         static_cast<std::size_t>(chunk.end - chunk.begin)),
+                                     k, u_.data(), self.private_buf.data(), *self.workspace);
 }
 
 void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
@@ -301,8 +303,8 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
     for (gindex_t g : rd.private_rows[L])
       for (int c = 0; c < ncomp_; ++c)
         rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
-    op_->apply_add_level(rd.eval_elems[L], st.node_level.data(), k, u_.data(),
-                         rd.private_buf.data(), *rd.workspace);
+    st.apply_level_restricted(*op_, rd.eval_elems[L], k, u_.data(), rd.private_buf.data(),
+                              *rd.workspace);
   }
   busy_[static_cast<std::size_t>(r)] += timer.seconds();
 
@@ -314,7 +316,7 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
   const bool track_force = k < levels_->num_levels;
   auto fold = [&](gindex_t g, real_t contrib, int c) {
     const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-    const real_t fresh = inv_mass_[i] * contrib;
+    const real_t fresh = inv_mass_[static_cast<std::size_t>(g)] * contrib;
     scratch_[i] = fresh;
     if (track_force) {
       auto& fk = forces_[L];

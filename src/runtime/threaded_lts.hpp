@@ -123,7 +123,7 @@ private:
   real_t time_ = 0;
   std::size_t ndof_ = 0;
 
-  std::vector<real_t> inv_mass_;
+  std::vector<real_t> inv_mass_; // per node (components share it)
   std::vector<real_t> u_, v_;
   std::vector<real_t> scratch_;
   std::vector<real_t> cumulative_;

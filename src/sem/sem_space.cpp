@@ -199,6 +199,8 @@ void SemSpace::build_geometry() {
   coords_.assign(static_cast<std::size_t>(num_global_) * 3, 0.0);
   jinv_.assign(static_cast<std::size_t>(ne) * npts * 9, 0.0);
   wdet_.assign(static_cast<std::size_t>(ne) * npts, 0.0);
+  gmat_.assign(static_cast<std::size_t>(ne) * 6 * npts, 0.0);
+  wjinv_.assign(static_cast<std::size_t>(ne) * npts * 9, 0.0);
   mass_.assign(static_cast<std::size_t>(num_global_), 0.0);
 
   for (index_t e = 0; e < ne; ++e) {
@@ -243,7 +245,23 @@ void SemSpace::build_geometry() {
           ji[2 * 3 + 2] = (J[0][0] * J[1][1] - J[0][1] * J[1][0]) / det;
 
           const real_t wq = w[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(k)];
-          wdet_[static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)] = wq * det;
+          const real_t wd = wq * det;
+          wdet_[static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)] = wd;
+
+          // Fused metrics for the kernel engine: the symmetric
+          // G = wdet * Jinv Jinv^T (six SoA planes per element, acoustic
+          // path) and wdet * Jinv (elastic flux factor).
+          real_t* gm = gmat_.data() + static_cast<std::size_t>(e) * 6 * npts;
+          int plane = 0;
+          for (int r = 0; r < 3; ++r)
+            for (int s = r; s < 3; ++s) {
+              gm[static_cast<std::size_t>(plane) * npts + static_cast<std::size_t>(q)] =
+                  wd * (ji[r * 3] * ji[s * 3] + ji[r * 3 + 1] * ji[s * 3 + 1] +
+                        ji[r * 3 + 2] * ji[s * 3 + 2]);
+              ++plane;
+            }
+          real_t* wj = wjinv_.data() + (static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)) * 9;
+          for (int t = 0; t < 9; ++t) wj[t] = wd * ji[t];
 
           const gindex_t g = l2g[q];
           coords_[static_cast<std::size_t>(g) * 3 + 0] = pos[0];
@@ -259,19 +277,98 @@ void SemSpace::build_geometry() {
     LTS_CHECK_MSG(mass_[g] > 0, "non-positive lumped mass at node " << g);
     inv_mass_[g] = 1.0 / mass_[g];
   }
+
+  build_node_grid();
+}
+
+void SemSpace::build_node_grid() {
+  // Coarse uniform grid over the node bounding box, ~8 nodes per cell on
+  // average; O(num_nodes) to build, near-O(1) per nearest_node query.
+  std::array<real_t, 3> hi = {coords_[0], coords_[1], coords_[2]};
+  grid_lo_ = hi;
+  for (gindex_t g = 0; g < num_global_; ++g) {
+    const std::size_t b = static_cast<std::size_t>(g) * 3;
+    for (int d = 0; d < 3; ++d) {
+      grid_lo_[static_cast<std::size_t>(d)] = std::min(grid_lo_[static_cast<std::size_t>(d)], coords_[b + static_cast<std::size_t>(d)]);
+      hi[static_cast<std::size_t>(d)] = std::max(hi[static_cast<std::size_t>(d)], coords_[b + static_cast<std::size_t>(d)]);
+    }
+  }
+  const int dim = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(num_global_) / 8.0)));
+  std::size_t ncells = 1;
+  for (int d = 0; d < 3; ++d) {
+    const real_t ext = hi[static_cast<std::size_t>(d)] - grid_lo_[static_cast<std::size_t>(d)];
+    grid_dims_[static_cast<std::size_t>(d)] = ext > 0 ? dim : 1;
+    grid_cell_[static_cast<std::size_t>(d)] =
+        ext > 0 ? ext / grid_dims_[static_cast<std::size_t>(d)] : real_t{1};
+    ncells *= static_cast<std::size_t>(grid_dims_[static_cast<std::size_t>(d)]);
+  }
+
+  auto cell_of = [&](gindex_t g, int d) {
+    const real_t rel = (coords_[static_cast<std::size_t>(g) * 3 + static_cast<std::size_t>(d)] -
+                        grid_lo_[static_cast<std::size_t>(d)]) / grid_cell_[static_cast<std::size_t>(d)];
+    return std::clamp(static_cast<int>(rel), 0, grid_dims_[static_cast<std::size_t>(d)] - 1);
+  };
+  auto cell_id = [&](int cx, int cy, int cz) {
+    return (static_cast<std::size_t>(cz) * static_cast<std::size_t>(grid_dims_[1]) + static_cast<std::size_t>(cy)) *
+               static_cast<std::size_t>(grid_dims_[0]) + static_cast<std::size_t>(cx);
+  };
+
+  grid_start_.assign(ncells + 1, 0);
+  for (gindex_t g = 0; g < num_global_; ++g)
+    ++grid_start_[cell_id(cell_of(g, 0), cell_of(g, 1), cell_of(g, 2)) + 1];
+  for (std::size_t c = 0; c < ncells; ++c) grid_start_[c + 1] += grid_start_[c];
+  grid_nodes_.resize(static_cast<std::size_t>(num_global_));
+  std::vector<std::size_t> cursor(grid_start_.begin(), grid_start_.end() - 1);
+  for (gindex_t g = 0; g < num_global_; ++g)
+    grid_nodes_[cursor[cell_id(cell_of(g, 0), cell_of(g, 1), cell_of(g, 2))]++] = g;
 }
 
 gindex_t SemSpace::nearest_node(std::array<real_t, 3> x) const {
+  // Expanding-ring search outward from the query's (clamped) cell. A node in
+  // a cell whose index differs by rho >= 1 along some axis is at least
+  // (rho - 1) * cell_extent away along that axis, so once the best distance
+  // beats that bound the search is complete.
+  std::array<int, 3> c0;
+  for (int d = 0; d < 3; ++d) {
+    const real_t rel = (x[static_cast<std::size_t>(d)] - grid_lo_[static_cast<std::size_t>(d)]) /
+                       grid_cell_[static_cast<std::size_t>(d)];
+    c0[static_cast<std::size_t>(d)] = std::clamp(static_cast<int>(rel), 0, grid_dims_[static_cast<std::size_t>(d)] - 1);
+  }
+  const real_t min_cell = std::min({grid_cell_[0], grid_cell_[1], grid_cell_[2]});
+  const int max_ring = std::max({grid_dims_[0], grid_dims_[1], grid_dims_[2]});
+
   gindex_t best = 0;
   real_t best_d = std::numeric_limits<real_t>::max();
-  for (gindex_t g = 0; g < num_global_; ++g) {
-    const std::size_t b = static_cast<std::size_t>(g) * 3;
-    const real_t dx = coords_[b] - x[0], dy = coords_[b + 1] - x[1], dz = coords_[b + 2] - x[2];
-    const real_t d = dx * dx + dy * dy + dz * dz;
-    if (d < best_d) {
-      best_d = d;
-      best = g;
+  auto scan_cell = [&](int cx, int cy, int cz) {
+    const std::size_t c =
+        (static_cast<std::size_t>(cz) * static_cast<std::size_t>(grid_dims_[1]) + static_cast<std::size_t>(cy)) *
+            static_cast<std::size_t>(grid_dims_[0]) + static_cast<std::size_t>(cx);
+    for (std::size_t i = grid_start_[c]; i < grid_start_[c + 1]; ++i) {
+      const gindex_t g = grid_nodes_[i];
+      const std::size_t b = static_cast<std::size_t>(g) * 3;
+      const real_t dx = coords_[b] - x[0], dy = coords_[b + 1] - x[1], dz = coords_[b + 2] - x[2];
+      const real_t d = dx * dx + dy * dy + dz * dz;
+      if (d < best_d) {
+        best_d = d;
+        best = g;
+      }
     }
+  };
+
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best_d < std::numeric_limits<real_t>::max() && ring > 1) {
+      const real_t reach = static_cast<real_t>(ring - 1) * min_cell;
+      if (reach * reach > best_d) break;
+    }
+    const int xlo = std::max(0, c0[0] - ring), xhi = std::min(grid_dims_[0] - 1, c0[0] + ring);
+    const int ylo = std::max(0, c0[1] - ring), yhi = std::min(grid_dims_[1] - 1, c0[1] + ring);
+    const int zlo = std::max(0, c0[2] - ring), zhi = std::min(grid_dims_[2] - 1, c0[2] + ring);
+    for (int cz = zlo; cz <= zhi; ++cz)
+      for (int cy = ylo; cy <= yhi; ++cy)
+        for (int cx = xlo; cx <= xhi; ++cx) {
+          const int cheb = std::max({std::abs(cx - c0[0]), std::abs(cy - c0[1]), std::abs(cz - c0[2])});
+          if (cheb == ring) scan_cell(cx, cy, cz);
+        }
   }
   return best;
 }

@@ -43,8 +43,9 @@ public:
     return {coords_[b], coords_[b + 1], coords_[b + 2]};
   }
 
-  /// Global node nearest to a physical point (linear scan; intended for
-  /// source/receiver placement, not inner loops).
+  /// Global node nearest to a physical point. Served by a coarse uniform-grid
+  /// spatial index (built once at construction) with an expanding-ring
+  /// search, so source/receiver placement stays fast on large meshes.
   [[nodiscard]] gindex_t nearest_node(std::array<real_t, 3> x) const;
 
   /// Inverse Jacobian at quadrature point q of element e, row-major 3x3 with
@@ -56,6 +57,21 @@ public:
   /// Quadrature weight times Jacobian determinant at point q of element e.
   [[nodiscard]] real_t wdet(index_t e, int q) const {
     return wdet_[static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)];
+  }
+
+  /// Fused symmetric metric for the acoustic kernel: per quadrature point the
+  /// matrix G = wdet * Jinv * Jinv^T (entry (r,s) = wdet * sum_d
+  /// jinv[r][d] jinv[s][d]). Stored per element as six SoA planes of
+  /// nodes_per_elem() values in the order G00, G01, G02, G11, G12, G22, so
+  /// the per-point symmetric apply streams six contiguous arrays.
+  [[nodiscard]] const real_t* gmat(index_t e) const {
+    return gmat_.data() + static_cast<std::size_t>(e) * 6 * static_cast<std::size_t>(nodes_per_elem());
+  }
+
+  /// wdet * Jinv at quadrature point q of element e (row-major 3x3), the
+  /// precomputed flux factor for the elastic kernel.
+  [[nodiscard]] const real_t* wjinv(index_t e, int q) const {
+    return wjinv_.data() + (static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)) * 9;
   }
 
   /// Diagonal global mass matrix (length num_global_nodes()); strictly
@@ -71,6 +87,7 @@ public:
 private:
   void build_numbering();
   void build_geometry();
+  void build_node_grid();
 
   const mesh::HexMesh* mesh_;
   ReferenceElement ref_;
@@ -79,8 +96,17 @@ private:
   std::vector<real_t> coords_; // 3 * num_global_
   std::vector<real_t> jinv_;   // nelem * npts * 9
   std::vector<real_t> wdet_;   // nelem * npts
+  std::vector<real_t> gmat_;   // nelem * 6 * npts (SoA planes per element)
+  std::vector<real_t> wjinv_;  // nelem * npts * 9
   std::vector<real_t> mass_;
   std::vector<real_t> inv_mass_;
+
+  // Coarse uniform grid over the node cloud for nearest_node queries.
+  std::array<int, 3> grid_dims_ = {1, 1, 1};
+  std::array<real_t, 3> grid_lo_ = {0, 0, 0};
+  std::array<real_t, 3> grid_cell_ = {1, 1, 1};
+  std::vector<std::size_t> grid_start_; // CSR offsets, dims product + 1
+  std::vector<gindex_t> grid_nodes_;    // node ids bucketed by cell
 };
 
 } // namespace ltswave::sem

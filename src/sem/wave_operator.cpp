@@ -4,79 +4,21 @@ namespace ltswave::sem {
 
 KernelWorkspace::KernelWorkspace(const SemSpace& space, int ncomp) {
   const auto npts = static_cast<std::size_t>(space.nodes_per_elem());
-  stride_ = npts;
-  // Buffers: gather (ncomp) + reference gradients (3*ncomp) + fluxes (3*ncomp)
-  // + output accumulation (ncomp) = 8*ncomp element-sized blocks.
-  buf_.assign(stride_ * static_cast<std::size_t>(8 * ncomp), 0.0);
+  // Pad the per-buffer stride to a whole number of cache lines so every
+  // buffer(i) shares buffer(0)'s 64-byte alignment.
+  stride_ = (npts + 7u) & ~std::size_t{7u};
+  // Buffers: gather (ncomp) + output (ncomp) + reference gradients / fluxes
+  // (3*ncomp) + slack = 8*ncomp element-sized blocks, plus 8 doubles so the
+  // base can be rounded up to a 64-byte boundary.
+  buf_.assign(stride_ * static_cast<std::size_t>(8 * ncomp) + 8u, 0.0);
 }
 
 namespace {
 
-/// d/dxi contractions: for data f on the (n1)^3 tensor grid computes
-/// g1 = D f (x-direction), g2, g3 likewise. D is row-major n1 x n1.
-inline void tensor_gradient(int n1, const real_t* D, const real_t* f, real_t* g1, real_t* g2,
-                            real_t* g3) {
-  const int n2 = n1 * n1;
-  for (int k = 0; k < n1; ++k)
-    for (int j = 0; j < n1; ++j) {
-      const real_t* fj = f + (k * n1 + j) * n1;
-      real_t* g1j = g1 + (k * n1 + j) * n1;
-      for (int i = 0; i < n1; ++i) {
-        const real_t* Di = D + i * n1;
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += Di[m] * fj[m];
-        g1j[i] = s;
-      }
-    }
-  for (int k = 0; k < n1; ++k)
-    for (int i = 0; i < n1; ++i) {
-      for (int j = 0; j < n1; ++j) {
-        const real_t* Dj = D + j * n1;
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += Dj[m] * f[(k * n1 + m) * n1 + i];
-        g2[(k * n1 + j) * n1 + i] = s;
-      }
-    }
-  for (int j = 0; j < n1; ++j)
-    for (int i = 0; i < n1; ++i) {
-      for (int k = 0; k < n1; ++k) {
-        const real_t* Dk = D + k * n1;
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += Dk[m] * f[(m * n1 + j) * n1 + i];
-        g3[(k * n1 + j) * n1 + i] = s;
-      }
-    }
-  (void)n2;
-}
-
-/// Transposed contractions: out(a) += sum_m D(m,a) F1(m,..) + ... — the weak
-/// divergence completing the stiffness apply.
-inline void tensor_divergence_add(int n1, const real_t* D, const real_t* F1, const real_t* F2,
-                                  const real_t* F3, real_t* out) {
-  for (int k = 0; k < n1; ++k)
-    for (int j = 0; j < n1; ++j) {
-      const real_t* F1j = F1 + (k * n1 + j) * n1;
-      real_t* oj = out + (k * n1 + j) * n1;
-      for (int a = 0; a < n1; ++a) {
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += D[m * n1 + a] * F1j[m];
-        oj[a] += s;
-      }
-    }
-  for (int k = 0; k < n1; ++k)
-    for (int i = 0; i < n1; ++i)
-      for (int b = 0; b < n1; ++b) {
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += D[m * n1 + b] * F2[(k * n1 + m) * n1 + i];
-        out[(k * n1 + b) * n1 + i] += s;
-      }
-  for (int j = 0; j < n1; ++j)
-    for (int i = 0; i < n1; ++i)
-      for (int c = 0; c < n1; ++c) {
-        real_t s = 0;
-        for (int m = 0; m < n1; ++m) s += D[m * n1 + c] * F3[(m * n1 + j) * n1 + i];
-        out[(c * n1 + j) * n1 + i] += s;
-      }
+/// Returns the kernel-selection node count: the real n1 in Auto mode, or a
+/// value outside the specialized range to force the runtime-n1 fallback.
+int dispatch_n1(const SemSpace& space, KernelMode mode) {
+  return mode == KernelMode::Auto ? space.ref().nodes_1d() : 0;
 }
 
 } // namespace
@@ -85,7 +27,8 @@ inline void tensor_divergence_add(int n1, const real_t* D, const real_t* F1, con
 // Acoustic
 // ---------------------------------------------------------------------------
 
-AcousticOperator::AcousticOperator(const SemSpace& space) : WaveOperator(space) {
+AcousticOperator::AcousticOperator(const SemSpace& space, KernelMode mode)
+    : WaveOperator(space), kernel_(kernels::acoustic_element_kernel(dispatch_n1(space, mode))) {
   const auto& m = space.mesh();
   kappa_.resize(static_cast<std::size_t>(m.num_elems()));
   for (index_t e = 0; e < m.num_elems(); ++e) {
@@ -94,68 +37,77 @@ AcousticOperator::AcousticOperator(const SemSpace& space) : WaveOperator(space) 
   }
 }
 
-template <bool Masked>
-void AcousticOperator::apply_impl(std::span<const index_t> elems, const level_t* node_level,
-                                  level_t level, const real_t* u, real_t* out,
-                                  KernelWorkspace& ws) const {
+template <class Gather>
+void AcousticOperator::apply_impl(std::span<const index_t> elems, real_t* out,
+                                  KernelWorkspace& ws, Gather&& gather) const {
   const SemSpace& sp = space();
   const int n1 = sp.ref().nodes_1d();
   const int npts = sp.nodes_per_elem();
   const real_t* D = sp.ref().deriv_matrix().data();
+  const real_t* Dt = sp.ref().deriv_matrix_t().data();
 
   real_t* ul = ws.buffer(0);
-  real_t* g1 = ws.buffer(1);
-  real_t* g2 = ws.buffer(2);
-  real_t* g3 = ws.buffer(3);
+  real_t* ol = ws.buffer(1);
+  real_t* s1 = ws.buffer(2);
+  real_t* s2 = ws.buffer(3);
+  real_t* s3 = ws.buffer(4);
 
   for (index_t e : elems) {
     const gindex_t* l2g = sp.elem_nodes(e);
-    const real_t kap = kappa_[static_cast<std::size_t>(e)];
-    for (int q = 0; q < npts; ++q) {
-      const gindex_t g = l2g[q];
-      if constexpr (Masked)
-        ul[q] = (node_level[g] == level) ? u[g] : 0.0;
-      else
-        ul[q] = u[g];
-    }
-
-    tensor_gradient(n1, D, ul, g1, g2, g3);
-
-    // In-place conversion of reference gradients into reference fluxes.
-    for (int q = 0; q < npts; ++q) {
-      const real_t* ji = sp.jinv(e, q);
-      const real_t s = kap * sp.wdet(e, q);
-      const real_t px = ji[0] * g1[q] + ji[3] * g2[q] + ji[6] * g3[q];
-      const real_t py = ji[1] * g1[q] + ji[4] * g2[q] + ji[7] * g3[q];
-      const real_t pz = ji[2] * g1[q] + ji[5] * g2[q] + ji[8] * g3[q];
-      g1[q] = s * (ji[0] * px + ji[1] * py + ji[2] * pz);
-      g2[q] = s * (ji[3] * px + ji[4] * py + ji[5] * pz);
-      g3[q] = s * (ji[6] * px + ji[7] * py + ji[8] * pz);
-    }
-
-    for (int q = 0; q < npts; ++q) ul[q] = 0.0;
-    tensor_divergence_add(n1, D, g1, g2, g3, ul);
-
-    for (int q = 0; q < npts; ++q) out[l2g[q]] += ul[q];
+    if (!gather(e, l2g, ul)) continue;
+    kernel_(n1, D, Dt, sp.gmat(e), kappa_[static_cast<std::size_t>(e)], ul, ol, s1, s2, s3);
+    for (int q = 0; q < npts; ++q) out[l2g[q]] += ol[q];
   }
 }
 
 void AcousticOperator::apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
                                  KernelWorkspace& ws) const {
-  apply_impl<false>(elems, nullptr, 0, u, out, ws);
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t, const gindex_t* l2g, real_t* ul) {
+    for (int q = 0; q < npts; ++q) ul[q] = u[l2g[q]];
+    return true;
+  });
 }
 
 void AcousticOperator::apply_add_level(std::span<const index_t> elems, const level_t* node_level,
                                        level_t level, const real_t* u, real_t* out,
                                        KernelWorkspace& ws) const {
-  apply_impl<true>(elems, node_level, level, u, out, ws);
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t, const gindex_t* l2g, real_t* ul) {
+    for (int q = 0; q < npts; ++q) {
+      const gindex_t g = l2g[q];
+      ul[q] = (node_level[g] == level) ? u[g] : 0.0;
+    }
+    return true;
+  });
+}
+
+void AcousticOperator::apply_add_level(std::span<const index_t> elems, const LevelMask& mask,
+                                       level_t level, const real_t* u, real_t* out,
+                                       KernelWorkspace& ws) const {
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t e, const gindex_t* l2g, real_t* ul) {
+    const level_t h = mask.homogeneous(e);
+    if (h != 0) {
+      // Homogeneous element: all columns share one level — either the whole
+      // element participates (plain gather) or none of it does.
+      if (h != level) return false;
+      for (int q = 0; q < npts; ++q) ul[q] = u[l2g[q]];
+      return true;
+    }
+    const real_t* mk = mask.mask(e, level);
+    if (mk == nullptr) return false;
+    for (int q = 0; q < npts; ++q) ul[q] = mk[q] * u[l2g[q]];
+    return true;
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Elastic
 // ---------------------------------------------------------------------------
 
-ElasticOperator::ElasticOperator(const SemSpace& space) : WaveOperator(space) {
+ElasticOperator::ElasticOperator(const SemSpace& space, KernelMode mode)
+    : WaveOperator(space), kernel_(kernels::elastic_element_kernel(dispatch_n1(space, mode))) {
   const auto& m = space.mesh();
   lambda_.resize(static_cast<std::size_t>(m.num_elems()));
   mu_.resize(static_cast<std::size_t>(m.num_elems()));
@@ -168,68 +120,27 @@ ElasticOperator::ElasticOperator(const SemSpace& space) : WaveOperator(space) {
   }
 }
 
-template <bool Masked>
-void ElasticOperator::apply_impl(std::span<const index_t> elems, const level_t* node_level,
-                                 level_t level, const real_t* u, real_t* out,
-                                 KernelWorkspace& ws) const {
+template <class Gather>
+void ElasticOperator::apply_impl(std::span<const index_t> elems, real_t* out,
+                                 KernelWorkspace& ws, Gather&& gather) const {
   const SemSpace& sp = space();
   const int n1 = sp.ref().nodes_1d();
   const int npts = sp.nodes_per_elem();
   const real_t* D = sp.ref().deriv_matrix().data();
+  const real_t* Dt = sp.ref().deriv_matrix_t().data();
 
-  // Buffer layout: per component c: gather (3 blocks 0..2), ref-gradients /
-  // fluxes (blocks 3..11), output (blocks 12..14). 15 blocks < 24 available.
+  // Buffer layout: gather (blocks 0..2), ref-gradients / fluxes (3..11),
+  // output (12..14). 15 blocks < 24 available.
   real_t* ul[3] = {ws.buffer(0), ws.buffer(1), ws.buffer(2)};
-  real_t* gr[3][3];
-  for (int c = 0; c < 3; ++c)
-    for (int r = 0; r < 3; ++r) gr[c][r] = ws.buffer(3 + 3 * c + r);
+  real_t* gr[9];
+  for (int b = 0; b < 9; ++b) gr[b] = ws.buffer(3 + b);
   real_t* ol[3] = {ws.buffer(12), ws.buffer(13), ws.buffer(14)};
 
   for (index_t e : elems) {
     const gindex_t* l2g = sp.elem_nodes(e);
-    const real_t lam = lambda_[static_cast<std::size_t>(e)];
-    const real_t muv = mu_[static_cast<std::size_t>(e)];
-
-    for (int q = 0; q < npts; ++q) {
-      const gindex_t g = l2g[q];
-      const bool take = !Masked || node_level[g] == level;
-      const std::size_t b = static_cast<std::size_t>(g) * 3;
-      ul[0][q] = take ? u[b] : 0.0;
-      ul[1][q] = take ? u[b + 1] : 0.0;
-      ul[2][q] = take ? u[b + 2] : 0.0;
-    }
-
-    for (int c = 0; c < 3; ++c) tensor_gradient(n1, D, ul[c], gr[c][0], gr[c][1], gr[c][2]);
-
-    for (int q = 0; q < npts; ++q) {
-      const real_t* ji = sp.jinv(e, q);
-      const real_t wd = sp.wdet(e, q);
-      // Physical displacement gradient H[c][d] = du_c/dx_d.
-      real_t H[3][3];
-      for (int c = 0; c < 3; ++c)
-        for (int d = 0; d < 3; ++d)
-          H[c][d] = ji[0 * 3 + d] * gr[c][0][q] + ji[1 * 3 + d] * gr[c][1][q] +
-                    ji[2 * 3 + d] * gr[c][2][q];
-      const real_t trace = H[0][0] + H[1][1] + H[2][2];
-      // Cauchy stress, sigma = lam*tr(eps)*I + 2 mu eps, eps = (H+H^T)/2.
-      real_t S[3][3];
-      for (int c = 0; c < 3; ++c)
-        for (int d = 0; d < 3; ++d) S[c][d] = muv * (H[c][d] + H[d][c]);
-      S[0][0] += lam * trace;
-      S[1][1] += lam * trace;
-      S[2][2] += lam * trace;
-      // Reference flux per component: F[c][r] = wdet * sum_d jinv[r][d] S[c][d].
-      for (int c = 0; c < 3; ++c)
-        for (int r = 0; r < 3; ++r)
-          gr[c][r][q] = wd * (ji[r * 3 + 0] * S[c][0] + ji[r * 3 + 1] * S[c][1] +
-                              ji[r * 3 + 2] * S[c][2]);
-    }
-
-    for (int c = 0; c < 3; ++c) {
-      for (int q = 0; q < npts; ++q) ol[c][q] = 0.0;
-      tensor_divergence_add(n1, D, gr[c][0], gr[c][1], gr[c][2], ol[c]);
-    }
-
+    if (!gather(e, l2g, ul)) continue;
+    kernel_(n1, D, Dt, sp.jinv(e, 0), sp.wjinv(e, 0), lambda_[static_cast<std::size_t>(e)],
+            mu_[static_cast<std::size_t>(e)], ul, ol, gr);
     for (int q = 0; q < npts; ++q) {
       const std::size_t b = static_cast<std::size_t>(l2g[q]) * 3;
       out[b] += ol[0][q];
@@ -241,13 +152,62 @@ void ElasticOperator::apply_impl(std::span<const index_t> elems, const level_t* 
 
 void ElasticOperator::apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
                                 KernelWorkspace& ws) const {
-  apply_impl<false>(elems, nullptr, 0, u, out, ws);
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t, const gindex_t* l2g, real_t* const* ul) {
+    for (int q = 0; q < npts; ++q) {
+      const std::size_t b = static_cast<std::size_t>(l2g[q]) * 3;
+      ul[0][q] = u[b];
+      ul[1][q] = u[b + 1];
+      ul[2][q] = u[b + 2];
+    }
+    return true;
+  });
 }
 
 void ElasticOperator::apply_add_level(std::span<const index_t> elems, const level_t* node_level,
                                       level_t level, const real_t* u, real_t* out,
                                       KernelWorkspace& ws) const {
-  apply_impl<true>(elems, node_level, level, u, out, ws);
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t, const gindex_t* l2g, real_t* const* ul) {
+    for (int q = 0; q < npts; ++q) {
+      const gindex_t g = l2g[q];
+      const bool take = node_level[g] == level;
+      const std::size_t b = static_cast<std::size_t>(g) * 3;
+      ul[0][q] = take ? u[b] : 0.0;
+      ul[1][q] = take ? u[b + 1] : 0.0;
+      ul[2][q] = take ? u[b + 2] : 0.0;
+    }
+    return true;
+  });
+}
+
+void ElasticOperator::apply_add_level(std::span<const index_t> elems, const LevelMask& mask,
+                                      level_t level, const real_t* u, real_t* out,
+                                      KernelWorkspace& ws) const {
+  const int npts = space().nodes_per_elem();
+  apply_impl(elems, out, ws, [&](index_t e, const gindex_t* l2g, real_t* const* ul) {
+    const level_t h = mask.homogeneous(e);
+    if (h != 0) {
+      if (h != level) return false;
+      for (int q = 0; q < npts; ++q) {
+        const std::size_t b = static_cast<std::size_t>(l2g[q]) * 3;
+        ul[0][q] = u[b];
+        ul[1][q] = u[b + 1];
+        ul[2][q] = u[b + 2];
+      }
+      return true;
+    }
+    const real_t* mk = mask.mask(e, level);
+    if (mk == nullptr) return false;
+    for (int q = 0; q < npts; ++q) {
+      const std::size_t b = static_cast<std::size_t>(l2g[q]) * 3;
+      const real_t m = mk[q];
+      ul[0][q] = m * u[b];
+      ul[1][q] = m * u[b + 1];
+      ul[2][q] = m * u[b + 2];
+    }
+    return true;
+  });
 }
 
 } // namespace ltswave::sem

@@ -4,12 +4,20 @@
 /// Matrix-free application of the SEM stiffness matrix K (paper Eq. 3):
 /// acoustic (scalar) and isotropic elastic (3-component) variants.
 ///
-/// Two entry points matter for LTS:
+/// Three entry points matter for LTS:
 ///  * apply_add:        out += K u over a subset of elements (all columns);
 ///  * apply_add_level:  out += K P_k u — the *column-restricted* apply that
 ///    reads only degrees of freedom belonging to LTS level k (paper Sec. II-C:
 ///    "the action of A P u~ only contributes to nodes in P" in DG; in the SEM
 ///    the columns are restricted but the rows still spread into neighbours).
+///    The LevelMask overload is the production path: homogeneous elements
+///    skip masking entirely and mixed elements use precomputed multiplicative
+///    masks (no per-node branch). The raw node_level overload is the generic
+///    fallback kept for ad-hoc callers and cross-validation.
+///
+/// The per-element arithmetic is dispatched into the order-specialized kernel
+/// engine (sem/kernels.hpp); the operators own the gather/scatter against the
+/// global vectors and the resolved kernel function pointer.
 ///
 /// Kernels are written against a caller-owned scratch workspace so that the
 /// same operator object can be used concurrently from many threads (one
@@ -18,23 +26,38 @@
 #include <span>
 #include <vector>
 
+#include "sem/kernels.hpp"
 #include "sem/sem_space.hpp"
 
 namespace ltswave::sem {
 
-/// Scratch buffers for one concurrent kernel evaluation.
+/// Scratch buffers for one concurrent kernel evaluation. The backing store is
+/// over-allocated so that buffer(0) starts on a 64-byte boundary and the
+/// per-buffer stride is padded to a multiple of 8 doubles, keeping every
+/// buffer cache-line-aligned for the vectorized kernels.
 class KernelWorkspace {
 public:
   explicit KernelWorkspace(const SemSpace& space, int ncomp);
 
   [[nodiscard]] real_t* buffer(int which) noexcept {
-    return buf_.data() + static_cast<std::size_t>(which) * stride_;
+    return aligned_base() + static_cast<std::size_t>(which) * stride_;
   }
 
 private:
+  [[nodiscard]] real_t* aligned_base() noexcept {
+    auto p = reinterpret_cast<std::uintptr_t>(buf_.data());
+    return reinterpret_cast<real_t*>((p + 63u) & ~std::uintptr_t{63u});
+  }
+
   std::size_t stride_;
   std::vector<real_t> buf_;
 };
+
+/// Kernel selection policy: Auto resolves the compile-time specialization for
+/// the space's order (falling back to the generic kernel for orders beyond
+/// kernels::kMaxSpecializedNodes1d); Generic forces the runtime-n1 kernel —
+/// used by tests to cross-validate the specializations.
+enum class KernelMode { Auto, Generic };
 
 /// Abstract stiffness operator; `ncomp` field components per global node,
 /// fields stored interleaved (value of component c at node g is u[g*ncomp+c]).
@@ -50,8 +73,15 @@ public:
                          KernelWorkspace& ws) const = 0;
 
   /// out += K P_level u: gathers only columns g with node_level[g] == level.
-  /// node_level has one entry per *global* node.
+  /// node_level has one entry per *global* node. Generic (per-node branch)
+  /// path; prefer the LevelMask overload on hot paths.
   virtual void apply_add_level(std::span<const index_t> elems, const level_t* node_level,
+                               level_t level, const real_t* u, real_t* out,
+                               KernelWorkspace& ws) const = 0;
+
+  /// out += K P_level u with a precomputed LevelMask: branch-free masking
+  /// with a homogeneous-element fast path (the production LTS gather).
+  virtual void apply_add_level(std::span<const index_t> elems, const LevelMask& mask,
                                level_t level, const real_t* u, real_t* out,
                                KernelWorkspace& ws) const = 0;
 
@@ -69,41 +99,47 @@ private:
 /// Scalar acoustic wave: rho u_tt = div(kappa grad u), kappa = rho vp^2.
 class AcousticOperator final : public WaveOperator {
 public:
-  explicit AcousticOperator(const SemSpace& space);
+  explicit AcousticOperator(const SemSpace& space, KernelMode mode = KernelMode::Auto);
 
   [[nodiscard]] int ncomp() const noexcept override { return 1; }
   void apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
                  KernelWorkspace& ws) const override;
   void apply_add_level(std::span<const index_t> elems, const level_t* node_level, level_t level,
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+  void apply_add_level(std::span<const index_t> elems, const LevelMask& mask, level_t level,
+                       const real_t* u, real_t* out, KernelWorkspace& ws) const override;
 
 private:
-  template <bool Masked>
-  void apply_impl(std::span<const index_t> elems, const level_t* node_level, level_t level,
-                  const real_t* u, real_t* out, KernelWorkspace& ws) const;
+  template <class Gather>
+  void apply_impl(std::span<const index_t> elems, real_t* out, KernelWorkspace& ws,
+                  Gather&& gather) const;
 
   std::vector<real_t> kappa_; // per element
+  kernels::AcousticElemFn kernel_;
 };
 
 /// Isotropic elastic wave (paper Eq. 1-2 with isotropic C):
 /// rho u_tt = div sigma, sigma = lambda tr(eps) I + 2 mu eps.
 class ElasticOperator final : public WaveOperator {
 public:
-  explicit ElasticOperator(const SemSpace& space);
+  explicit ElasticOperator(const SemSpace& space, KernelMode mode = KernelMode::Auto);
 
   [[nodiscard]] int ncomp() const noexcept override { return 3; }
   void apply_add(std::span<const index_t> elems, const real_t* u, real_t* out,
                  KernelWorkspace& ws) const override;
   void apply_add_level(std::span<const index_t> elems, const level_t* node_level, level_t level,
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+  void apply_add_level(std::span<const index_t> elems, const LevelMask& mask, level_t level,
+                       const real_t* u, real_t* out, KernelWorkspace& ws) const override;
 
 private:
-  template <bool Masked>
-  void apply_impl(std::span<const index_t> elems, const level_t* node_level, level_t level,
-                  const real_t* u, real_t* out, KernelWorkspace& ws) const;
+  template <class Gather>
+  void apply_impl(std::span<const index_t> elems, real_t* out, KernelWorkspace& ws,
+                  Gather&& gather) const;
 
   std::vector<real_t> lambda_; // per element
   std::vector<real_t> mu_;     // per element
+  kernels::ElasticElemFn kernel_;
 };
 
 } // namespace ltswave::sem

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <random>
 #include <set>
 
 #include "mesh/generators.hpp"
@@ -133,6 +135,48 @@ TEST(SemSpace, NearestNodeFindsCorner) {
   EXPECT_NEAR(x[0], 0.0, 1e-12);
   EXPECT_NEAR(x[1], 0.0, 1e-12);
   EXPECT_NEAR(x[2], 0.0, 1e-12);
+}
+
+TEST(SemSpace, NearestNodeMatchesBruteForce) {
+  // The grid-indexed search must agree with an exhaustive scan, including for
+  // queries outside the mesh bounding box and on an anisotropic warped mesh.
+  auto m = mesh::make_uniform_box(4, 3, 2, {2.0, 1.0, 0.4});
+  warp_nodes(m, [](real_t& x, real_t& y, real_t& z) {
+    x += 0.03 * std::sin(5 * y);
+    z += 0.02 * std::cos(4 * x + y);
+  });
+  SemSpace space(m, 3);
+
+  auto brute = [&](std::array<real_t, 3> x) {
+    gindex_t best = 0;
+    real_t best_d = std::numeric_limits<real_t>::max();
+    for (gindex_t g = 0; g < space.num_global_nodes(); ++g) {
+      const auto p = space.node_coord(g);
+      const real_t d = (p[0] - x[0]) * (p[0] - x[0]) + (p[1] - x[1]) * (p[1] - x[1]) +
+                       (p[2] - x[2]) * (p[2] - x[2]);
+      if (d < best_d) {
+        best_d = d;
+        best = g;
+      }
+    }
+    return best;
+  };
+
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<real_t> ux(-0.5, 2.5), uy(-0.5, 1.5), uz(-0.5, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::array<real_t, 3> x = {ux(rng), uy(rng), uz(rng)};
+    const gindex_t got = space.nearest_node(x);
+    const gindex_t want = brute(x);
+    // Ties (equidistant nodes) may resolve differently; compare distances.
+    const auto pg = space.node_coord(got);
+    const auto pw = space.node_coord(want);
+    const real_t dg = (pg[0] - x[0]) * (pg[0] - x[0]) + (pg[1] - x[1]) * (pg[1] - x[1]) +
+                      (pg[2] - x[2]) * (pg[2] - x[2]);
+    const real_t dw = (pw[0] - x[0]) * (pw[0] - x[0]) + (pw[1] - x[1]) * (pw[1] - x[1]) +
+                      (pw[2] - x[2]) * (pw[2] - x[2]);
+    EXPECT_NEAR(dg, dw, 1e-12) << "query " << x[0] << "," << x[1] << "," << x[2];
+  }
 }
 
 TEST(SemSpace, RejectsInvertedElement) {
