@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "partition/feedback.hpp"
 #include "runtime/threaded_lts.hpp"
 
 namespace ltswave::core {
@@ -43,11 +44,10 @@ real_t WaveSimulation::time() const noexcept {
 
 void WaveSimulation::add_source(std::array<real_t, 3> location, real_t peak_frequency,
                                 std::array<real_t, 3> direction, real_t amplitude) {
-  LTS_CHECK_MSG(!threaded_solver_,
-                "point sources are not supported by the threaded runtime yet — "
-                "run with num_ranks <= 1 to use sources");
   const auto src = sem::PointSource::at(*space_, location, peak_frequency, direction, amplitude);
-  if (lts_solver_)
+  if (threaded_solver_)
+    threaded_solver_->add_source(src);
+  else if (lts_solver_)
     lts_solver_->add_source(src);
   else
     newmark_solver_->add_source(src);
@@ -55,6 +55,9 @@ void WaveSimulation::add_source(std::array<real_t, 3> location, real_t peak_freq
 
 void WaveSimulation::add_receiver(std::array<real_t, 3> location, int component) {
   receivers_.emplace_back(*space_, location, component);
+  // The threaded runtime samples per rank at every cycle boundary; run()
+  // drains the runtime traces back into this facade-level receiver.
+  if (threaded_solver_) threaded_solver_->add_receiver(receivers_.back().node(), component);
 }
 
 void WaveSimulation::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
@@ -72,26 +75,81 @@ const std::vector<real_t>& WaveSimulation::u() const {
 }
 
 std::int64_t WaveSimulation::element_applies() const {
-  if (threaded_solver_) {
-    // Derived from the solver's own clock so driving the executor directly
-    // through threaded() stays consistent with the facade.
-    const auto cycles =
-        static_cast<std::int64_t>(std::llround(threaded_solver_->time() / levels_.dt));
-    return cycles * structure_.applies_per_cycle();
-  }
+  // The threaded solver derives this from its integer cycle counter
+  // (cycles_done * applies_per_cycle) — no llround(time/dt) drift, however
+  // the run was split across run_cycles calls.
+  if (threaded_solver_) return threaded_solver_->element_applies();
   return lts_solver_ ? lts_solver_->element_applies() : newmark_solver_->element_applies();
+}
+
+void WaveSimulation::refine_partition_from_feedback() {
+  LTS_CHECK_MSG(threaded_solver_, "feedback repartitioning needs num_ranks > 1");
+  partition::FeedbackSignal sig;
+  sig.busy_seconds = threaded_solver_->busy_seconds();
+  sig.stall_seconds = threaded_solver_->stall_seconds();
+  sig.steal_counts = threaded_solver_->steal_counts();
+
+  partition::PartitionerConfig pc;
+  pc.strategy = cfg_.partitioner;
+  pc.num_parts = cfg_.num_ranks;
+  part_ = partition::refine_with_feedback(mesh_, levels_.elem_level, levels_.num_levels, part_,
+                                          sig, pc);
+  auto fresh = std::make_unique<runtime::ThreadedLtsSolver>(*op_, levels_, structure_, part_,
+                                                            cfg_.scheduler);
+  fresh->adopt_state_from(*threaded_solver_);
+  threaded_solver_ = std::move(fresh);
+  feedback_applied_ = true;
+}
+
+void WaveSimulation::run_threaded_cycles(std::int64_t cycles,
+                                         const std::function<void(real_t)>& on_step) {
+  if (cycles <= 0) return;
+  if (on_step) {
+    for (std::int64_t s = 0; s < cycles; ++s) {
+      threaded_solver_->run_cycles(1);
+      on_step(time());
+    }
+  } else {
+    // One pool dispatch for the whole span: receivers sample inside the
+    // runtime, so there is no reason to wake the main thread every cycle.
+    threaded_solver_->run_cycles(static_cast<int>(cycles));
+  }
+}
+
+void WaveSimulation::drain_threaded_receivers() {
+  auto& traces = threaded_solver_->traces();
+  LTS_CHECK(traces.size() == receivers_.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t s = 0; s < traces[i].times.size(); ++s)
+      receivers_[i].append(traces[i].times[s], traces[i].values[s]);
+    traces[i].times.clear();
+    traces[i].values.clear();
+  }
 }
 
 std::int64_t WaveSimulation::run(real_t duration, const std::function<void(real_t)>& on_step) {
   const auto steps = static_cast<std::int64_t>(std::ceil(duration / dt() - 1e-12));
-  for (std::int64_t s = 0; s < steps; ++s) {
-    if (threaded_solver_) {
-      threaded_solver_->run_cycles(1);
-    } else if (lts_solver_) {
-      lts_solver_->step();
-    } else {
-      newmark_solver_->step();
+  if (threaded_solver_) {
+    std::int64_t remaining = steps;
+    if (cfg_.feedback_warmup_cycles > 0 && !feedback_applied_) {
+      const auto warm = std::min<std::int64_t>(cfg_.feedback_warmup_cycles, remaining);
+      run_threaded_cycles(warm, on_step);
+      remaining -= warm;
+      // Repartition only when warm-up cycles actually executed: a zero-length
+      // run() must not consume the one-shot feedback budget on empty
+      // counters (a neutral-factor repartition would replace the initial
+      // partition with an unmeasured one).
+      if (warm > 0) refine_partition_from_feedback();
     }
+    run_threaded_cycles(remaining, on_step);
+    drain_threaded_receivers();
+    return steps;
+  }
+  for (std::int64_t s = 0; s < steps; ++s) {
+    if (lts_solver_)
+      lts_solver_->step();
+    else
+      newmark_solver_->step();
     const real_t t = time();
     const auto& uu = u();
     for (auto& r : receivers_) r.sample(t, uu.data(), ncomp());

@@ -34,6 +34,12 @@ struct SimulationConfig {
   rank_t num_ranks = 0;
   runtime::SchedulerConfig scheduler{};
   partition::Strategy partitioner = partition::Strategy::ScotchP;
+  /// Steal/stall-feedback repartitioning (threaded runs only): when > 0, the
+  /// first run() call executes this many warm-up cycles, folds the measured
+  /// per-rank busy/stall/steal counters back into the partitioner
+  /// (partition::refine_with_feedback), rebuilds the executor on the refined
+  /// partition with the state carried over exactly, and continues. 0 = off.
+  int feedback_warmup_cycles = 0;
 };
 
 class WaveSimulation {
@@ -84,6 +90,14 @@ public:
   /// The mesh partition driving the threaded executor (empty when serial).
   [[nodiscard]] const partition::Partition& part() const noexcept { return part_; }
 
+  /// Repartitions from the threaded executor's measured busy/stall/steal
+  /// counters (partition::refine_with_feedback) and rebuilds the executor on
+  /// the refined partition; the dynamical state, sources, and receiver traces
+  /// carry over exactly, so a run continues mid-simulation. Requires
+  /// num_ranks > 1. run() triggers this automatically after
+  /// `feedback_warmup_cycles` when configured; benches call it directly.
+  void refine_partition_from_feedback();
+
   [[nodiscard]] const mesh::HexMesh& mesh() const noexcept { return mesh_; }
 
 private:
@@ -98,6 +112,10 @@ private:
   std::unique_ptr<NewmarkSolver> newmark_solver_;
   std::unique_ptr<runtime::ThreadedLtsSolver> threaded_solver_;
   std::vector<sem::Receiver> receivers_;
+  bool feedback_applied_ = false;
+
+  void run_threaded_cycles(std::int64_t cycles, const std::function<void(real_t)>& on_step);
+  void drain_threaded_receivers();
 };
 
 } // namespace ltswave::core

@@ -1,0 +1,89 @@
+#include "partition/feedback.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/builders.hpp"
+#include "partition/multilevel.hpp"
+
+namespace ltswave::partition {
+
+double max_stall_fraction(const FeedbackSignal& sig) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < sig.stall_seconds.size(); ++r) {
+    const double busy = r < sig.busy_seconds.size() ? sig.busy_seconds[r] : 0.0;
+    const double total = busy + sig.stall_seconds[r];
+    if (total > 0) worst = std::max(worst, sig.stall_seconds[r] / total);
+  }
+  return worst;
+}
+
+std::vector<double> rank_cost_factors(std::span<const level_t> elem_levels,
+                                      const Partition& current, const FeedbackSignal& sig) {
+  const auto k = static_cast<std::size_t>(current.num_parts);
+  LTS_CHECK_MSG(sig.busy_seconds.size() == k,
+                "feedback signal covers " << sig.busy_seconds.size() << " ranks, partition has "
+                                          << k);
+  LTS_CHECK(elem_levels.size() == current.part.size());
+
+  // Modeled work per rank: element applies per LTS cycle.
+  std::vector<double> work(k, 0.0);
+  double total_work = 0.0;
+  for (std::size_t e = 0; e < current.part.size(); ++e) {
+    const auto w = static_cast<double>(level_rate(elem_levels[e]));
+    work[static_cast<std::size_t>(current.part[e])] += w;
+    total_work += w;
+  }
+  const double total_busy =
+      std::accumulate(sig.busy_seconds.begin(), sig.busy_seconds.end(), 0.0);
+
+  std::vector<double> factors(k, 1.0);
+  if (total_busy <= 0 || total_work <= 0) return factors; // nothing measured
+  const double mean_cost = total_busy / total_work;       // seconds per applied element
+  for (std::size_t r = 0; r < k; ++r) {
+    if (work[r] <= 0) continue; // empty rank: keep neutral weight
+    const double cost = sig.busy_seconds[r] / work[r];
+    factors[r] = std::clamp(cost / mean_cost, 1.0 / kMaxCostFactor, kMaxCostFactor);
+  }
+  return factors;
+}
+
+Partition refine_with_feedback(const mesh::HexMesh& m, std::span<const level_t> elem_levels,
+                               level_t num_levels, const Partition& current,
+                               const FeedbackSignal& sig, const PartitionerConfig& cfg) {
+  LTS_CHECK(elem_levels.size() == static_cast<std::size_t>(m.num_elems()));
+  LTS_CHECK_MSG(cfg.num_parts == current.num_parts,
+                "refine_with_feedback cannot change the rank count ("
+                    << cfg.num_parts << " requested, " << current.num_parts << " measured)");
+  if (cfg.num_parts <= 1) return current;
+
+  const auto factors = rank_cost_factors(elem_levels, current, sig);
+
+  // Multi-constraint weights (one balance constraint per level, Eq. 19) in
+  // fixed point: weight 64 == measured mean cost, so a factor-1.5 rank's
+  // elements weigh 96. Integer headroom keeps the clamped factors resolvable
+  // without overflowing weight sums on large meshes.
+  constexpr graph::weight_t kScale = 64;
+  auto dual = graph::build_dual_graph(m, elem_levels);
+  const index_t nv = dual.num_vertices();
+  std::vector<graph::weight_t> w(static_cast<std::size_t>(nv) * static_cast<std::size_t>(num_levels), 0);
+  for (index_t v = 0; v < nv; ++v) {
+    const level_t lev = elem_levels[static_cast<std::size_t>(v)];
+    LTS_CHECK(lev >= 1 && lev <= num_levels);
+    const double f = factors[static_cast<std::size_t>(current.part[static_cast<std::size_t>(v)])];
+    w[static_cast<std::size_t>(v) * static_cast<std::size_t>(num_levels) + static_cast<std::size_t>(lev - 1)] =
+        std::max<graph::weight_t>(1, static_cast<graph::weight_t>(std::llround(
+                                         f * static_cast<double>(kScale))));
+  }
+  dual.set_vertex_weights(std::move(w), num_levels);
+
+  MultilevelConfig mc;
+  mc.eps = cfg.imbalance;
+  mc.seed = cfg.seed ^ 0xfeedbacdull; // decorrelate from the initial partition
+  Partition refined = recursive_bisection(dual, cfg.num_parts, mc);
+  refined.validate();
+  return refined;
+}
+
+} // namespace ltswave::partition

@@ -17,8 +17,9 @@
 ///  * LevelAwareSteal — LevelAware plus chunked per-level element work queues
 ///    with work stealing between the ranks participating in a level, which
 ///    absorbs the residual intra-level imbalance the partitioner leaves
-///    behind (at the price of run-to-run bitwise reproducibility; results
-///    still match the serial solver to roundoff).
+///    behind. Stolen chunks accumulate into per-chunk buffers reduced in a
+///    fixed (rank, chunk) order, so the mode is bitwise reproducible run to
+///    run; results match the serial solver to roundoff.
 
 #include <optional>
 #include <string>

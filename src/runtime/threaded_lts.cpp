@@ -61,13 +61,14 @@ void ThreadedLtsSolver::build_rank_data() {
   const int npts = space.nodes_per_elem();
   const gindex_t nn = space.num_global_nodes();
 
-  // Global row owner: min rank among elements containing the node.
-  std::vector<rank_t> row_owner(static_cast<std::size_t>(nn), nranks_);
+  // Global row owner: min rank among elements containing the node. Kept as a
+  // member — source/receiver registration resolves owning ranks through it.
+  row_owner_.assign(static_cast<std::size_t>(nn), nranks_);
   for (index_t e = 0; e < space.num_elems(); ++e) {
     const rank_t r = part_->part[static_cast<std::size_t>(e)];
     const gindex_t* l2g = space.elem_nodes(e);
     for (int q = 0; q < npts; ++q) {
-      auto& o = row_owner[static_cast<std::size_t>(l2g[q])];
+      auto& o = row_owner_[static_cast<std::size_t>(l2g[q])];
       o = std::min(o, r);
     }
   }
@@ -83,6 +84,7 @@ void ThreadedLtsSolver::build_rank_data() {
     rd.owned_rows.assign(static_cast<std::size_t>(nl), {});
     rd.update_rows.assign(static_cast<std::size_t>(nl), {});
     rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
+    rd.sources.assign(static_cast<std::size_t>(nl), {});
     rd.private_buf.assign(ndof_, 0.0);
     rd.workspace = std::make_unique<sem::KernelWorkspace>(op_->make_workspace());
   }
@@ -128,9 +130,9 @@ void ThreadedLtsSolver::build_rank_data() {
 
     // Row-update ownership uses the global row owner.
     for (gindex_t g : st.update_rows[static_cast<std::size_t>(k - 1)])
-      ranks_[static_cast<std::size_t>(row_owner[static_cast<std::size_t>(g)])].update_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+      ranks_[static_cast<std::size_t>(row_owner_[static_cast<std::size_t>(g)])].update_rows[static_cast<std::size_t>(k - 1)].push_back(g);
     for (gindex_t g : st.recon_rows[static_cast<std::size_t>(k - 1)])
-      ranks_[static_cast<std::size_t>(row_owner[static_cast<std::size_t>(g)])].recon_rows[static_cast<std::size_t>(k - 1)].push_back(g);
+      ranks_[static_cast<std::size_t>(row_owner_[static_cast<std::size_t>(g)])].recon_rows[static_cast<std::size_t>(k - 1)].push_back(g);
   }
 }
 
@@ -168,11 +170,13 @@ void ThreadedLtsSolver::build_chunks() {
   const auto& space = op_->space();
   const level_t nl = levels_->num_levels;
   const int npts = space.nodes_per_elem();
+  const auto nc = static_cast<std::size_t>(ncomp_);
 
   for (auto& rd : ranks_) {
     rd.chunks.assign(static_cast<std::size_t>(nl), {});
     rd.chunk_cursor = std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nl));
-    rd.touch_epoch.assign(static_cast<std::size_t>(space.num_global_nodes()), 0);
+    rd.red_offsets.assign(static_cast<std::size_t>(nl), {});
+    rd.red_sources.assign(static_cast<std::size_t>(nl), {});
     for (level_t k = 1; k <= nl; ++k) {
       const auto L = static_cast<std::size_t>(k - 1);
       const auto n = static_cast<index_t>(rd.eval_elems[L].size());
@@ -195,6 +199,7 @@ void ThreadedLtsSolver::build_chunks() {
         }
         std::sort(ch.rows.begin(), ch.rows.end());
         ch.rows.erase(std::unique(ch.rows.begin(), ch.rows.end()), ch.rows.end());
+        ch.acc.assign(ch.rows.size() * nc, 0.0);
         rd.chunks[L].push_back(std::move(ch));
       }
       // Cursors start *exhausted*: a queue only opens when its owner resets
@@ -205,6 +210,58 @@ void ThreadedLtsSolver::build_chunks() {
                                std::memory_order_relaxed);
     }
   }
+
+  // Static reduction map: every chunk-row contribution is attached to the
+  // row's owning rank in (rank, chunk) ascending order. The association of
+  // the floating-point sum is thereby fixed at build time — it cannot depend
+  // on which thread ends up executing a chunk, so the stealing scheduler is
+  // bitwise reproducible run to run.
+  const auto nn = static_cast<std::size_t>(space.num_global_nodes());
+  std::vector<rank_t> owner_of(nn);
+  std::vector<index_t> pos_of(nn);
+  for (level_t k = 1; k <= nl; ++k) {
+    const auto L = static_cast<std::size_t>(k - 1);
+    // Reset per level: a stale entry from a coarser level would satisfy the
+    // ownership check below and silently misroute a contribution.
+    std::fill(owner_of.begin(), owner_of.end(), rank_t{-1});
+    for (rank_t r = 0; r < nranks_; ++r) {
+      const auto& owned = ranks_[static_cast<std::size_t>(r)].owned_rows[L];
+      for (std::size_t j = 0; j < owned.size(); ++j) {
+        owner_of[static_cast<std::size_t>(owned[j])] = r;
+        pos_of[static_cast<std::size_t>(owned[j])] = static_cast<index_t>(j);
+      }
+    }
+    std::vector<std::vector<std::pair<index_t, const real_t*>>> contribs(
+        static_cast<std::size_t>(nranks_));
+    for (rank_t r = 0; r < nranks_; ++r)
+      for (const auto& ch : ranks_[static_cast<std::size_t>(r)].chunks[L])
+        for (std::size_t i = 0; i < ch.rows.size(); ++i) {
+          const auto g = static_cast<std::size_t>(ch.rows[i]);
+          LTS_CHECK(owner_of[g] >= 0);
+          contribs[static_cast<std::size_t>(owner_of[g])].emplace_back(pos_of[g],
+                                                                       ch.acc.data() + i * nc);
+        }
+    for (rank_t r = 0; r < nranks_; ++r) {
+      auto& rd = ranks_[static_cast<std::size_t>(r)];
+      auto& list = contribs[static_cast<std::size_t>(r)];
+      // stable: contributions for one row keep their (rank, chunk) order.
+      std::stable_sort(list.begin(), list.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      const std::size_t nrows = rd.owned_rows[L].size();
+      rd.red_offsets[L].assign(nrows + 1, 0);
+      rd.red_sources[L].reserve(list.size());
+      std::size_t li = 0;
+      for (std::size_t j = 0; j < nrows; ++j) {
+        rd.red_offsets[L][j] = static_cast<index_t>(rd.red_sources[L].size());
+        while (li < list.size() && static_cast<std::size_t>(list[li].first) == j) {
+          rd.red_sources[L].push_back(list[li].second);
+          ++li;
+        }
+      }
+      rd.red_offsets[L][nrows] = static_cast<index_t>(rd.red_sources[L].size());
+      LTS_CHECK(li == list.size());
+    }
+  }
 }
 
 rank_t ThreadedLtsSolver::level_participants(level_t k) const {
@@ -212,10 +269,54 @@ rank_t ThreadedLtsSolver::level_participants(level_t k) const {
   return static_cast<rank_t>(group_[static_cast<std::size_t>(k - 1)].size());
 }
 
+std::int64_t ThreadedLtsSolver::element_applies() const noexcept {
+  return cycles_done_ * structure_->applies_per_cycle();
+}
+
 void ThreadedLtsSolver::reset_counters() {
   std::fill(busy_.begin(), busy_.end(), 0.0);
   std::fill(stall_.begin(), stall_.end(), 0.0);
   std::fill(steals_.begin(), steals_.end(), 0);
+}
+
+void ThreadedLtsSolver::add_source(const sem::PointSource& src) {
+  LTS_CHECK(src.node >= 0 && src.node < op_->space().num_global_nodes());
+  sources_.push_back(src);
+  const level_t rho = structure_->node_rho[static_cast<std::size_t>(src.node)];
+  const rank_t owner = row_owner_[static_cast<std::size_t>(src.node)];
+  ranks_[static_cast<std::size_t>(owner)].sources[static_cast<std::size_t>(rho - 1)].push_back(src);
+}
+
+std::size_t ThreadedLtsSolver::add_receiver(gindex_t node, int component) {
+  LTS_CHECK(node >= 0 && node < op_->space().num_global_nodes());
+  LTS_CHECK(component >= 0 && component < ncomp_);
+  const std::size_t idx = traces_.size();
+  traces_.push_back(Trace{node, component, {}, {}});
+  const rank_t owner = row_owner_[static_cast<std::size_t>(node)];
+  ranks_[static_cast<std::size_t>(owner)].receivers.push_back(idx);
+  return idx;
+}
+
+void ThreadedLtsSolver::adopt_state_from(const ThreadedLtsSolver& prev) {
+  LTS_CHECK_MSG(op_ == prev.op_ && levels_ == prev.levels_ && structure_ == prev.structure_,
+                "adopt_state_from requires the same operator/levels/structure");
+  LTS_CHECK(ndof_ == prev.ndof_);
+  LTS_CHECK_MSG(sources_.empty() && traces_.empty(),
+                "adopt_state_from expects a freshly built solver");
+  u_ = prev.u_;
+  v_ = prev.v_;
+  scratch_ = prev.scratch_;
+  cumulative_ = prev.cumulative_;
+  forces_ = prev.forces_;
+  vt_ = prev.vt_;
+  usave_ = prev.usave_;
+  cycles_done_ = prev.cycles_done_;
+  for (const auto& s : prev.sources_) add_source(s);
+  for (const auto& t : prev.traces_) {
+    const std::size_t idx = add_receiver(t.node, t.component);
+    traces_[idx].times = t.times;
+    traces_[idx].values = t.values;
+  }
 }
 
 void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
@@ -227,15 +328,31 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
   auto ws = op_->make_workspace();
   op_->apply_add(all, u_.data(), scratch_.data(), ws);
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
-  for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
-    const real_t im = inv_mass_[g];
-    for (std::size_t c = 0; c < nc; ++c)
-      v_[g * nc + c] = v0[g * nc + c] + 0.5 * dt_ * im * scratch_[g * nc + c];
+  if (sources_.empty()) {
+    for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+      const real_t im = inv_mass_[g];
+      for (std::size_t c = 0; c < nc; ++c)
+        v_[g * nc + c] = v0[g * nc + c] + 0.5 * dt_ * im * scratch_[g * nc + c];
+    }
+  } else {
+    // v^{-1/2} = v(0) - dt/2 * Minv (f(0) - K u0), exactly as the serial
+    // solvers compute the staggered start when sources are present.
+    std::vector<real_t> f(ndof_, 0.0);
+    for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
+    for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
+      const real_t im = inv_mass_[g];
+      for (std::size_t c = 0; c < nc; ++c)
+        v_[g * nc + c] = v0[g * nc + c] - 0.5 * dt_ * im * (f[g * nc + c] - scratch_[g * nc + c]);
+    }
   }
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
   for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
   if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
-  time_ = 0;
+  for (auto& t : traces_) {
+    t.times.clear();
+    t.values.clear();
+  }
+  cycles_done_ = 0;
 }
 
 void ThreadedLtsSolver::sync(rank_t r, level_t k) {
@@ -245,25 +362,27 @@ void ThreadedLtsSolver::sync(rank_t r, level_t k) {
   stall_[static_cast<std::size_t>(r)] += t.seconds();
 }
 
-void ThreadedLtsSolver::run_chunk(RankData& self, const RankData& owner, level_t k,
-                                  const Chunk& chunk) {
-  // Zero-on-touch: a buffer row is valid for this substep once it carries the
-  // executing rank's current epoch; rows from older substeps are garbage.
+void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk, level_t k,
+                                  const RankData& owner) {
+  // The executing thread accumulates the chunk's element contributions in its
+  // own private buffer (zeroed on the chunk's rows), then copies them out to
+  // the chunk's acc buffer. The owner reduces acc buffers in a fixed order,
+  // so the result is independent of which thread ran the chunk.
   const auto nc = static_cast<std::size_t>(ncomp_);
-  for (const gindex_t g : chunk.rows) {
-    auto& stamp = self.touch_epoch[static_cast<std::size_t>(g)];
-    if (stamp != self.epoch) {
-      stamp = self.epoch;
-      for (std::size_t c = 0; c < nc; ++c)
-        self.private_buf[static_cast<std::size_t>(g) * nc + c] = 0.0;
-    }
-  }
+  real_t* buf = self.private_buf.data();
+  for (const gindex_t g : chunk.rows)
+    for (std::size_t c = 0; c < nc; ++c) buf[static_cast<std::size_t>(g) * nc + c] = 0.0;
   const auto& elems = owner.eval_elems[static_cast<std::size_t>(k - 1)];
   structure_->apply_level_restricted(*op_,
                                      std::span<const index_t>(elems).subspan(
                                          static_cast<std::size_t>(chunk.begin),
                                          static_cast<std::size_t>(chunk.end - chunk.begin)),
-                                     k, u_.data(), self.private_buf.data(), *self.workspace);
+                                     k, u_.data(), buf, *self.workspace);
+  real_t* acc = chunk.acc.data();
+  for (std::size_t i = 0; i < chunk.rows.size(); ++i) {
+    const std::size_t base = static_cast<std::size_t>(chunk.rows[i]) * nc;
+    for (std::size_t c = 0; c < nc; ++c) acc[i * nc + c] = buf[base + c];
+  }
 }
 
 void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
@@ -276,13 +395,12 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
 
   if (steal) {
     // Chunked evaluation with work stealing among the level's participants.
-    ++rd.epoch;
     auto& my_cursor = rd.chunk_cursor[L];
     my_cursor.store(0, std::memory_order_relaxed);
-    const auto& mine = rd.chunks[L];
+    auto& mine = rd.chunks[L];
     for (index_t c;
          (c = my_cursor.fetch_add(1, std::memory_order_relaxed)) < static_cast<index_t>(mine.size());)
-      run_chunk(rd, rd, k, mine[static_cast<std::size_t>(c)]);
+      run_chunk(rd, mine[static_cast<std::size_t>(c)], k, rd);
 
     const auto& grp = group_[L];
     if (grp.size() > 1) {
@@ -290,10 +408,10 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
           std::lower_bound(grp.begin(), grp.end(), r) - grp.begin());
       for (std::size_t off = 1; off < grp.size(); ++off) {
         auto& vd = ranks_[static_cast<std::size_t>(grp[(pos + off) % grp.size()])];
-        const auto& theirs = vd.chunks[L];
+        auto& theirs = vd.chunks[L];
         for (index_t c; (c = vd.chunk_cursor[L].fetch_add(1, std::memory_order_relaxed)) <
                         static_cast<index_t>(theirs.size());) {
-          run_chunk(rd, vd, k, theirs[static_cast<std::size_t>(c)]);
+          run_chunk(rd, theirs[static_cast<std::size_t>(c)], k, vd);
           ++steals_[static_cast<std::size_t>(r)];
         }
       }
@@ -325,21 +443,18 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
     }
   };
   if (steal) {
-    // Stealing makes the toucher set dynamic: any participant's buffer can
-    // hold contributions for any row of the level, so owners scan every
-    // participant and keep rows stamped with that participant's current
-    // epoch. Scan order is fixed (ascending rank), so results only differ
-    // from the static reduction by floating-point association.
-    const auto& grp = group_[L];
-    for (const gindex_t g : rd.owned_rows[L]) {
+    // Owners walk the static chunk-contribution lists built alongside the
+    // chunks: each owned row sums its touching chunks' acc entries in the
+    // fixed (rank, chunk) order, independent of which thread ran each chunk.
+    const auto& owned = rd.owned_rows[L];
+    const auto& offs = rd.red_offsets[L];
+    const auto& srcs = rd.red_sources[L];
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      const gindex_t g = owned[j];
       for (int c = 0; c < ncomp_; ++c) {
         real_t sum = 0;
-        for (const rank_t t : grp) {
-          const auto& td = ranks_[static_cast<std::size_t>(t)];
-          if (td.touch_epoch[static_cast<std::size_t>(g)] == td.epoch)
-            sum += td.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) +
-                                  static_cast<std::size_t>(c)];
-        }
+        for (index_t s = offs[j]; s < offs[j + 1]; ++s)
+          sum += srcs[static_cast<std::size_t>(s)][c];
         fold(g, sum, c);
       }
     }
@@ -368,12 +483,44 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
   sync(r, k); // scratch/cumulative consistent before row updates
 }
 
-void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
+void ThreadedLtsSolver::apply_rank_sources(const RankData& rd, level_t k, real_t t_src,
+                                           bool first, real_t delta, real_t* vel,
+                                           bool physical) {
+  // Post-correction equivalent of the serial solver's "F += src_scratch":
+  // the updates are linear in F, so folding the source term in afterwards
+  // gives the same result up to a last-ulp reassociation. S is the serial
+  // src_scratch_ entry: -Minv f(t) so that v -= delta * F realizes
+  // v += delta * Minv f.
+  for (const auto& s : rd.sources[static_cast<std::size_t>(k - 1)]) {
+    const real_t val = s.amplitude * s.wavelet(t_src);
+    const real_t im = inv_mass_[static_cast<std::size_t>(s.node)];
+    for (int c = 0; c < ncomp_; ++c) {
+      const std::size_t i = static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) +
+                            static_cast<std::size_t>(c);
+      const real_t S = -im * val * s.direction[static_cast<std::size_t>(c)];
+      const real_t dv = physical ? -delta * S : (first ? -0.5 : -1.0) * delta * S;
+      vel[i] += dv;
+      u_[i] += delta * dv;
+    }
+  }
+}
+
+void ThreadedLtsSolver::sample_receivers(const RankData& rd, real_t t) {
+  for (std::size_t idx : rd.receivers) {
+    auto& tr = traces_[idx];
+    tr.times.push_back(t);
+    tr.values.push_back(u_[static_cast<std::size_t>(tr.node) * static_cast<std::size_t>(ncomp_) +
+                           static_cast<std::size_t>(tr.component)]);
+  }
+}
+
+void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
   const level_t nl = levels_->num_levels;
   const real_t delta = dt_ / static_cast<real_t>(level_rate(k));
   auto& rd = ranks_[static_cast<std::size_t>(r)];
   auto& vt = vt_[static_cast<std::size_t>(k - 2)];
   const bool in = participates(r, k);
+  const bool has_sources = in && !rd.sources[static_cast<std::size_t>(k - 1)].empty();
 
   for (int m = 0; m < 2; ++m) {
     const bool first = (m == 0);
@@ -391,6 +538,9 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
               vt[i] -= delta * F;
             u_[i] += delta * vt[i];
           }
+        // Sources are sampled frozen at the cycle start (the serial scheme's
+        // midpoint rule; see LtsNewmarkSolver::collapsed_update).
+        if (has_sources) apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
         busy_[static_cast<std::size_t>(r)] += timer.seconds();
       }
       // m == 0: updates visible before the next eval gathers u. m == 1: the
@@ -412,7 +562,7 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
     }
     sync(r, k); // saves done before the child mutates u
 
-    run_level(r, k + 1);
+    run_level(r, k + 1, t0);
     sync(r, k); // child updates visible before reconstruction reads u
 
     if (in) {
@@ -437,6 +587,7 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k) {
             vt[i] -= delta * F;
           u_[i] += delta * vt[i];
         }
+      if (has_sources) apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
       busy_[static_cast<std::size_t>(r)] += timer2.seconds();
     }
     if (first) sync(r, k); // level-k updates visible before the next eval
@@ -447,8 +598,12 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
   const level_t nl = levels_->num_levels;
   auto& rd = ranks_[static_cast<std::size_t>(r)];
   const bool in = participates(r, 1);
+  const bool has_sources = in && nl >= 1 && !rd.sources[0].empty();
 
   for (int cyc = 0; cyc < cycles; ++cyc) {
+    // Cycle start time from the integer cycle counter: identical however the
+    // caller splits cycles over run_cycles calls.
+    const real_t t0 = static_cast<real_t>(cycles_done_ + cyc) * dt_;
     if (nl == 1) {
       eval_phase(r, 1);
       if (in) {
@@ -459,6 +614,9 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
             v_[i] -= dt_ * scratch_[i];
             u_[i] += dt_ * v_[i];
           }
+        // Single level: plain Newmark samples the source at the step start.
+        if (has_sources) apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+        sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
         busy_[static_cast<std::size_t>(r)] += timer.seconds();
       }
       sync(r, 1);
@@ -478,7 +636,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
     }
     sync(r, 1); // saves done before the child mutates u
 
-    run_level(r, 2);
+    run_level(r, 2, t0);
     sync(r, 1); // child updates visible before reconstruction reads u
 
     if (in) {
@@ -496,6 +654,13 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
           v_[i] -= dt_ * cumulative_[i];
           u_[i] += dt_ * v_[i];
         }
+      // Level-1 rows take the cycle-frozen source exactly as the serial
+      // step() applies it to S(1) after the fine recursion.
+      if (has_sources) apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+      // Every row this rank owns is final for the cycle (recon ∪ update
+      // covers them all) and only this rank ever writes those rows, so
+      // sampling here is race-free.
+      sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
       busy_[static_cast<std::size_t>(r)] += timer2.seconds();
     }
     sync(r, 1); // cycle boundary: all updates visible for the next cycle
@@ -507,7 +672,7 @@ double ThreadedLtsSolver::run_cycles(int cycles) {
   if (cycles == 0) return 0.0;
   const WallTimer total;
   pool_->run([this, cycles](int worker) { thread_main(static_cast<rank_t>(worker), cycles); });
-  time_ += static_cast<real_t>(cycles) * dt_;
+  cycles_done_ += cycles;
   return total.seconds();
 }
 

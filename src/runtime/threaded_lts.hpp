@@ -19,6 +19,16 @@
 /// barriers but never vice versa). Level-aware+steal additionally splits each
 /// rank's per-level element list into chunks that idle participants steal,
 /// absorbing residual intra-level imbalance the partitioner leaves behind.
+/// Stolen chunks accumulate into per-chunk buffers that the owner reduces in a
+/// fixed (rank, chunk) order, so every mode — stealing included — is bitwise
+/// reproducible run to run.
+///
+/// Scenario support mirrors the serial solvers: point sources are injected by
+/// the rank owning the source node's row, sampled frozen at the cycle start
+/// (the serial scheme's midpoint rule — see LtsNewmarkSolver::collapsed_update
+/// for why a cycle-constant source preserves second-order accuracy through the
+/// velocity reconstruction); receivers are sampled at every cycle boundary by
+/// their owning rank into per-receiver trace buffers the facade drains.
 ///
 /// Busy/stall/steal counters accumulate across run_cycles calls (the pool and
 /// all solver state persist between calls) until reset_counters().
@@ -32,16 +42,49 @@
 #include "partition/partition.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sem/sources.hpp"
 
 namespace ltswave::runtime {
 
 class ThreadedLtsSolver {
 public:
+  /// One receiver's accumulated samples; owned by the rank that owns the
+  /// receiver node's row, so sampling is contention-free.
+  struct Trace {
+    gindex_t node = 0;
+    int component = 0;
+    std::vector<real_t> times;
+    std::vector<real_t> values;
+  };
+
   ThreadedLtsSolver(const sem::WaveOperator& op, const core::LevelAssignment& levels,
                     const core::LtsStructure& structure, const partition::Partition& part,
                     SchedulerConfig cfg = {});
 
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
+
+  /// Registers a point source; the rank owning the source node's row injects
+  /// it during that node's level-local updates. Must not be called while
+  /// run_cycles is executing. Call before set_state so the staggered
+  /// initial velocity sees f(0), exactly as the serial solvers do.
+  void add_source(const sem::PointSource& src);
+
+  /// Registers a receiver sampled at every cycle boundary by the rank owning
+  /// the node's row; returns the trace index. Must not be called mid-run.
+  std::size_t add_receiver(gindex_t node, int component);
+
+  /// Accumulated receiver traces (one per add_receiver, in call order). The
+  /// facade drains these after run_cycles; clearing is the caller's business.
+  [[nodiscard]] std::vector<Trace>& traces() noexcept { return traces_; }
+  [[nodiscard]] const std::vector<Trace>& traces() const noexcept { return traces_; }
+
+  /// Copies the dynamical state (u, v, frozen forces, cycle count), the
+  /// sources and the receivers — including already-accumulated trace samples —
+  /// from another solver over the *same* operator/levels/structure. This is
+  /// the state hand-off of feedback repartitioning: build a new solver on the
+  /// refined partition, adopt, and continue mid-run with no restart.
+  /// Performance counters start at zero (the feedback pass consumed them).
+  void adopt_state_from(const ThreadedLtsSolver& prev);
 
   /// Runs `cycles` LTS cycles on the persistent worker team; returns wall
   /// seconds. State (u, v, time, counters) carries over between calls.
@@ -49,7 +92,14 @@ public:
 
   [[nodiscard]] const std::vector<real_t>& u() const noexcept { return u_; }
   [[nodiscard]] const std::vector<real_t>& v_half() const noexcept { return v_; }
-  [[nodiscard]] real_t time() const noexcept { return time_; }
+  /// Completed LTS cycles since construction / the last set_state. Time and
+  /// work counters derive from this integer — no floating-point drift.
+  [[nodiscard]] std::int64_t cycles_done() const noexcept { return cycles_done_; }
+  [[nodiscard]] real_t time() const noexcept {
+    return static_cast<real_t>(cycles_done_) * dt_;
+  }
+  /// Element applies consumed so far: cycles_done() * applies_per_cycle.
+  [[nodiscard]] std::int64_t element_applies() const noexcept;
   [[nodiscard]] rank_t num_ranks() const noexcept { return nranks_; }
   [[nodiscard]] SchedulerMode mode() const noexcept { return cfg_.mode; }
 
@@ -66,11 +116,15 @@ public:
 
 private:
   /// A contiguous slice [begin, end) of a rank's per-level element list, with
-  /// the global rows it touches (needed for zero-on-touch when stolen).
+  /// the global rows it touches and a per-chunk accumulation buffer
+  /// (rows.size() * ncomp). Whichever thread executes the chunk writes `acc`;
+  /// the row owners reduce the chunks in a fixed order, which makes the
+  /// stealing mode's floating-point association independent of who stole what.
   struct Chunk {
     index_t begin = 0;
     index_t end = 0;
     std::vector<gindex_t> rows;
+    std::vector<real_t> acc;
   };
 
   struct RankData {
@@ -84,19 +138,28 @@ private:
     std::vector<std::vector<gindex_t>> shared_rows;                  // [level]
     std::vector<std::vector<index_t>> shared_offsets;                // [level] CSR into touchers
     std::vector<std::vector<rank_t>> shared_touchers;                // [level]
-    // All owned rows per level (solo ∪ shared) — the dynamic reduction of the
-    // stealing scheduler scans participant buffers row by row.
+    // All owned rows per level (solo ∪ shared), ascending — the steal-mode
+    // reduction walks these against the static chunk-contribution lists.
     std::vector<std::vector<gindex_t>> owned_rows; // [level]
     // Row-update sets owned by this rank.
     std::vector<std::vector<gindex_t>> update_rows; // S(k) ∩ mine
     std::vector<std::vector<gindex_t>> recon_rows;  // R(k+1) ∩ mine
     std::vector<real_t> private_buf;                // ndof accumulation buffer
     std::unique_ptr<sem::KernelWorkspace> workspace;
+    // Point sources injected by this rank, bucketed by the source node's
+    // updater level rho (mirrors LtsNewmarkSolver::sources_by_level_).
+    std::vector<std::vector<sem::PointSource>> sources; // [level]
+    // Indices into traces_ of the receivers this rank samples.
+    std::vector<std::size_t> receivers;
     // Work-stealing state (LevelAwareSteal only).
-    std::vector<std::vector<Chunk>> chunks;                  // [level]
-    std::unique_ptr<std::atomic<index_t>[]> chunk_cursor;    // [level]
-    std::vector<std::uint64_t> touch_epoch;                  // per global node
-    std::uint64_t epoch = 0; ///< bumped at each eval participation
+    std::vector<std::vector<Chunk>> chunks;               // [level]
+    std::unique_ptr<std::atomic<index_t>[]> chunk_cursor; // [level]
+    // Static reduction map: for owned_rows[L][j], the chunk-contribution
+    // pointers are red_sources[L][red_offsets[L][j] .. red_offsets[L][j+1]],
+    // each pointing at a chunk's acc entry for this row (ncomp stride).
+    // Ordered by (rank, chunk) ascending — the fixed association order.
+    std::vector<std::vector<index_t>> red_offsets;      // [level]
+    std::vector<std::vector<const real_t*>> red_sources; // [level]
   };
 
   void build_rank_data();
@@ -108,9 +171,17 @@ private:
   }
   void thread_main(rank_t r, int cycles);
   void eval_phase(rank_t r, level_t k);
-  void run_chunk(RankData& self, const RankData& owner, level_t k, const Chunk& chunk);
-  void run_level(rank_t r, level_t k);
+  void run_chunk(RankData& self, Chunk& chunk, level_t k, const RankData& owner);
+  void run_level(rank_t r, level_t k, real_t t0);
   void sync(rank_t r, level_t k);
+  /// Folds this rank's level-k sources (sampled at t_src) into an update that
+  /// already ran without them: vel (vt or v) and u are post-corrected by the
+  /// same linear terms the serial solver folds into F. `physical` selects the
+  /// leapfrog form used on level-1/single-level rows (v -= delta * F) versus
+  /// the collapsed vt form of the inner levels.
+  void apply_rank_sources(const RankData& rd, level_t k, real_t t_src, bool first, real_t delta,
+                          real_t* vel, bool physical);
+  void sample_receivers(const RankData& rd, real_t t);
 
   const sem::WaveOperator* op_;
   const core::LevelAssignment* levels_;
@@ -120,7 +191,7 @@ private:
   rank_t nranks_;
   int ncomp_;
   real_t dt_;
-  real_t time_ = 0;
+  std::int64_t cycles_done_ = 0;
   std::size_t ndof_ = 0;
 
   std::vector<real_t> inv_mass_; // per node (components share it)
@@ -131,11 +202,15 @@ private:
   std::vector<std::vector<real_t>> vt_;
   std::vector<std::vector<real_t>> usave_;
 
+  std::vector<sem::PointSource> sources_; // master list (adopt/redistribute)
+  std::vector<Trace> traces_;
+
   std::vector<RankData> ranks_;
+  std::vector<rank_t> row_owner_; // per global node: min rank touching it
   // part_mask_[(k-1)*nranks + r]: rank r takes part in level-k barriers.
   std::vector<std::uint8_t> part_mask_;
   // group_[k-1]: ascending rank ids of level-k participants (steal/reduction
-  // scan order; fixed so the non-stealing modes stay bitwise deterministic).
+  // scan order; fixed so every mode stays bitwise deterministic).
   std::vector<std::vector<rank_t>> group_;
   std::vector<std::unique_ptr<std::barrier<>>> level_barriers_; // [level]
   std::unique_ptr<ThreadPool> pool_;

@@ -54,6 +54,13 @@ public:
 
   void sample(real_t t, const real_t* u, int ncomp);
 
+  /// Appends a sample recorded elsewhere (the facade drains the threaded
+  /// runtime's per-rank trace buffers through this).
+  void append(real_t t, real_t value) {
+    times_.push_back(t);
+    values_.push_back(value);
+  }
+
   [[nodiscard]] const std::vector<real_t>& times() const noexcept { return times_; }
   [[nodiscard]] const std::vector<real_t>& values() const noexcept { return values_; }
   [[nodiscard]] gindex_t node() const noexcept { return node_; }

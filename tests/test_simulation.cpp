@@ -153,13 +153,77 @@ TEST(Simulation, ThreadedFacadeMatchesSerialForEveryScheduler) {
   }
 }
 
-TEST(Simulation, ThreadedFacadeRejectsPointSources) {
+TEST(Simulation, ThreadedFacadeRunsPointSourcesAndReceivers) {
+  // The scenario the serial-only wall used to block: sources + receivers at
+  // num_ranks > 1 must reproduce the serial LTS run through the facade,
+  // including the receiver traces drained from the runtime's per-rank
+  // buffers.
+  const auto m = refined_mesh();
+  SimulationConfig serial_cfg;
+  serial_cfg.order = 2;
+  WaveSimulation serial(m, serial_cfg);
+  serial.add_source({0.1, 0.0, 0.0}, 2.0, {1, 0, 0});
+  serial.add_receiver({0.7, 0.0, 0.0});
+  const std::size_t ndof = static_cast<std::size_t>(serial.space().num_global_nodes());
+  const std::vector<real_t> zero(ndof, 0.0);
+  serial.set_state(zero, zero);
+  serial.run(serial.dt() * 5);
+  ASSERT_EQ(serial.receivers()[0].times().size(), 5u);
+
+  for (const runtime::SchedulerMode mode : runtime::kAllSchedulerModes) {
+    SimulationConfig cfg;
+    cfg.order = 2;
+    cfg.num_ranks = 4;
+    cfg.scheduler.mode = mode;
+    cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+    WaveSimulation sim(m, cfg);
+    sim.add_source({0.1, 0.0, 0.0}, 2.0, {1, 0, 0});
+    sim.add_receiver({0.7, 0.0, 0.0});
+    sim.set_state(zero, zero);
+    sim.run(sim.dt() * 5);
+
+    real_t diff = 0;
+    for (std::size_t i = 0; i < ndof; ++i)
+      diff = std::max(diff, std::abs(sim.u()[i] - serial.u()[i]));
+    EXPECT_LT(diff, 1e-11) << to_string(mode);
+
+    const auto& tr = sim.receivers()[0];
+    ASSERT_EQ(tr.times().size(), 5u) << to_string(mode);
+    for (std::size_t s = 0; s < 5; ++s) {
+      EXPECT_NEAR(tr.times()[s], serial.receivers()[0].times()[s], 1e-12) << to_string(mode);
+      EXPECT_NEAR(tr.values()[s], serial.receivers()[0].values()[s], 1e-11) << to_string(mode);
+    }
+  }
+}
+
+TEST(Simulation, ThreadedElementAppliesExactAcrossSplitRuns) {
+  // Regression for the old llround(time()/dt) derivation, which could drift
+  // once runs are split unevenly: the counter now comes from the solver's
+  // integer cycle count and must stay exact over many fragmented calls.
+  const auto m = refined_mesh();
   SimulationConfig cfg;
   cfg.order = 2;
   cfg.num_ranks = 2;
   cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
-  WaveSimulation sim(refined_mesh(), cfg);
-  EXPECT_THROW(sim.add_source({0.1, 0.0, 0.0}, 2.0), CheckFailure);
+  WaveSimulation sim(m, cfg);
+  const auto u0 = gaussian_state(sim);
+  sim.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+
+  std::int64_t cycles = 0;
+  for (int chunk : {1, 3, 2, 5, 1, 7, 4}) {
+    sim.run(sim.dt() * chunk);
+    cycles += chunk;
+    EXPECT_EQ(sim.threaded()->cycles_done(), cycles);
+    EXPECT_EQ(sim.element_applies(), cycles * sim.structure().applies_per_cycle());
+    EXPECT_EQ(sim.time(), static_cast<real_t>(cycles) * sim.dt());
+  }
+
+  SimulationConfig serial_cfg;
+  serial_cfg.order = 2;
+  WaveSimulation serial(m, serial_cfg);
+  serial.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+  serial.run(serial.dt() * cycles);
+  EXPECT_EQ(sim.element_applies(), serial.element_applies());
 }
 
 TEST(Simulation, FailureInjection) {

@@ -1,0 +1,155 @@
+// Point-source time evaluation under LTS: the scheme freezes f(t) at the
+// cycle start (midpoint rule through the velocity reconstruction), and the
+// fine levels advance through fractional substep times t = n*dt + m*dt/2^k.
+// These tests pin that machinery against a dense serial reference — the
+// global Newmark scheme run at exactly the finest LTS substep — plus the
+// Ricker wavelet's peak alignment, and the source-level bucketing by the
+// node's updater level rho.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.hpp"
+#include "mesh/generators.hpp"
+
+namespace ltswave::core {
+namespace {
+
+TEST(Ricker, PeakAlignedAtDelayWithUnitAmplitude) {
+  const sem::RickerWavelet w(3.0);
+  EXPECT_NEAR(w.delay(), 1.2 / 3.0, 1e-15);
+  EXPECT_NEAR(w(w.delay()), 1.0, 1e-15); // (1 - 0) * exp(0)
+
+  // Symmetric about the delay, onset effectively zero, and the sampled
+  // argmax lands on the delay.
+  real_t best_t = 0, best_v = -2;
+  for (int i = 0; i <= 4000; ++i) {
+    const real_t t = 2.0 * w.delay() * static_cast<real_t>(i) / 4000.0;
+    const real_t v = w(t);
+    EXPECT_NEAR(v, w(2.0 * w.delay() - t), 1e-14);
+    if (v > best_v) {
+      best_v = v;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(best_t, w.delay(), 2.0 * w.delay() / 4000.0 + 1e-15);
+  EXPECT_LT(std::abs(w(0.0)), 2e-5); // delayed onset
+}
+
+struct SourceRig {
+  mesh::HexMesh mesh;
+  std::unique_ptr<sem::SemSpace> space;
+  std::unique_ptr<sem::AcousticOperator> op;
+  LevelAssignment levels;
+  LtsStructure structure;
+
+  explicit SourceRig(real_t courant) : mesh(mesh::make_strip_mesh(16, 0.3, 4.0)) {
+    space = std::make_unique<sem::SemSpace>(mesh, 2);
+    op = std::make_unique<sem::AcousticOperator>(*space);
+    levels = assign_levels(mesh, courant);
+    structure = build_lts_structure(*space, levels);
+  }
+
+  /// A node updated at the finest level — its source terms hit every
+  /// fractional substep t = n*dt + m*dt/2^{N-1}.
+  [[nodiscard]] gindex_t finest_node() const {
+    for (gindex_t g = 0; g < space->num_global_nodes(); ++g)
+      if (structure.node_rho[static_cast<std::size_t>(g)] == levels.num_levels) return g;
+    return 0;
+  }
+
+  /// Max-abs error of the LTS solution with a Ricker source at `node`
+  /// against the dense Newmark reference advanced at the finest substep.
+  [[nodiscard]] real_t error_vs_dense(gindex_t node, int cycles) const {
+    sem::PointSource src;
+    src.node = node;
+    src.direction = {1, 0, 0};
+    src.amplitude = 1.0;
+    // Peak frequency such that the Ricker peak (delay 1.2/f0) sits inside
+    // the run; the cycle-frozen sampling error scales as (f0 * dt)^2 =
+    // (2/cycles)^2, so the comparison tests run enough cycles to sit
+    // comfortably under their tolerance.
+    src.wavelet = sem::RickerWavelet(2.0 / (static_cast<real_t>(cycles) * levels.dt));
+
+    LtsNewmarkSolver lts(*op, levels, structure);
+    lts.add_source(src);
+    const std::size_t ndof = static_cast<std::size_t>(space->num_global_nodes());
+    const std::vector<real_t> zero(ndof, 0.0);
+    lts.set_state(zero, zero);
+    for (int i = 0; i < cycles; ++i) lts.step();
+
+    // Dense reference: every element at the finest substep, sources sampled
+    // at every one of those fractional times.
+    const auto rate = level_rate(levels.num_levels);
+    NewmarkSolver dense(*op, levels.dt / static_cast<real_t>(rate));
+    dense.add_source(src);
+    dense.set_state(zero, zero);
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(cycles) * rate; ++i) dense.step();
+
+    // Relative L2 over the field: the max norm concentrates on the singular
+    // spike at the source node itself, where the frozen-vs-dense sampling
+    // difference is locally O(1) however small dt gets.
+    real_t num = 0, den = 0;
+    for (std::size_t i = 0; i < ndof; ++i) {
+      const real_t d = lts.u()[i] - dense.u()[i];
+      num += d * d;
+      den += dense.u()[i] * dense.u()[i];
+    }
+    EXPECT_GT(den, 0) << "source injected no energy";
+    return std::sqrt(num) / std::sqrt(den);
+  }
+};
+
+TEST(SourcesLts, FinestLevelSourceBucketedByRho) {
+  SourceRig rig(0.08);
+  ASSERT_GE(rig.levels.num_levels, 3);
+  const gindex_t fine = rig.finest_node();
+  ASSERT_EQ(rig.structure.node_rho[static_cast<std::size_t>(fine)], rig.levels.num_levels);
+}
+
+TEST(SourcesLts, MatchesDenseReferenceAtFractionalTimes) {
+  // The cycle-frozen source through 2^{N-1} fractional substeps must land on
+  // the densely-sampled reference to second order — a few percent at this
+  // resolution. A source mis-timed by even one substep (or applied at the
+  // wrong level) blows far past this.
+  // At courant 0.04 the measured error is ~0.033 and falls ~4x per further
+  // dt halving (see ConvergesSecondOrderInDt); a source mis-timed by a
+  // substep or injected at the wrong level sits far above the 0.06 bar.
+  SourceRig rig(0.04);
+  ASSERT_GE(rig.levels.num_levels, 3);
+  const real_t err = rig.error_vs_dense(rig.finest_node(), 24);
+  EXPECT_LT(err, 0.06) << "LTS source timing diverged from the dense reference";
+}
+
+TEST(SourcesLts, ConvergesSecondOrderInDt) {
+  // Halving the step (via courant) must shrink the LTS-vs-dense gap by about
+  // 4x; require >= 2x to stay robust against the non-dt terms.
+  SourceRig coarse(0.08);
+  SourceRig fine(0.04);
+  ASSERT_GE(coarse.levels.num_levels, 3);
+  ASSERT_EQ(coarse.levels.num_levels, fine.levels.num_levels);
+
+  // Same physical duration: fine dt is half, so double the cycles.
+  const real_t err_coarse = coarse.error_vs_dense(coarse.finest_node(), 4);
+  const real_t err_fine = fine.error_vs_dense(fine.finest_node(), 8);
+  EXPECT_LT(err_fine, err_coarse / 2.0)
+      << "coarse err " << err_coarse << " vs fine err " << err_fine;
+}
+
+TEST(SourcesLts, CoarseLevelSourceAlsoMatchesDense) {
+  // Level-1 sources go through the top-level S(1) update instead of the
+  // recursion — cover that branch too.
+  SourceRig rig(0.08);
+  gindex_t coarse_node = 0;
+  for (gindex_t g = 0; g < rig.space->num_global_nodes(); ++g)
+    if (rig.structure.node_rho[static_cast<std::size_t>(g)] == 1) {
+      coarse_node = g;
+      break;
+    }
+  ASSERT_EQ(rig.structure.node_rho[static_cast<std::size_t>(coarse_node)], 1);
+  EXPECT_LT(rig.error_vs_dense(coarse_node, 12), 0.06);
+}
+
+} // namespace
+} // namespace ltswave::core
