@@ -7,11 +7,16 @@
 /// down by ~32x while keeping the *per-rank element counts* (which drive the
 /// scaling behaviour) in a comparable range. Each bench prints the paper's
 /// reported values next to ours.
+///
+/// The topologies come from the scenario registry (scenarios::get), so a
+/// bench and an example and the conformance suite all run the *same* named
+/// workload; only the resolution and the paper's squeeze parameters are
+/// overridden here.
 
 #include <string>
 
 #include "core/lts_levels.hpp"
-#include "mesh/generators.hpp"
+#include "scenarios/scenario.hpp"
 
 namespace ltswave::bench {
 
@@ -29,50 +34,30 @@ struct PaperMesh {
 };
 
 inline PaperMesh make_paper_trench(index_t n = 48) {
-  PaperMesh pm{"Trench",
-               mesh::make_trench_mesh({.n = n,
-                                       .nz = static_cast<index_t>(2 * n / 3),
-                                       .squeeze = 8.0,
-                                       .trench_halfwidth = 0.03,
-                                       .depth_power = 4.0,
-                                       .transition = 0.10,
-                                       .mat = {}}),
-               {},
-               2.5e6,
-               6.7,
-               4};
+  const auto spec =
+      scenarios::get("trench-paper").with_mesh_resolution(n, static_cast<index_t>(2 * n / 3));
+  PaperMesh pm{"Trench", spec.build_mesh(), {}, 2.5e6, 6.7, 4};
   pm.levels = core::assign_levels(pm.mesh, kCourant, 4);
   return pm;
 }
 
 inline PaperMesh make_paper_trench_big(index_t n = 64) {
-  PaperMesh pm{"Trench Big", mesh::make_trench_big_mesh(n), {}, 26e6, 21.7, 6};
+  const auto spec = scenarios::get("trench-big").with_mesh_resolution(n);
+  PaperMesh pm{"Trench Big", spec.build_mesh(), {}, 26e6, 21.7, 6};
   pm.levels = core::assign_levels(pm.mesh, kCourant, 6);
   return pm;
 }
 
 inline PaperMesh make_paper_embedding(index_t n = 40) {
-  PaperMesh pm{"Embedding",
-               mesh::make_embedding_mesh({.n = n,
-                                          .squeeze = 16.0,
-                                          .radius = 0.15,
-                                          .center = {0.5, 0.5, 0.5},
-                                          .mat = {}}),
-               {},
-               1.2e6,
-               7.9,
-               4};
+  const auto spec = scenarios::get("embedding-paper").with_mesh_resolution(n);
+  PaperMesh pm{"Embedding", spec.build_mesh(), {}, 1.2e6, 7.9, 4};
   pm.levels = core::assign_levels(pm.mesh, kCourant, 4);
   return pm;
 }
 
 inline PaperMesh make_paper_crust(index_t n = 40) {
-  PaperMesh pm{"Crust",
-               mesh::make_crust_mesh({.n = n, .nz = n / 2, .squeeze = 2.2, .topo_amp = 0.0, .mat = {}}),
-               {},
-               2.9e6,
-               1.9,
-               2};
+  const auto spec = scenarios::get("crust").with_mesh_resolution(n, n / 2);
+  PaperMesh pm{"Crust", spec.build_mesh(), {}, 2.9e6, 1.9, 2};
   pm.levels = core::assign_levels(pm.mesh, kCourant, 2);
   return pm;
 }

@@ -17,7 +17,6 @@
 #include <thread>
 
 #include "common/table.hpp"
-#include "mesh/generators.hpp"
 #include "paper_meshes.hpp"
 #include "partition/feedback.hpp"
 #include "partition/partitioners.hpp"
@@ -26,9 +25,10 @@
 using namespace ltswave;
 
 int main() {
-  const auto m = mesh::make_trench_mesh({.n = 20, .nz = 14, .squeeze = 8.0,
-                                         .trench_halfwidth = 0.03, .depth_power = 4.0,
-                                         .transition = 0.10, .mat = {}});
+  // The registered paper-parameter trench workload at bench resolution
+  // (same spec as make_paper_trench, smaller n).
+  const auto spec = scenarios::get("trench-paper").with_mesh_resolution(20, 14);
+  const auto m = spec.build_mesh();
   const auto levels = core::assign_levels(m, bench::kCourant, 4);
   sem::SemSpace space(m, 3);
   sem::AcousticOperator op(space);

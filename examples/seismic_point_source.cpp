@@ -3,87 +3,83 @@
 // forward-simulation workflow the paper's SPECFEM3D integration targets.
 // Writes one CSV seismogram per receiver.
 //
-// Runs serial by default; with a rank count (and optionally a scheduler) the
-// same scenario executes on the threaded LTS runtime — sources are injected
-// per rank at the owning rank's level-local updates and receivers sampled
-// from per-rank trace buffers, reproducing the serial seismograms to
-// roundoff.
+// The whole run is the registered "trench" ScenarioSpec; every field is a
+// key=value override, including the execution backend:
 //
-//   $ ./seismic_point_source [n] [ranks] [barrier-all|level-aware|level-aware+steal]
+//   $ ./seismic_point_source                       # registry defaults, serial LTS
+//   $ ./seismic_point_source n=12 nz=8             # bigger mesh
+//   $ ./seismic_point_source ranks=4 scheduler=level-aware+steal
+//   $ ./seismic_point_source executor=threaded/barrier-all ranks=4
+//   $ ./seismic_point_source scenario=crust        # any registered scenario
+//
+// Threaded runs inject sources per rank at the owning rank's level-local
+// updates and sample receivers from per-rank trace buffers, reproducing the
+// serial seismograms to roundoff.
 
-#include <cstdlib>
+#include <exception>
 #include <iostream>
+#include <span>
 
-#include "core/simulation.hpp"
-#include "mesh/generators.hpp"
-#include "runtime/threaded_lts.hpp"
+#include "scenarios/scenario.hpp"
 
 using namespace ltswave;
 
+static void run_demo(const scenarios::ScenarioSpec& spec);
+
 int main(int argc, char** argv) {
-  const index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 12;
-  const rank_t ranks = argc > 2 ? static_cast<rank_t>(std::atoi(argv[2])) : 0;
-
-  mesh::Material rock;
-  rock.vp = 2.0;
-  rock.vs = 1.1;
-  rock.rho = 1.0;
-  const auto mesh = mesh::make_trench_mesh({.n = n,
-                                            .nz = std::max<index_t>(4, 2 * n / 3),
-                                            .squeeze = 4.0,
-                                            .trench_halfwidth = 0.05,
-                                            .depth_power = 3.0,
-                                            .transition = 0.15,
-                                            .mat = rock});
-
-  core::SimulationConfig cfg;
-  cfg.order = 3;
-  cfg.physics = core::Physics::Elastic;
-  cfg.courant = 0.08;
-  cfg.use_lts = true;
-  cfg.num_ranks = ranks;
-  cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
-  if (argc > 3) {
-    const auto mode = runtime::parse_scheduler_mode(argv[3]);
-    if (!mode) {
-      std::cerr << "unknown scheduler '" << argv[3]
-                << "' (want barrier-all | level-aware | level-aware+steal)\n";
-      return 1;
+  const std::span<const char* const> args{argv + 1, static_cast<std::size_t>(argc - 1)};
+  scenarios::ScenarioSpec spec;
+  try {
+    spec = scenarios::from_args(args, "trench");
+    // This demo's documented commands run `ranks=4` on laptops/CI boxes with
+    // fewer cores: default the policy to a warning, then re-apply the CLI so
+    // an explicit user choice (any accepted spelling) stays authoritative.
+    spec.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+    spec.apply_cli(args);
+    if (spec.name == "trench") {
+      // Interactive defaults: a bigger mesh, a longer record and a full
+      // receiver line compared to the CI-scale registry entry — re-applying
+      // the CLI afterwards keeps user overrides authoritative.
+      spec.with_mesh_resolution(12, 8).with_cycles(12);
+      spec.receivers.clear();
+      const int n_receivers = 7;
+      for (int i = 0; i < n_receivers; ++i) {
+        const real_t x = 0.2 + 0.6 * static_cast<real_t>(i) / (n_receivers - 1);
+        spec.with_receiver({.location = {x, 0.5, 0.5}, .component = 2});
+      }
+      spec.apply_cli(args);
     }
-    cfg.scheduler.mode = *mode;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
   }
 
-  core::WaveSimulation sim(mesh, cfg);
-  std::cout << "trench mesh: " << mesh.num_elems() << " elements, " << sim.levels().num_levels
-            << " LTS levels, speedup model " << sim.theoretical_speedup() << "x";
-  if (ranks > 1)
-    std::cout << ", " << ranks << " ranks under " << to_string(cfg.scheduler.mode);
-  std::cout << "\n";
-
-  // Vertical point force just under the trench axis; peak frequency chosen so
-  // a few wavelengths fit the domain.
-  sim.add_source({0.5, 0.5, 0.45}, /*peak_frequency=*/3.0, {0, 0, 1}, 1.0);
-
-  // Line of surface receivers (vertical component) across the trench.
-  const int n_receivers = 7;
-  for (int i = 0; i < n_receivers; ++i) {
-    const real_t x = 0.2 + 0.6 * static_cast<real_t>(i) / (n_receivers - 1);
-    sim.add_receiver({x, 0.5, 0.5}, /*component=*/2);
-  }
-
-  const std::size_t ndof = static_cast<std::size_t>(sim.space().num_global_nodes()) * 3;
-  const std::vector<real_t> zero(ndof, 0.0);
-  sim.set_state(zero, zero);
-
-  const real_t duration = 1.0;
-  std::cout << "running " << duration << " time units (dt = " << sim.dt() << ") ..." << std::flush;
-  sim.run(duration);
-  std::cout << " done (" << sim.element_applies() << " element applies)\n";
-
-  for (std::size_t i = 0; i < sim.receivers().size(); ++i) {
-    const std::string path = "seismogram_" + std::to_string(i) + ".csv";
-    sim.receivers()[i].write_csv(path);
-    std::cout << "wrote " << path << "\n";
+  try {
+    run_demo(spec);
+  } catch (const std::exception& e) {
+    // e.g. an explicit oversubscribe=forbid on a box with too few cores —
+    // print the library's message instead of terminating.
+    std::cerr << e.what() << "\n";
+    return 1;
   }
   return 0;
+}
+
+static void run_demo(const scenarios::ScenarioSpec& spec) {
+  auto sim = spec.make_simulation();
+  std::cout << "scenario '" << spec.name << "': " << sim->mesh().num_elems() << " elements, "
+            << sim->levels().num_levels << " LTS levels, speedup model "
+            << sim->theoretical_speedup() << "x, executor '" << sim->executor_name() << "'\n";
+
+  const real_t duration = scenarios::run_duration(spec, *sim);
+  std::cout << "running " << duration << " time units (dt = " << sim->dt() << ") ..."
+            << std::flush;
+  sim->run(duration);
+  std::cout << " done (" << sim->element_applies() << " element applies)\n";
+
+  for (std::size_t i = 0; i < sim->receivers().size(); ++i) {
+    const std::string path = "seismogram_" + std::to_string(i) + ".csv";
+    sim->receivers()[i].write_csv(path);
+    std::cout << "wrote " << path << "\n";
+  }
 }

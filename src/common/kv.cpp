@@ -1,0 +1,62 @@
+#include "common/kv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+namespace ltswave::kv {
+
+std::vector<std::pair<std::string, std::string>> split(std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' || text[i] == '\n')) ++i;
+    if (i >= text.size()) break;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ' && text[j] != '\t' && text[j] != '\n') ++j;
+    const std::string_view tok = text.substr(i, j - i);
+    const std::size_t eq = tok.find('=');
+    LTS_CHECK_MSG(eq != std::string_view::npos && eq > 0,
+                  "malformed token '" << tok << "' — expected key=value");
+    out.emplace_back(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+    i = j;
+  }
+  return out;
+}
+
+real_t parse_real(std::string_view key, std::string_view value) {
+  real_t v{};
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, v);
+  LTS_CHECK_MSG(ec == std::errc{} && ptr == end,
+                "bad value '" << value << "' for " << key << " — expected a real number");
+  return v;
+}
+
+std::int64_t parse_int(std::string_view key, std::string_view value) {
+  std::int64_t v{};
+  const auto* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, v);
+  LTS_CHECK_MSG(ec == std::errc{} && ptr == end,
+                "bad value '" << value << "' for " << key << " — expected an integer");
+  return v;
+}
+
+bool parse_bool(std::string_view key, std::string_view value) {
+  if (value == "on" || value == "true" || value == "1" || value == "yes") return true;
+  if (value == "off" || value == "false" || value == "0" || value == "no") return false;
+  LTS_CHECK_MSG(false, "bad value '" << value << "' for " << key
+                                     << " — expected on|off|true|false|1|0|yes|no");
+  return false;
+}
+
+std::string format_real(real_t v) {
+  // std::to_chars emits the shortest representation that round-trips exactly
+  // ("0.2" stays "0.2", not "0.20000000000000001").
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  LTS_CHECK(ec == std::errc{});
+  return {buf, ptr};
+}
+
+} // namespace ltswave::kv

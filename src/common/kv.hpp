@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file kv.hpp
+/// Tiny `key=value` tokenizer and checked scalar parsers shared by every CLI
+/// and config round-trip surface (SchedulerConfig, SimulationConfig,
+/// ScenarioSpec overrides). All parsers throw CheckFailure with a message
+/// naming the offending key and the accepted spellings — a bad CLI argument
+/// must never fail silently or crash cryptically deep in a run.
+
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ltswave::kv {
+
+/// Splits a whitespace-separated list of `key=value` tokens. A token without
+/// '=' throws; empty keys throw; duplicate keys are allowed (last wins at the
+/// consumer's discretion — they are returned in order).
+std::vector<std::pair<std::string, std::string>> split(std::string_view text);
+
+/// Checked scalar parsers; `key` is only used for the error message.
+real_t parse_real(std::string_view key, std::string_view value);
+std::int64_t parse_int(std::string_view key, std::string_view value);
+/// Accepts on/off, true/false, 1/0, yes/no.
+bool parse_bool(std::string_view key, std::string_view value);
+
+/// parse_int that also checks the value fits the destination integer type —
+/// `ranks=4294967297` must throw, not wrap to 1.
+template <typename Int>
+Int parse_int_as(std::string_view key, std::string_view value) {
+  const std::int64_t v = parse_int(key, value);
+  LTS_CHECK_MSG(v >= static_cast<std::int64_t>(std::numeric_limits<Int>::min()) &&
+                    v <= static_cast<std::int64_t>(std::numeric_limits<Int>::max()),
+                "value " << v << " for " << key << " is out of range");
+  return static_cast<Int>(v);
+}
+
+/// Formats a real so that parse_real round-trips it exactly (max_digits10).
+std::string format_real(real_t v);
+
+} // namespace ltswave::kv

@@ -1,0 +1,322 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/lts_newmark.hpp"
+#include "core/simulation.hpp"
+#include "partition/feedback.hpp"
+#include "partition/partitioners.hpp"
+#include "runtime/threaded_lts.hpp"
+
+namespace ltswave::core {
+
+namespace {
+
+/// Per-receiver trace accumulated by the serial adapters (the threaded
+/// backend keeps equivalent traces inside the solver, per owning rank).
+struct SerialTrace {
+  std::vector<real_t> times;
+  std::vector<real_t> values;
+};
+
+/// Appends every accumulated (time, value) sample into the matching sink and
+/// clears the trace — the one drain semantic shared by all backends. Works on
+/// any trace type exposing times/values vectors.
+template <typename Traces>
+void drain_traces(Traces& traces, std::span<sem::Receiver> sinks) {
+  LTS_CHECK(sinks.size() == traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t s = 0; s < traces[i].times.size(); ++s)
+      sinks[i].append(traces[i].times[s], traces[i].values[s]);
+    traces[i].times.clear();
+    traces[i].values.clear();
+  }
+}
+
+/// Shared implementation of the two serial adapters: both drive a solver with
+/// the same set_state/step/u/add_source surface, sample receivers at every
+/// cycle boundary from the solver's global displacement vector, and drain
+/// traces identically. Only adopt_raw_state differs in arity, so subclasses
+/// implement just the adopt hand-off.
+template <typename Solver>
+class SerialExecutorBase : public Executor {
+public:
+  [[nodiscard]] real_t time() const override { return solver_->time(); }
+  [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
+
+  void drain_receivers(std::span<sem::Receiver> sinks) override { drain_traces(traces_, sinks); }
+
+protected:
+  SerialExecutorBase(std::string name, const ExecutorContext& ctx, std::unique_ptr<Solver> solver)
+      : Executor(std::move(name)), ncomp_(ctx.op->ncomp()), solver_(std::move(solver)) {}
+
+  void do_set_state(std::span<const real_t> u0, std::span<const real_t> v0) override {
+    solver_->set_state(u0, v0);
+  }
+  void do_advance_cycles(std::int64_t cycles) override {
+    for (std::int64_t s = 0; s < cycles; ++s) {
+      solver_->step();
+      sample_receivers();
+    }
+  }
+  const std::vector<real_t>* direct_state() const override { return &solver_->u(); }
+  void gather_state(std::vector<real_t>& out) const override { out = solver_->u(); }
+  void do_add_source(const sem::PointSource& src) override { solver_->add_source(src); }
+  void do_add_receiver(gindex_t node, int component) override {
+    // Same loud rejection the threaded backend gives — an acoustic run with a
+    // component=2 receiver must not silently sample the wrong DOF.
+    LTS_CHECK_MSG(component >= 0 && component < ncomp_,
+                  "receiver component " << component << " out of range for ncomp " << ncomp_);
+    LTS_CHECK_MSG(node >= 0 && (static_cast<std::size_t>(node) + 1) *
+                                       static_cast<std::size_t>(ncomp_) <=
+                                   solver_->u().size(),
+                  "receiver node " << node << " outside the global node range");
+    traces_.emplace_back();
+  }
+
+  /// The same-kind downcast + source replay every adopt starts with.
+  template <typename Self>
+  const Self& adopt_prologue(const Executor& prev) {
+    const auto* p = dynamic_cast<const Self*>(&prev);
+    LTS_CHECK_MSG(p, "executor '" << name() << "' cannot adopt state from '" << prev.name()
+                                  << "' — backends hand off within their own kind");
+    for (const auto& s : prev.sources()) solver_->add_source(s);
+    traces_ = p->traces_;
+    return *p;
+  }
+
+  int ncomp_;
+  std::unique_ptr<Solver> solver_;
+  std::vector<SerialTrace> traces_;
+
+private:
+  void sample_receivers() {
+    const auto recs = receivers();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const std::size_t dof = static_cast<std::size_t>(recs[i].node) *
+                                  static_cast<std::size_t>(ncomp_) +
+                              static_cast<std::size_t>(recs[i].component);
+      traces_[i].times.push_back(solver_->time());
+      traces_[i].values.push_back(solver_->u()[dof]);
+    }
+  }
+};
+
+/// Global explicit Newmark at Delta-t_min — the non-LTS reference scheme.
+class NewmarkExecutor final : public SerialExecutorBase<NewmarkSolver> {
+public:
+  NewmarkExecutor(std::string name, const ExecutorContext& ctx)
+      : SerialExecutorBase(std::move(name), ctx,
+                           std::make_unique<NewmarkSolver>(*ctx.op, ctx.levels->dt)) {
+    // A multi-level census means levels->dt is the *coarse* step — stepping
+    // the whole mesh at it violates CFL on the fine elements and blows up
+    // without a diagnostic. Callers must build the context with
+    // assign_single_level (consult ExecutorFactory::uses_lts_levels, as the
+    // facade does).
+    LTS_CHECK_MSG(ctx.levels->num_levels == 1,
+                  "executor '" << this->name() << "' needs a single-level census (got "
+                               << ctx.levels->num_levels
+                               << " levels) — build levels with assign_single_level");
+  }
+
+private:
+  void do_adopt_state_from(const Executor& prev) override {
+    const auto& p = adopt_prologue<NewmarkExecutor>(prev);
+    solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
+                             p.solver_->element_applies());
+  }
+};
+
+/// The production serial multi-level LTS-Newmark scheme — the baseline every
+/// other backend is conformance-tested against.
+class SerialLtsExecutor final : public SerialExecutorBase<LtsNewmarkSolver> {
+public:
+  SerialLtsExecutor(std::string name, const ExecutorContext& ctx)
+      : SerialExecutorBase(std::move(name), ctx,
+                           std::make_unique<LtsNewmarkSolver>(*ctx.op, *ctx.levels,
+                                                              *ctx.structure)) {}
+
+private:
+  void do_adopt_state_from(const Executor& prev) override {
+    const auto& p = adopt_prologue<SerialLtsExecutor>(prev);
+    solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
+                             p.solver_->element_applies(), p.solver_->applies_per_level());
+  }
+};
+
+/// Rank-parallel shared-memory backend: partitions the mesh and drives the
+/// persistent-pool ThreadedLtsSolver under a fixed scheduler mode. One
+/// registry entry per SchedulerMode, so the conformance grid exercises every
+/// synchronization strategy without hand-written lists.
+class ThreadedExecutor final : public Executor {
+public:
+  ThreadedExecutor(std::string name, const ExecutorContext& ctx, runtime::SchedulerMode mode)
+      : Executor(std::move(name)), ctx_(ctx) {
+    LTS_CHECK_MSG(ctx.cfg && ctx.mesh, "executor '" << this->name()
+                                                    << "' needs ExecutorContext.cfg and .mesh "
+                                                       "(it partitions the mesh)");
+    scfg_ = ctx.cfg->scheduler;
+    scfg_.mode = mode; // the registry key, not the legacy config field, decides
+    LTS_CHECK_MSG(ctx.cfg->num_ranks > 1,
+                  "executor '" << this->name() << "' needs num_ranks > 1 (got "
+                               << ctx.cfg->num_ranks << ")");
+    partition::PartitionerConfig pc;
+    pc.strategy = ctx.cfg->partitioner;
+    pc.num_parts = ctx.cfg->num_ranks;
+    part_ = partition::partition_mesh(*ctx.mesh, ctx.levels->elem_level, ctx.levels->num_levels,
+                                      pc);
+    solver_ = std::make_unique<runtime::ThreadedLtsSolver>(*ctx.op, *ctx.levels, *ctx.structure,
+                                                           part_, scfg_);
+  }
+
+  [[nodiscard]] real_t time() const override { return solver_->time(); }
+  [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
+
+  [[nodiscard]] ExecutorCounters counters() const override {
+    return {solver_->busy_seconds(), solver_->stall_seconds(), solver_->steal_counts()};
+  }
+  [[nodiscard]] bool supports_feedback() const noexcept override { return true; }
+  [[nodiscard]] runtime::ThreadedLtsSolver* threaded_solver() const noexcept override {
+    return solver_.get();
+  }
+  [[nodiscard]] const partition::Partition* partition() const noexcept override { return &part_; }
+
+  void drain_receivers(std::span<sem::Receiver> sinks) override {
+    drain_traces(solver_->traces(), sinks);
+  }
+
+private:
+  void do_set_state(std::span<const real_t> u0, std::span<const real_t> v0) override {
+    solver_->set_state(u0, v0);
+  }
+  void do_advance_cycles(std::int64_t cycles) override {
+    solver_->run_cycles(static_cast<int>(cycles));
+  }
+  // The shared-memory ranks all update one host vector, so state() can alias
+  // it directly — zero copies, like the serial adapters. (A genuinely
+  // distributed backend would return nullptr here and gather instead.)
+  const std::vector<real_t>* direct_state() const override { return &solver_->u(); }
+  void gather_state(std::vector<real_t>& out) const override { out = solver_->u(); }
+  void do_add_source(const sem::PointSource& src) override { solver_->add_source(src); }
+  void do_add_receiver(gindex_t node, int component) override {
+    solver_->add_receiver(node, component);
+  }
+  void do_adopt_state_from(const Executor& prev) override {
+    // Cross-mode hand-off between threaded backends is fine (the solver's
+    // adopt only requires the same operator/levels/structure; the partition
+    // and scheduler may differ — that is the whole point of feedback
+    // repartitioning).
+    const auto* p = dynamic_cast<const ThreadedExecutor*>(&prev);
+    LTS_CHECK_MSG(p, "executor '" << name() << "' cannot adopt state from '" << prev.name()
+                                  << "' — backends hand off within their own kind");
+    solver_->adopt_state_from(*p->solver_);
+  }
+  void do_refine_from_feedback() override {
+    partition::FeedbackSignal sig;
+    sig.busy_seconds = solver_->busy_seconds();
+    sig.stall_seconds = solver_->stall_seconds();
+    sig.steal_counts = solver_->steal_counts();
+
+    partition::PartitionerConfig pc;
+    pc.strategy = ctx_.cfg->partitioner;
+    pc.num_parts = ctx_.cfg->num_ranks;
+    part_ = partition::refine_with_feedback(*ctx_.mesh, ctx_.levels->elem_level,
+                                            ctx_.levels->num_levels, part_, sig, pc);
+    auto fresh = std::make_unique<runtime::ThreadedLtsSolver>(*ctx_.op, *ctx_.levels,
+                                                              *ctx_.structure, part_, scfg_);
+    fresh->adopt_state_from(*solver_);
+    solver_ = std::move(fresh);
+  }
+
+  ExecutorContext ctx_;
+  runtime::SchedulerConfig scfg_;
+  partition::Partition part_;
+  std::unique_ptr<runtime::ThreadedLtsSolver> solver_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+ExecutorFactory& ExecutorFactory::instance() {
+  static ExecutorFactory factory;
+  return factory;
+}
+
+ExecutorFactory::ExecutorFactory() {
+  register_backend(
+      "newmark", "global explicit Newmark at the CFL minimum step (non-LTS reference)",
+      [](const ExecutorContext& ctx) -> std::unique_ptr<Executor> {
+        return std::make_unique<NewmarkExecutor>("newmark", ctx);
+      },
+      /*uses_lts_levels=*/false);
+  register_backend("serial-lts",
+                   "serial multi-level LTS-Newmark (paper Sec. II-C) — the conformance baseline",
+                   [](const ExecutorContext& ctx) -> std::unique_ptr<Executor> {
+                     return std::make_unique<SerialLtsExecutor>("serial-lts", ctx);
+                   });
+  for (const runtime::SchedulerMode mode : runtime::kAllSchedulerModes) {
+    const std::string key = "threaded/" + runtime::to_string(mode);
+    register_backend(key,
+                     "rank-parallel LTS on the persistent thread pool, scheduler '" +
+                         runtime::to_string(mode) + "'",
+                     [key, mode](const ExecutorContext& ctx) -> std::unique_ptr<Executor> {
+                       return std::make_unique<ThreadedExecutor>(key, ctx, mode);
+                     });
+  }
+}
+
+void ExecutorFactory::register_backend(std::string name, std::string description, Builder builder,
+                                       bool uses_lts_levels) {
+  LTS_CHECK_MSG(!name.empty() && builder, "executor registration needs a name and a builder");
+  const auto [it, inserted] = backends_.emplace(
+      std::move(name), Entry{std::move(builder), std::move(description), uses_lts_levels});
+  LTS_CHECK_MSG(inserted, "executor '" << it->first << "' is already registered");
+}
+
+const ExecutorFactory::Entry& ExecutorFactory::entry_or_throw(std::string_view name) const {
+  const auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    std::ostringstream os;
+    for (const auto& [key, entry] : backends_) os << "\n  " << key << " — " << entry.description;
+    LTS_CHECK_MSG(false, "unknown executor '" << name << "'; registered backends:" << os.str());
+  }
+  return it->second;
+}
+
+std::unique_ptr<Executor> ExecutorFactory::create(std::string_view name,
+                                                  const ExecutorContext& ctx) const {
+  LTS_CHECK_MSG(ctx.op && ctx.levels && ctx.structure,
+                "ExecutorContext needs at least op, levels and structure");
+  return entry_or_throw(name).builder(ctx);
+}
+
+bool ExecutorFactory::contains(std::string_view name) const {
+  return backends_.find(name) != backends_.end();
+}
+
+bool ExecutorFactory::uses_lts_levels(std::string_view name) const {
+  return entry_or_throw(name).uses_lts_levels;
+}
+
+std::string ExecutorFactory::description(std::string_view name) const {
+  return entry_or_throw(name).description;
+}
+
+std::vector<std::string> ExecutorFactory::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& [key, entry] : backends_) out.push_back(key);
+  return out; // std::map iteration is already sorted
+}
+
+std::string resolve_executor_name(const SimulationConfig& cfg) {
+  if (!cfg.executor.empty()) return cfg.executor;
+  if (cfg.num_ranks > 1) return "threaded/" + runtime::to_string(cfg.scheduler.mode);
+  return cfg.use_lts ? "serial-lts" : "newmark";
+}
+
+} // namespace ltswave::core

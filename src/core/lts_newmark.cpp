@@ -73,6 +73,19 @@ void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const rea
   time_ = 0;
 }
 
+void LtsNewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half,
+                                       real_t time, std::int64_t applies_total,
+                                       std::span<const std::int64_t> applies_per_level) {
+  LTS_CHECK(u.size() == u_.size() && v_half.size() == v_.size());
+  LTS_CHECK(applies_per_level.size() == applies_per_level_.size());
+  std::copy(u.begin(), u.end(), u_.begin());
+  std::copy(v_half.begin(), v_half.end(), v_.begin());
+  time_ = time;
+  cycle_t0_ = time;
+  applies_total_ = applies_total;
+  std::copy(applies_per_level.begin(), applies_per_level.end(), applies_per_level_.begin());
+}
+
 void LtsNewmarkSolver::apply_sources_to(level_t k, real_t t_sub,
                                         std::vector<real_t>& force_accum) {
   // Adds -Minv f(t) into the force accumulator so the common update

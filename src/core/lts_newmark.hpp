@@ -41,6 +41,14 @@ public:
   void add_source(const sem::PointSource& src);
   void set_fixed_nodes(std::span<const gindex_t> nodes);
 
+  /// Overwrites the raw staggered state (u, v^{t-dt/2}), the clock and the
+  /// work counters — the executor hand-off used by Executor::adopt_state_from.
+  /// Exact at cycle boundaries: the frozen force / cumulative buffers are
+  /// recomputed from u at the start of every cycle (see step()), so (u, v,
+  /// time) is the solver's complete cross-cycle dynamical state.
+  void adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half, real_t time,
+                       std::int64_t applies_total, std::span<const std::int64_t> applies_per_level);
+
   /// Advances one LTS cycle (one coarse step Delta-t).
   void step();
 

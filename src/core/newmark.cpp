@@ -42,6 +42,15 @@ void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t
   time_ = 0;
 }
 
+void NewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half,
+                                    real_t time, std::int64_t element_applies) {
+  LTS_CHECK(u.size() == u_.size() && v_half.size() == v_.size());
+  std::copy(u.begin(), u.end(), u_.begin());
+  std::copy(v_half.begin(), v_half.end(), v_.begin());
+  time_ = time;
+  applies_ = element_applies;
+}
+
 void NewmarkSolver::step() {
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
   op_->apply_add(all_elems_, u_.data(), scratch_.data(), ws_);

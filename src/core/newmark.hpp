@@ -24,6 +24,13 @@ public:
   /// v^{-1/2} to second order internally.
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
 
+  /// Overwrites the raw staggered state (u^n, v^{n-1/2}), the clock and the
+  /// work counter — the executor hand-off used by Executor::adopt_state_from.
+  /// Unlike set_state this applies no initial-condition staggering: the inputs
+  /// are another solver's internal state at a step boundary, adopted exactly.
+  void adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half, real_t time,
+                       std::int64_t element_applies);
+
   void add_source(const sem::PointSource& src) { sources_.push_back(src); }
 
   /// Dirichlet nodes: clamped by zeroing the inverse mass on those rows.

@@ -1,160 +1,206 @@
 #include "core/simulation.hpp"
 
 #include <cmath>
+#include <sstream>
 
-#include "partition/feedback.hpp"
+#include "common/kv.hpp"
+#include "core/executor.hpp"
 #include "runtime/threaded_lts.hpp"
 
 namespace ltswave::core {
 
+std::string to_string(Physics p) {
+  switch (p) {
+    case Physics::Acoustic: return "acoustic";
+    case Physics::Elastic: return "elastic";
+  }
+  return "unknown";
+}
+
+Physics parse_physics(std::string_view name) {
+  if (name == "acoustic") return Physics::Acoustic;
+  if (name == "elastic") return Physics::Elastic;
+  LTS_CHECK_MSG(false, "unknown physics '" << name << "' (want acoustic | elastic)");
+  return Physics::Acoustic;
+}
+
+std::string to_string(const SimulationConfig& cfg) {
+  std::ostringstream os;
+  os << "order=" << cfg.order << " physics=" << to_string(cfg.physics)
+     << " courant=" << kv::format_real(cfg.courant) << " lts=" << (cfg.use_lts ? "on" : "off")
+     << " max-levels=" << cfg.max_levels << " ranks=" << cfg.num_ranks
+     << " partitioner=" << partition::cli_name(cfg.partitioner)
+     << " feedback=" << cfg.feedback_warmup_cycles
+     << " executor=" << (cfg.executor.empty() ? "auto" : cfg.executor)
+     << " scheduler.mode=" << runtime::to_string(cfg.scheduler.mode)
+     << " scheduler.oversubscribe=" << runtime::to_string(cfg.scheduler.oversubscribe)
+     << " scheduler.chunk=" << cfg.scheduler.chunk_elems;
+  return os.str();
+}
+
+bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
+                               std::string_view value) {
+  if (key == "order") {
+    cfg.order = kv::parse_int_as<int>(key, value);
+  } else if (key == "physics") {
+    cfg.physics = parse_physics(value);
+  } else if (key == "courant") {
+    cfg.courant = kv::parse_real(key, value);
+  } else if (key == "lts") {
+    cfg.use_lts = kv::parse_bool(key, value);
+  } else if (key == "max-levels") {
+    cfg.max_levels = kv::parse_int_as<level_t>(key, value);
+  } else if (key == "ranks") {
+    cfg.num_ranks = kv::parse_int_as<rank_t>(key, value);
+  } else if (key == "partitioner") {
+    cfg.partitioner = partition::parse_strategy(value);
+  } else if (key == "feedback") {
+    cfg.feedback_warmup_cycles = kv::parse_int_as<int>(key, value);
+  } else if (key == "executor") {
+    cfg.executor = value == "auto" ? std::string{} : value;
+  } else if (key == "scheduler" || key == "scheduler.mode") {
+    cfg.scheduler.mode = runtime::parse_scheduler_mode_or_throw(value);
+  } else if (key == "oversubscribe" || key == "scheduler.oversubscribe") {
+    cfg.scheduler.oversubscribe = runtime::parse_oversubscribe(value);
+  } else if (key == "chunk" || key == "scheduler.chunk") {
+    cfg.scheduler.chunk_elems = kv::parse_int_as<index_t>(key, value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view simulation_config_keys_help() {
+  return "order | physics | courant | lts | max-levels | ranks | partitioner | feedback | "
+         "executor | scheduler[.mode] | [scheduler.]oversubscribe | [scheduler.]chunk";
+}
+
+SimulationConfig parse_simulation_config(std::string_view text) {
+  SimulationConfig cfg;
+  for (const auto& [key, value] : kv::split(text))
+    LTS_CHECK_MSG(try_simulation_config_key(cfg, key, value),
+                  "unknown simulation config key '" << key << "' (want "
+                                                    << simulation_config_keys_help() << ")");
+  return cfg;
+}
+
 WaveSimulation::WaveSimulation(mesh::HexMesh mesh, SimulationConfig cfg)
-    : cfg_(cfg), mesh_(std::move(mesh)) {
-  space_ = std::make_unique<sem::SemSpace>(mesh_, cfg.order);
-  if (cfg.physics == Physics::Acoustic)
+    : cfg_(std::move(cfg)), mesh_(std::move(mesh)) {
+  auto& factory = ExecutorFactory::instance();
+  executor_name_ = resolve_executor_name(cfg_);
+
+  space_ = std::make_unique<sem::SemSpace>(mesh_, cfg_.order);
+  if (cfg_.physics == Physics::Acoustic)
     op_ = std::make_unique<sem::AcousticOperator>(*space_);
   else
     op_ = std::make_unique<sem::ElasticOperator>(*space_);
 
-  levels_ = cfg.use_lts ? assign_levels(mesh_, cfg.courant, cfg.max_levels)
-                        : assign_single_level(mesh_, cfg.courant);
+  // The backend decides the level layout: LTS backends get the real
+  // multi-level assignment, single-rate reference schemes ("newmark") run at
+  // the global CFL minimum. Under the legacy shim (no explicit executor) the
+  // old `use_lts` field keeps deciding, so pre-existing call sites like
+  // {use_lts=false, num_ranks=4} — a threaded run at the global minimum step
+  // — behave exactly as before the Executor seam.
+  const bool multi_level = cfg_.executor.empty() ? cfg_.use_lts
+                                                 : factory.uses_lts_levels(executor_name_);
+  levels_ = multi_level ? assign_levels(mesh_, cfg_.courant, cfg_.max_levels)
+                        : assign_single_level(mesh_, cfg_.courant);
   structure_ = build_lts_structure(*space_, levels_);
 
-  if (cfg.num_ranks > 1) {
-    partition::PartitionerConfig pc;
-    pc.strategy = cfg.partitioner;
-    pc.num_parts = cfg.num_ranks;
-    part_ = partition::partition_mesh(mesh_, levels_.elem_level, levels_.num_levels, pc);
-    threaded_solver_ = std::make_unique<runtime::ThreadedLtsSolver>(*op_, levels_, structure_,
-                                                                    part_, cfg.scheduler);
-  } else if (cfg.use_lts) {
-    lts_solver_ = std::make_unique<LtsNewmarkSolver>(*op_, levels_, structure_);
-  } else {
-    newmark_solver_ = std::make_unique<NewmarkSolver>(*op_, levels_.dt);
-  }
+  ExecutorContext ctx;
+  ctx.op = op_.get();
+  ctx.levels = &levels_;
+  ctx.structure = &structure_;
+  ctx.mesh = &mesh_;
+  ctx.space = space_.get();
+  ctx.cfg = &cfg_;
+  executor_ = factory.create(executor_name_, ctx);
 }
 
 WaveSimulation::~WaveSimulation() = default;
 
 real_t WaveSimulation::dt() const noexcept { return levels_.dt; }
 
-real_t WaveSimulation::time() const noexcept {
-  if (threaded_solver_) return threaded_solver_->time();
-  return lts_solver_ ? lts_solver_->time() : newmark_solver_->time();
-}
+real_t WaveSimulation::time() const noexcept { return executor_->time(); }
 
 void WaveSimulation::add_source(std::array<real_t, 3> location, real_t peak_frequency,
                                 std::array<real_t, 3> direction, real_t amplitude) {
-  const auto src = sem::PointSource::at(*space_, location, peak_frequency, direction, amplitude);
-  if (threaded_solver_)
-    threaded_solver_->add_source(src);
-  else if (lts_solver_)
-    lts_solver_->add_source(src);
-  else
-    newmark_solver_->add_source(src);
+  executor_->add_source(
+      sem::PointSource::at(*space_, location, peak_frequency, direction, amplitude));
 }
 
 void WaveSimulation::add_receiver(std::array<real_t, 3> location, int component) {
-  receivers_.emplace_back(*space_, location, component);
-  // The threaded runtime samples per rank at every cycle boundary; run()
-  // drains the runtime traces back into this facade-level receiver.
-  if (threaded_solver_) threaded_solver_->add_receiver(receivers_.back().node(), component);
+  // Register with the backend first: if it rejects the receiver (bad
+  // component for this physics), the facade list must not keep a phantom
+  // entry that desyncs drain_receivers later.
+  sem::Receiver rec(*space_, location, component);
+  executor_->add_receiver(rec.node(), component);
+  receivers_.push_back(std::move(rec));
 }
 
 void WaveSimulation::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
-  if (threaded_solver_)
-    threaded_solver_->set_state(u0, v0);
-  else if (lts_solver_)
-    lts_solver_->set_state(u0, v0);
-  else
-    newmark_solver_->set_state(u0, v0);
+  executor_->set_state(u0, v0);
 }
 
-const std::vector<real_t>& WaveSimulation::u() const {
-  if (threaded_solver_) return threaded_solver_->u();
-  return lts_solver_ ? lts_solver_->u() : newmark_solver_->u();
+const std::vector<real_t>& WaveSimulation::u() const { return executor_->state(); }
+
+std::int64_t WaveSimulation::element_applies() const { return executor_->element_applies(); }
+
+const runtime::ThreadedLtsSolver* WaveSimulation::threaded() const noexcept {
+  return executor_->threaded_solver();
 }
 
-std::int64_t WaveSimulation::element_applies() const {
-  // The threaded solver derives this from its integer cycle counter
-  // (cycles_done * applies_per_cycle) — no llround(time/dt) drift, however
-  // the run was split across run_cycles calls.
-  if (threaded_solver_) return threaded_solver_->element_applies();
-  return lts_solver_ ? lts_solver_->element_applies() : newmark_solver_->element_applies();
+runtime::ThreadedLtsSolver* WaveSimulation::threaded() noexcept {
+  return executor_->threaded_solver();
+}
+
+const partition::Partition& WaveSimulation::part() const noexcept {
+  static const partition::Partition kEmpty{};
+  const auto* p = executor_->partition();
+  return p ? *p : kEmpty;
 }
 
 void WaveSimulation::refine_partition_from_feedback() {
-  LTS_CHECK_MSG(threaded_solver_, "feedback repartitioning needs num_ranks > 1");
-  partition::FeedbackSignal sig;
-  sig.busy_seconds = threaded_solver_->busy_seconds();
-  sig.stall_seconds = threaded_solver_->stall_seconds();
-  sig.steal_counts = threaded_solver_->steal_counts();
-
-  partition::PartitionerConfig pc;
-  pc.strategy = cfg_.partitioner;
-  pc.num_parts = cfg_.num_ranks;
-  part_ = partition::refine_with_feedback(mesh_, levels_.elem_level, levels_.num_levels, part_,
-                                          sig, pc);
-  auto fresh = std::make_unique<runtime::ThreadedLtsSolver>(*op_, levels_, structure_, part_,
-                                                            cfg_.scheduler);
-  fresh->adopt_state_from(*threaded_solver_);
-  threaded_solver_ = std::move(fresh);
+  LTS_CHECK_MSG(executor_->supports_feedback(),
+                "feedback repartitioning needs a rank-parallel executor (num_ranks > 1); '"
+                    << executor_name_ << "' is not one");
+  executor_->refine_from_feedback();
   feedback_applied_ = true;
 }
 
-void WaveSimulation::run_threaded_cycles(std::int64_t cycles,
-                                         const std::function<void(real_t)>& on_step) {
+void WaveSimulation::advance(std::int64_t cycles, const std::function<void(real_t)>& on_step) {
   if (cycles <= 0) return;
   if (on_step) {
     for (std::int64_t s = 0; s < cycles; ++s) {
-      threaded_solver_->run_cycles(1);
+      executor_->advance_cycles(1);
+      // Drain per cycle so the callback sees receiver traces grow as the run
+      // progresses (draining clears the backend's copy, so the final drain in
+      // run() never double-appends).
+      executor_->drain_receivers(receivers_);
       on_step(time());
     }
   } else {
-    // One pool dispatch for the whole span: receivers sample inside the
-    // runtime, so there is no reason to wake the main thread every cycle.
-    threaded_solver_->run_cycles(static_cast<int>(cycles));
-  }
-}
-
-void WaveSimulation::drain_threaded_receivers() {
-  auto& traces = threaded_solver_->traces();
-  LTS_CHECK(traces.size() == receivers_.size());
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    for (std::size_t s = 0; s < traces[i].times.size(); ++s)
-      receivers_[i].append(traces[i].times[s], traces[i].values[s]);
-    traces[i].times.clear();
-    traces[i].values.clear();
+    // One backend dispatch for the whole span: receivers sample inside the
+    // backend, so there is no reason to return to the caller every cycle.
+    executor_->advance_cycles(cycles);
   }
 }
 
 std::int64_t WaveSimulation::run(real_t duration, const std::function<void(real_t)>& on_step) {
   const auto steps = static_cast<std::int64_t>(std::ceil(duration / dt() - 1e-12));
-  if (threaded_solver_) {
-    std::int64_t remaining = steps;
-    if (cfg_.feedback_warmup_cycles > 0 && !feedback_applied_) {
-      const auto warm = std::min<std::int64_t>(cfg_.feedback_warmup_cycles, remaining);
-      run_threaded_cycles(warm, on_step);
-      remaining -= warm;
-      // Repartition only when warm-up cycles actually executed: a zero-length
-      // run() must not consume the one-shot feedback budget on empty
-      // counters (a neutral-factor repartition would replace the initial
-      // partition with an unmeasured one).
-      if (warm > 0) refine_partition_from_feedback();
-    }
-    run_threaded_cycles(remaining, on_step);
-    drain_threaded_receivers();
-    return steps;
+  std::int64_t remaining = steps;
+  if (cfg_.feedback_warmup_cycles > 0 && !feedback_applied_ && executor_->supports_feedback()) {
+    const auto warm = std::min<std::int64_t>(cfg_.feedback_warmup_cycles, remaining);
+    advance(warm, on_step);
+    remaining -= warm;
+    // Repartition only when warm-up cycles actually executed: a zero-length
+    // run() must not consume the one-shot feedback budget on empty counters
+    // (a neutral-factor repartition would replace the initial partition with
+    // an unmeasured one).
+    if (warm > 0) refine_partition_from_feedback();
   }
-  for (std::int64_t s = 0; s < steps; ++s) {
-    if (lts_solver_)
-      lts_solver_->step();
-    else
-      newmark_solver_->step();
-    const real_t t = time();
-    const auto& uu = u();
-    for (auto& r : receivers_) r.sample(t, uu.data(), ncomp());
-    if (on_step) on_step(t);
-  }
+  advance(remaining, on_step);
+  executor_->drain_receivers(receivers_);
   return steps;
 }
 

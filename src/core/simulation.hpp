@@ -2,12 +2,23 @@
 
 /// \file simulation.hpp
 /// High-level facade tying the whole stack together: mesh -> SEM space ->
-/// wave operator -> LTS levels -> solver. This is the entry point example
-/// applications use; lower layers stay fully accessible for advanced use.
+/// wave operator -> LTS levels -> execution backend. This is the entry point
+/// example applications use; lower layers stay fully accessible for advanced
+/// use.
+///
+/// Execution is fully pluggable: the facade holds exactly one core::Executor
+/// created by name through ExecutorFactory (see executor.hpp) and contains no
+/// per-backend branching. Select a backend explicitly with
+/// SimulationConfig::executor ("serial-lts", "newmark", "threaded/<mode>",
+/// or any externally registered name), or leave it empty and let the legacy
+/// fields (use_lts, num_ranks, scheduler) resolve it — the deprecation shim
+/// keeps existing call sites running unchanged and provably identical.
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "core/lts_newmark.hpp"
 #include "partition/partitioners.hpp"
@@ -20,27 +31,63 @@ class ThreadedLtsSolver;
 
 namespace ltswave::core {
 
+class Executor;
+
 enum class Physics { Acoustic, Elastic };
+
+[[nodiscard]] std::string to_string(Physics p);
+[[nodiscard]] Physics parse_physics(std::string_view name);
 
 struct SimulationConfig {
   int order = 4;               ///< SEM polynomial order (paper: 4 -> 125 nodes/elem)
   Physics physics = Physics::Acoustic;
   real_t courant = 0.12;       ///< CFL constant C_cfl of Eq. 7 (relative to min edge)
-  bool use_lts = true;         ///< false -> global Newmark at Delta-t_min
+  bool use_lts = true;         ///< legacy shim: false resolves to the "newmark" executor
   level_t max_levels = 12;
-  /// Rank-parallel shared-memory execution: 0 or 1 runs the serial solvers;
-  /// > 1 partitions the mesh and runs the threaded LTS executor on that many
-  /// ranks under `scheduler` (barrier-all / level-aware / level-aware+steal).
+  /// Legacy shim for rank-parallel shared-memory execution: > 1 resolves to
+  /// the "threaded/<scheduler.mode>" executor on that many ranks. Threaded
+  /// executors selected by name also read their rank count from here.
   rank_t num_ranks = 0;
   runtime::SchedulerConfig scheduler{};
   partition::Strategy partitioner = partition::Strategy::ScotchP;
-  /// Steal/stall-feedback repartitioning (threaded runs only): when > 0, the
-  /// first run() call executes this many warm-up cycles, folds the measured
-  /// per-rank busy/stall/steal counters back into the partitioner
-  /// (partition::refine_with_feedback), rebuilds the executor on the refined
-  /// partition with the state carried over exactly, and continues. 0 = off.
+  /// Steal/stall-feedback repartitioning (feedback-capable executors only):
+  /// when > 0, the first run() call executes this many warm-up cycles, folds
+  /// the measured per-rank busy/stall/steal counters back into the
+  /// partitioner (partition::refine_with_feedback), rebuilds the executor on
+  /// the refined partition with the state carried over exactly, and
+  /// continues. 0 = off.
   int feedback_warmup_cycles = 0;
+  /// Execution backend by ExecutorFactory name; empty = resolve from the
+  /// legacy fields above (see resolve_executor_name in executor.hpp).
+  std::string executor;
+
+  bool operator==(const SimulationConfig&) const = default;
 };
+
+/// "order=4 physics=acoustic courant=0.12 lts=on max-levels=12 ranks=0
+///  partitioner=scotch-p feedback=0 executor=auto scheduler.mode=level-aware
+///  scheduler.oversubscribe=forbid scheduler.chunk=0" — round-trips through
+/// parse_simulation_config exactly.
+[[nodiscard]] std::string to_string(const SimulationConfig& cfg);
+
+/// Applies one `key=value` setting to `cfg`. Returns false when `key` is not
+/// a SimulationConfig key (bad values for known keys still throw, with a
+/// message listing the accepted spellings). Accepts both the dotted keys
+/// to_string prints (scheduler.mode=...) and the short scenario-CLI
+/// spellings (scheduler=..., oversubscribe=..., chunk=...) — the one dispatch
+/// both parse_simulation_config and ScenarioSpec::apply_override share, so
+/// the two CLI surfaces cannot drift.
+[[nodiscard]] bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
+                                             std::string_view value);
+
+/// The keys try_simulation_config_key accepts, for error messages and usage
+/// lines.
+[[nodiscard]] std::string_view simulation_config_keys_help();
+
+/// Parses the to_string format (keys in any order, all optional; defaults
+/// apply to omitted keys). Throws CheckFailure naming the accepted keys and
+/// spellings on any unknown key or bad value — the CLI entry point.
+[[nodiscard]] SimulationConfig parse_simulation_config(std::string_view text);
 
 class WaveSimulation {
 public:
@@ -68,6 +115,9 @@ public:
   /// every coarse step. Returns the number of coarse steps taken.
   std::int64_t run(real_t duration, const std::function<void(real_t)>& on_step = {});
 
+  /// The displacement vector. Gathered from the backend and cached per cycle
+  /// (invalidated by run/set_state/repartitioning), so distributed backends
+  /// pay one gather per advance, not one per call.
   [[nodiscard]] const std::vector<real_t>& u() const;
   [[nodiscard]] const std::vector<sem::Receiver>& receivers() const noexcept { return receivers_; }
   [[nodiscard]] std::vector<sem::Receiver>& receivers() noexcept { return receivers_; }
@@ -79,22 +129,25 @@ public:
   /// Theoretical LTS speedup of this mesh/config (Eq. 9).
   [[nodiscard]] double theoretical_speedup() const { return core::theoretical_speedup(levels_); }
 
-  /// The rank-parallel executor when num_ranks > 1, else nullptr. Exposes
-  /// scheduler mode, per-rank busy/stall/steal counters, and per-level
-  /// participation to benches and examples.
-  [[nodiscard]] const runtime::ThreadedLtsSolver* threaded() const noexcept {
-    return threaded_solver_.get();
-  }
-  [[nodiscard]] runtime::ThreadedLtsSolver* threaded() noexcept { return threaded_solver_.get(); }
+  /// The execution backend driving this simulation and its registry name.
+  [[nodiscard]] const Executor& executor() const noexcept { return *executor_; }
+  [[nodiscard]] Executor& executor() noexcept { return *executor_; }
+  [[nodiscard]] const std::string& executor_name() const noexcept { return executor_name_; }
 
-  /// The mesh partition driving the threaded executor (empty when serial).
-  [[nodiscard]] const partition::Partition& part() const noexcept { return part_; }
+  /// The rank-parallel solver when the backend is threaded, else nullptr.
+  /// Exposes scheduler mode, per-rank busy/stall/steal counters, and
+  /// per-level participation to benches and examples.
+  [[nodiscard]] const runtime::ThreadedLtsSolver* threaded() const noexcept;
+  [[nodiscard]] runtime::ThreadedLtsSolver* threaded() noexcept;
 
-  /// Repartitions from the threaded executor's measured busy/stall/steal
-  /// counters (partition::refine_with_feedback) and rebuilds the executor on
-  /// the refined partition; the dynamical state, sources, and receiver traces
-  /// carry over exactly, so a run continues mid-simulation. Requires
-  /// num_ranks > 1. run() triggers this automatically after
+  /// The mesh partition driving the backend (empty for serial backends).
+  [[nodiscard]] const partition::Partition& part() const noexcept;
+
+  /// Repartitions from the backend's measured busy/stall/steal counters
+  /// (partition::refine_with_feedback) and rebuilds it on the refined
+  /// partition; the dynamical state, sources, and receiver traces carry over
+  /// exactly, so a run continues mid-simulation. Requires a feedback-capable
+  /// backend (threaded). run() triggers this automatically after
   /// `feedback_warmup_cycles` when configured; benches call it directly.
   void refine_partition_from_feedback();
 
@@ -102,20 +155,17 @@ public:
 
 private:
   SimulationConfig cfg_;
+  std::string executor_name_;
   mesh::HexMesh mesh_;
   std::unique_ptr<sem::SemSpace> space_;
   std::unique_ptr<sem::WaveOperator> op_;
   LevelAssignment levels_;
   LtsStructure structure_;
-  partition::Partition part_;
-  std::unique_ptr<LtsNewmarkSolver> lts_solver_;
-  std::unique_ptr<NewmarkSolver> newmark_solver_;
-  std::unique_ptr<runtime::ThreadedLtsSolver> threaded_solver_;
+  std::unique_ptr<Executor> executor_;
   std::vector<sem::Receiver> receivers_;
   bool feedback_applied_ = false;
 
-  void run_threaded_cycles(std::int64_t cycles, const std::function<void(real_t)>& on_step);
-  void drain_threaded_receivers();
+  void advance(std::int64_t cycles, const std::function<void(real_t)>& on_step);
 };
 
 } // namespace ltswave::core

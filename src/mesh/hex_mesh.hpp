@@ -24,6 +24,8 @@ struct Material {
   real_t vp = 1.0;  ///< compressional (P) wave speed
   real_t vs = 0.5;  ///< shear (S) wave speed (unused by the acoustic operator)
   real_t rho = 1.0; ///< density
+
+  bool operator==(const Material&) const = default;
 };
 
 /// Axis-aligned local face identifiers (used for neighbour lookups).
@@ -78,6 +80,12 @@ public:
   [[nodiscard]] const std::vector<real_t>& coords() const noexcept { return coords_; }
   [[nodiscard]] const std::vector<index_t>& connectivity() const noexcept { return conn_; }
   [[nodiscard]] const std::vector<Material>& materials() const noexcept { return materials_; }
+
+  /// Overwrites one element's material — the hook scenario material regions
+  /// use to paint heterogeneous media onto any generated or loaded mesh.
+  void set_material(index_t e, const Material& mat) {
+    materials_[static_cast<std::size_t>(e)] = mat;
+  }
 
   /// Shortest element edge length; the characteristic size h_i of Eq. (7).
   [[nodiscard]] real_t char_length(index_t e) const;

@@ -18,6 +18,28 @@ std::string to_string(Strategy s) {
   return "?";
 }
 
+std::string cli_name(Strategy s) {
+  switch (s) {
+    case Strategy::Scotch: return "scotch";
+    case Strategy::ScotchP: return "scotch-p";
+    case Strategy::Metis: return "metis";
+    case Strategy::Patoh: return "patoh";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(std::string_view name) {
+  for (const Strategy s : kAllStrategies)
+    if (name == cli_name(s) || name == to_string(s)) return s;
+  std::string spellings;
+  for (const Strategy s : kAllStrategies) {
+    if (!spellings.empty()) spellings += " | ";
+    spellings += cli_name(s);
+  }
+  LTS_CHECK_MSG(false, "unknown partitioner '" << name << "' (want " << spellings << ")");
+  return Strategy::ScotchP;
+}
+
 namespace {
 
 Partition scotch_partition(const mesh::HexMesh& m, std::span<const level_t> elem_levels,

@@ -16,7 +16,9 @@
 ///                 `final_imbal` balance knob.
 
 #include <string>
+#include <string_view>
 
+#include "common/check.hpp"
 #include "partition/hg_multilevel.hpp"
 #include "partition/multilevel.hpp"
 
@@ -30,6 +32,18 @@ enum class Strategy {
 };
 
 [[nodiscard]] std::string to_string(Strategy s);
+
+/// All strategies, iterable by benches and config parsers.
+inline constexpr Strategy kAllStrategies[] = {Strategy::Scotch, Strategy::ScotchP,
+                                              Strategy::Metis, Strategy::Patoh};
+
+/// CLI spelling of a strategy ("scotch", "scotch-p", "metis", "patoh") —
+/// lower-case so `partitioner=scotch-p` reads naturally in key=value args.
+[[nodiscard]] std::string cli_name(Strategy s);
+
+/// Parses a cli_name (the display to_string spellings are accepted too);
+/// throws CheckFailure listing the accepted spellings.
+[[nodiscard]] Strategy parse_strategy(std::string_view name);
 
 /// How ScotchP couples the per-level parts onto ranks (paper suggests greedy
 /// coupling and mentions weighted-matching refinements as future work; the

@@ -1,5 +1,10 @@
 #include "runtime/scheduler.hpp"
 
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/kv.hpp"
+
 namespace ltswave::runtime {
 
 std::string to_string(SchedulerMode mode) {
@@ -15,6 +20,67 @@ std::optional<SchedulerMode> parse_scheduler_mode(std::string_view name) {
   for (const SchedulerMode m : kAllSchedulerModes)
     if (name == to_string(m)) return m;
   return std::nullopt;
+}
+
+namespace {
+
+std::string scheduler_mode_spellings() {
+  std::ostringstream os;
+  bool first = true;
+  for (const SchedulerMode m : kAllSchedulerModes) {
+    if (!first) os << " | ";
+    os << to_string(m);
+    first = false;
+  }
+  return os.str();
+}
+
+} // namespace
+
+SchedulerMode parse_scheduler_mode_or_throw(std::string_view name) {
+  const auto m = parse_scheduler_mode(name);
+  LTS_CHECK_MSG(m, "unknown scheduler mode '" << name << "' (want "
+                                              << scheduler_mode_spellings() << ")");
+  return *m;
+}
+
+std::string to_string(Oversubscribe policy) {
+  switch (policy) {
+    case Oversubscribe::Forbid: return "forbid";
+    case Oversubscribe::Warn: return "warn";
+  }
+  return "unknown";
+}
+
+Oversubscribe parse_oversubscribe(std::string_view name) {
+  if (name == "forbid") return Oversubscribe::Forbid;
+  if (name == "warn") return Oversubscribe::Warn;
+  LTS_CHECK_MSG(false, "unknown oversubscribe policy '" << name << "' (want forbid | warn)");
+  return Oversubscribe::Forbid;
+}
+
+std::string to_string(const SchedulerConfig& cfg) {
+  std::ostringstream os;
+  os << "mode=" << to_string(cfg.mode) << " oversubscribe=" << to_string(cfg.oversubscribe)
+     << " chunk=" << cfg.chunk_elems;
+  return os.str();
+}
+
+SchedulerConfig parse_scheduler_config(std::string_view text) {
+  SchedulerConfig cfg;
+  for (const auto& [key, value] : kv::split(text)) {
+    if (key == "mode") {
+      cfg.mode = parse_scheduler_mode_or_throw(value);
+    } else if (key == "oversubscribe") {
+      cfg.oversubscribe = parse_oversubscribe(value);
+    } else if (key == "chunk") {
+      cfg.chunk_elems = kv::parse_int_as<index_t>(key, value);
+    } else {
+      LTS_CHECK_MSG(false, "unknown scheduler key '" << key
+                                                     << "' (want mode | oversubscribe | chunk)");
+    }
+  }
+  return cfg;
 }
 
 } // namespace ltswave::runtime

@@ -42,9 +42,16 @@ enum class SchedulerMode {
 /// spellings); returns nullopt for anything else.
 [[nodiscard]] std::optional<SchedulerMode> parse_scheduler_mode(std::string_view name);
 
+/// Like parse_scheduler_mode but throws CheckFailure naming every accepted
+/// spelling — the CLI/ScenarioSpec entry point, where a typo must fail loudly.
+[[nodiscard]] SchedulerMode parse_scheduler_mode_or_throw(std::string_view name);
+
 /// All three modes are listed here so benches can iterate them.
 inline constexpr SchedulerMode kAllSchedulerModes[] = {
     SchedulerMode::BarrierAll, SchedulerMode::LevelAware, SchedulerMode::LevelAwareSteal};
+
+[[nodiscard]] std::string to_string(Oversubscribe policy);
+[[nodiscard]] Oversubscribe parse_oversubscribe(std::string_view name);
 
 struct SchedulerConfig {
   SchedulerMode mode = SchedulerMode::LevelAware;
@@ -53,6 +60,17 @@ struct SchedulerConfig {
   /// Elements per work-stealing chunk (LevelAwareSteal only); 0 picks a size
   /// that gives each participating rank several chunks per level.
   index_t chunk_elems = 0;
+
+  bool operator==(const SchedulerConfig&) const = default;
 };
+
+/// "mode=level-aware oversubscribe=forbid chunk=0" — round-trips through
+/// parse_scheduler_config exactly.
+[[nodiscard]] std::string to_string(const SchedulerConfig& cfg);
+
+/// Parses the to_string format (keys in any order, all optional; defaults
+/// apply to omitted keys). Throws CheckFailure with the accepted keys and
+/// spellings on any unknown key or bad value.
+[[nodiscard]] SchedulerConfig parse_scheduler_config(std::string_view text);
 
 } // namespace ltswave::runtime

@@ -1,149 +1,87 @@
 #pragma once
 
 /// \file conformance_utils.hpp
-/// Cross-solver conformance harness: one scenario description runs through
-/// the WaveSimulation facade on any of the five execution paths (serial
-/// Newmark at Delta-t_min, serial LTS, and the three threaded scheduler
-/// modes), with or without a Ricker point source, and returns the final
-/// state plus the receiver seismograms. test_conformance.cpp grids over
-/// physics × order × solver × source and asserts agreement against the
-/// serial-LTS baseline — the suite that pins down "every solver computes the
-/// same physics", which is exactly what the serial-only source wall used to
-/// escape.
+/// Cross-backend conformance harness, reduced to its essence: iterate the
+/// scenario registry × the executor registry. One grid point is the
+/// registered "strip" scenario with physics/order/executor overridden and an
+/// optional Ricker source, run end-to-end through the declarative scenario
+/// API; test_conformance.cpp asserts agreement against the serial-LTS
+/// baseline. A newly registered execution backend appears in the grid with
+/// zero test edits — that is the whole point of the Executor seam.
 
+#include <cctype>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <span>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
-#include "core/simulation.hpp"
-#include "mesh/generators.hpp"
-#include "runtime/threaded_lts.hpp"
+#include "core/executor.hpp"
+#include "scenarios/scenario.hpp"
 
 namespace ltswave::conformance {
 
-enum class SolverKind { SerialNewmark, SerialLts, BarrierAll, LevelAware, LevelAwareSteal };
+/// The baseline everything is compared against.
+inline constexpr const char* kBaselineExecutor = "serial-lts";
 
-inline constexpr SolverKind kAllSolverKinds[] = {
-    SolverKind::SerialNewmark, SolverKind::SerialLts, SolverKind::BarrierAll,
-    SolverKind::LevelAware, SolverKind::LevelAwareSteal};
-
-/// The non-baseline kinds the parameterized grid compares against SerialLts.
-inline constexpr SolverKind kComparedSolverKinds[] = {
-    SolverKind::SerialNewmark, SolverKind::BarrierAll, SolverKind::LevelAware,
-    SolverKind::LevelAwareSteal};
-
-inline bool is_threaded(SolverKind s) {
-  return s == SolverKind::BarrierAll || s == SolverKind::LevelAware ||
-         s == SolverKind::LevelAwareSteal;
+/// Every registered backend except the baseline — the grid's executor axis,
+/// generated from the factory registry instead of a hand-written list.
+inline std::vector<std::string> compared_executors() {
+  auto all = core::ExecutorFactory::instance().names();
+  std::erase(all, std::string(kBaselineExecutor));
+  return all;
 }
 
-inline std::string to_string(SolverKind s) {
-  switch (s) {
-    case SolverKind::SerialNewmark: return "SerialNewmark";
-    case SolverKind::SerialLts: return "SerialLts";
-    case SolverKind::BarrierAll: return "BarrierAll";
-    case SolverKind::LevelAware: return "LevelAware";
-    case SolverKind::LevelAwareSteal: return "LevelAwareSteal";
-  }
-  return "?";
+/// Backends running the exact LTS scheme agree with the baseline to roundoff;
+/// single-rate reference schemes (plain Newmark at Delta-t_min) agree only
+/// physically, to a discretization tolerance. The registry's uses_lts_levels
+/// bit is exactly that distinction, so a newly registered reference backend
+/// lands in the loose-tolerance branch with zero test edits.
+inline bool is_exact(std::string_view executor) {
+  return core::ExecutorFactory::instance().uses_lts_levels(executor);
 }
 
-struct Scenario {
+struct Variant {
   core::Physics physics = core::Physics::Acoustic;
   int order = 2;
-  SolverKind solver = SolverKind::SerialLts;
+  std::string executor = kBaselineExecutor;
   bool with_source = false;
-  rank_t num_ranks = 4;
-  real_t courant = 0.10;
-  /// Simulated duration in coarse LTS cycles. 8 keeps the cycle-frozen
-  /// source well resolved against the Ricker period even at order 4 (the
-  /// Newmark-vs-LTS source-discretization gap shrinks below ~6% there, while
-  /// a dropped source stays at relative error ~1).
-  int cycles = 8;
 };
 
-struct ScenarioResult {
-  std::vector<real_t> u;
-  real_t end_time = 0;
-  level_t num_levels = 0;
-  std::int64_t element_applies = 0;
-  std::vector<std::vector<real_t>> trace_values; // per receiver
-  std::vector<std::vector<real_t>> trace_times;  // per receiver
-};
-
-/// The shared conformance mesh: a refined strip with >= 2 LTS levels at the
-/// default courant, small enough that the full grid stays CI-cheap.
-inline mesh::HexMesh conformance_mesh() { return mesh::make_strip_mesh(12, 0.4, 4.0); }
-
-inline core::SimulationConfig make_config(const Scenario& s) {
-  core::SimulationConfig cfg;
-  cfg.order = s.order;
-  cfg.physics = s.physics;
-  cfg.courant = s.courant;
-  cfg.use_lts = s.solver != SolverKind::SerialNewmark;
-  if (is_threaded(s.solver)) {
-    cfg.num_ranks = s.num_ranks;
-    cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
-    cfg.scheduler.mode = s.solver == SolverKind::BarrierAll ? runtime::SchedulerMode::BarrierAll
-                         : s.solver == SolverKind::LevelAware
-                             ? runtime::SchedulerMode::LevelAware
-                             : runtime::SchedulerMode::LevelAwareSteal;
+/// The grid point as a ScenarioSpec: the registered conformance strip with
+/// the variant's axes applied. Threaded backends read num_ranks = 4;
+/// oversubscription only warns so the grid runs on small CI machines.
+inline scenarios::ScenarioSpec make_spec(const Variant& v) {
+  auto spec = scenarios::get("strip");
+  spec.physics = v.physics;
+  spec.order = v.order;
+  spec.executor = v.executor;
+  spec.num_ranks = 4;
+  spec.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+  if (v.with_source) {
+    // Peak frequency ~one cycle per run keeps the cycle-frozen source of the
+    // LTS scheme well resolved (Newmark-vs-LTS stays within the
+    // discretization tolerance); amplitude 5 makes the source *dominate* the
+    // field, so a backend that silently drops it fails at relative error
+    // near 1, far above every tolerance in the suite. The coarse dt depends
+    // only on mesh geometry and courant — identical across the grid's
+    // physics/order/executor axes — so build the strip once for the suite.
+    static const real_t duration = [] {
+      const auto s = scenarios::get("strip");
+      return s.coarse_dt(s.build_mesh()) * s.duration_cycles;
+    }();
+    spec.sources.push_back({.location = {0.75, 0.0, 0.0},
+                            .peak_frequency = 1.0 / duration,
+                            .direction = {1, 0, 0},
+                            .amplitude = 5.0});
   }
-  return cfg;
+  return spec;
 }
 
-/// Smooth initial displacement on component 0 (all solvers share it so the
-/// no-source scenarios still carry energy).
-inline std::vector<real_t> initial_state(const core::WaveSimulation& sim) {
-  const std::size_t nc = static_cast<std::size_t>(sim.ncomp());
-  std::vector<real_t> u0(static_cast<std::size_t>(sim.space().num_global_nodes()) * nc, 0.0);
-  for (gindex_t g = 0; g < sim.space().num_global_nodes(); ++g) {
-    const auto x = sim.space().node_coord(g);
-    u0[static_cast<std::size_t>(g) * nc] = std::exp(-25.0 * (x[0] - 0.25) * (x[0] - 0.25));
-  }
-  return u0;
-}
-
-inline ScenarioResult run_scenario(const mesh::HexMesh& mesh, const Scenario& s) {
-  // Reference duration from the LTS binning, so every solver — including the
-  // non-LTS Newmark reference running at Delta-t_min — simulates the same
-  // physical time span (Newmark overshoots by < its own fine dt).
-  const auto ref_levels = core::assign_levels(mesh, s.courant);
-  const real_t duration = ref_levels.dt * static_cast<real_t>(s.cycles);
-
-  core::WaveSimulation sim(mesh, make_config(s));
-  // Sources registered before set_state: the staggered v^{-1/2} start sees
-  // f(0), identically on every path.
-  // Peak frequency ~one cycle per run keeps the cycle-frozen source of the
-  // LTS scheme well resolved (Newmark-vs-LTS stays within the discretization
-  // tolerance); amplitude 5 makes the source *dominate* the field, so a
-  // solver that silently drops it fails at relative error near 1, far above
-  // every tolerance in the suite.
-  if (s.with_source)
-    sim.add_source({0.75, 0.0, 0.0}, /*peak_frequency=*/1.0 / duration, {1, 0, 0},
-                   /*amplitude=*/5.0);
-  sim.add_receiver({0.5, 0.0, 0.0}, 0);
-  sim.add_receiver({0.9, 0.0, 0.0}, 0);
-
-  const auto u0 = initial_state(sim);
-  sim.set_state(u0, std::vector<real_t>(u0.size(), 0.0));
-  sim.run(duration);
-
-  ScenarioResult out;
-  out.u = sim.u();
-  out.end_time = sim.time();
-  out.num_levels = sim.levels().num_levels;
-  out.element_applies = sim.element_applies();
-  for (const auto& r : sim.receivers()) {
-    out.trace_values.push_back(r.values());
-    out.trace_times.push_back(r.times());
-  }
-  return out;
-}
+inline scenarios::RunResult run_variant(const Variant& v) { return scenarios::run(make_spec(v)); }
 
 /// ||a-b||_2 / ||b||_2 (0 when both empty; ||b|| floored at 1e-300). A size
 /// mismatch — e.g. a truncated receiver trace — returns infinity so every
@@ -151,8 +89,7 @@ inline ScenarioResult run_scenario(const mesh::HexMesh& mesh, const Scenario& s)
 inline double rel_l2(std::span<const real_t> a, std::span<const real_t> b) {
   if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
   double num = 0, den = 0;
-  const std::size_t n = std::min(a.size(), b.size());
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
     num += d * d;
     den += static_cast<double>(b[i]) * static_cast<double>(b[i]);
@@ -160,15 +97,24 @@ inline double rel_l2(std::span<const real_t> a, std::span<const real_t> b) {
   return std::sqrt(num) / std::max(std::sqrt(den), 1e-300);
 }
 
+/// gtest-safe parameterized-case name fragment: alphanumerics only (gtest
+/// rejects names with '/', '-', '+').
+inline std::string alnum_case_name(std::string_view s) {
+  std::string out;
+  for (char c : s)
+    if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+  return out;
+}
+
 /// Memoized serial-LTS baseline per (physics, order, with_source).
-inline const ScenarioResult& baseline(const mesh::HexMesh& mesh, const Scenario& like) {
-  static std::map<std::tuple<int, int, bool>, ScenarioResult> cache;
+inline const scenarios::RunResult& baseline(const Variant& like) {
+  static std::map<std::tuple<int, int, bool>, scenarios::RunResult> cache;
   const auto key = std::make_tuple(static_cast<int>(like.physics), like.order, like.with_source);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    Scenario base = like;
-    base.solver = SolverKind::SerialLts;
-    it = cache.emplace(key, run_scenario(mesh, base)).first;
+    Variant base = like;
+    base.executor = kBaselineExecutor;
+    it = cache.emplace(key, run_variant(base)).first;
   }
   return it->second;
 }

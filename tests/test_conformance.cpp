@@ -1,14 +1,18 @@
-// Cross-solver conformance suite: every execution path must compute the same
-// physics. The grid covers {acoustic, elastic} × orders {2, 4} ×
-// {serial Newmark, barrier-all, level-aware, level-aware+steal} ×
-// {with, without point source}, each compared against the serial-LTS
-// baseline through the public facade:
-//  * threaded modes are the *same scheme* re-executed in parallel — final
-//    state and receiver traces must agree to roundoff (1e-10 relative L2);
-//  * the non-LTS Newmark reference is a different second-order discretization
-//    at Delta-t_min — agreement is physical, to a discretization tolerance.
+// Cross-backend conformance suite: every execution path must compute the
+// same physics. The grid is generated, not hand-written: the executor axis
+// enumerates the ExecutorFactory registry (minus the serial-LTS baseline),
+// so a newly registered backend — MPI, batched-kernel, GPU — is conformance-
+// tested the moment it registers. Axes: {acoustic, elastic} × orders {2, 4}
+// × every registered executor × {with, without point source}, each run
+// end-to-end through the declarative scenario API ("strip" scenario) and
+// compared against the serial-LTS baseline:
+//  * exact backends re-execute the *same scheme* — final state and receiver
+//    traces must agree to roundoff (1e-10 relative L2);
+//  * the non-LTS Newmark reference is a different second-order
+//    discretization at Delta-t_min — agreement is physical, to a
+//    discretization tolerance.
 // This is the suite that would have caught the "sources are serial-only"
-// gap: a solver that silently drops the source term fails the with-source
+// gap: a backend that silently drops the source term fails the with-source
 // rows at relative error ~1.
 
 #include <gtest/gtest.h>
@@ -18,54 +22,50 @@
 namespace ltswave::conformance {
 namespace {
 
-/// Roundoff bar for threaded-vs-serial-LTS (same scheme, different
-/// reduction association).
+/// Roundoff bar for exact-scheme backends vs the serial-LTS baseline (same
+/// scheme, different reduction association).
 constexpr double kRoundoffTol = 1e-10;
 /// Physical bar for Newmark-vs-LTS (different second-order schemes at
 /// different steps, plus an end-time mismatch below Newmark's fine dt).
 constexpr double kDiscretizationTol = 0.12;
 
 class Conformance
-    : public testing::TestWithParam<std::tuple<core::Physics, int, SolverKind, bool>> {};
+    : public testing::TestWithParam<std::tuple<core::Physics, int, std::string, bool>> {};
 
-TEST_P(Conformance, AgreesWithSerialLts) {
-  const auto [physics, order, solver, with_source] = GetParam();
-  Scenario s;
-  s.physics = physics;
-  s.order = order;
-  s.solver = solver;
-  s.with_source = with_source;
+TEST_P(Conformance, AgreesWithSerialLtsBaseline) {
+  const auto [physics, order, executor, with_source] = GetParam();
+  Variant v;
+  v.physics = physics;
+  v.order = order;
+  v.executor = executor;
+  v.with_source = with_source;
 
-  const auto mesh = conformance_mesh();
-  const auto& base = baseline(mesh, s);
-  ASSERT_GE(base.num_levels, 2) << "conformance mesh must exercise real LTS";
-  const auto got = run_scenario(mesh, s);
+  const auto& base = baseline(v);
+  ASSERT_GE(base.num_levels, 2) << "conformance scenario must exercise real LTS";
+  const auto got = run_variant(v);
 
-  // Sanity on the scenario itself: receivers sampled every coarse cycle, and
-  // sources actually injected energy from a zero... (with a bump, any run is
-  // nonzero; with a source the trace must differ from the source-free one —
-  // covered by the baseline cache holding both variants).
   ASSERT_EQ(got.trace_values.size(), base.trace_values.size());
   for (const auto& tv : got.trace_values) ASSERT_FALSE(tv.empty());
   for (real_t x : got.u) ASSERT_TRUE(std::isfinite(x));
 
-  if (is_threaded(solver)) {
+  if (is_exact(executor)) {
     EXPECT_EQ(got.num_levels, base.num_levels);
     EXPECT_NEAR(got.end_time, base.end_time, 1e-12);
     EXPECT_EQ(got.element_applies, base.element_applies);
-    EXPECT_LT(rel_l2(got.u, base.u), kRoundoffTol) << to_string(solver);
+    EXPECT_LT(rel_l2(got.u, base.u), kRoundoffTol) << executor;
     for (std::size_t r = 0; r < base.trace_values.size(); ++r) {
       ASSERT_EQ(got.trace_values[r].size(), base.trace_values[r].size());
       EXPECT_LT(rel_l2(got.trace_values[r], base.trace_values[r]), kRoundoffTol)
-          << to_string(solver) << " receiver " << r;
+          << executor << " receiver " << r;
       for (std::size_t i = 0; i < base.trace_times[r].size(); ++i)
         EXPECT_NEAR(got.trace_times[r][i], base.trace_times[r][i], 1e-12);
     }
   } else {
-    // Serial Newmark at Delta-t_min: same physics, different discretization.
+    // Single-rate reference at Delta-t_min: same physics, different
+    // discretization.
     EXPECT_EQ(got.num_levels, 1);
     EXPECT_GE(got.end_time, base.end_time - 1e-12);
-    EXPECT_LT(rel_l2(got.u, base.u), kDiscretizationTol);
+    EXPECT_LT(rel_l2(got.u, base.u), kDiscretizationTol) << executor;
     // The reference does strictly more element applies than LTS (that is the
     // paper's whole point).
     EXPECT_GT(got.element_applies, base.element_applies);
@@ -73,72 +73,45 @@ TEST_P(Conformance, AgreesWithSerialLts) {
 }
 
 std::string case_name(const testing::TestParamInfo<Conformance::ParamType>& info) {
-  const auto [physics, order, solver, with_source] = info.param;
+  const auto [physics, order, executor, with_source] = info.param;
   return std::string(physics == core::Physics::Acoustic ? "Acoustic" : "Elastic") + "O" +
-         std::to_string(order) + to_string(solver) + (with_source ? "Src" : "NoSrc");
+         std::to_string(order) + alnum_case_name(executor) + (with_source ? "Src" : "NoSrc");
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, Conformance,
     testing::Combine(testing::Values(core::Physics::Acoustic, core::Physics::Elastic),
-                     testing::Values(2, 4), testing::ValuesIn(kComparedSolverKinds),
+                     testing::Values(2, 4), testing::ValuesIn(compared_executors()),
                      testing::Bool()),
     case_name);
 
-TEST(ConformanceSeismic, TrenchPointSourceParityAtFourRanks) {
-  // The seismic_point_source example scenario at reduced size: elastic order-3
-  // trench mesh, Ricker source under the trench, surface receivers — every
-  // scheduler mode at num_ranks = 4 must match the serial LTS seismograms to
-  // <= 1e-10 relative L2 (the PR's acceptance criterion, in-memory).
-  mesh::Material rock;
-  rock.vp = 2.0;
-  rock.vs = 1.1;
-  rock.rho = 1.0;
-  const auto mesh = mesh::make_trench_mesh({.n = 6,
-                                            .nz = 4,
-                                            .squeeze = 4.0,
-                                            .trench_halfwidth = 0.05,
-                                            .depth_power = 3.0,
-                                            .transition = 0.15,
-                                            .mat = rock});
+TEST(ConformanceSeismic, TrenchScenarioParityAcrossExactExecutors) {
+  // The registered "trench" scenario (elastic order-3 trench, Ricker source
+  // under the trench, surface receivers) — every exact backend at
+  // num_ranks = 4 must match the serial-LTS seismograms to <= 1e-10 relative
+  // L2, straight from scenarios::get().
+  const auto base_spec = scenarios::get("trench");
+  const auto serial = scenarios::run(base_spec);
 
-  auto build = [&](rank_t ranks, runtime::SchedulerMode mode) {
-    core::SimulationConfig cfg;
-    cfg.order = 3;
-    cfg.physics = core::Physics::Elastic;
-    cfg.courant = 0.08;
-    cfg.num_ranks = ranks;
-    cfg.scheduler.mode = mode;
-    cfg.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
-    return core::WaveSimulation(mesh, cfg);
-  };
-  auto drive = [&](core::WaveSimulation& sim) {
-    sim.add_source({0.5, 0.5, 0.45}, 3.0, {0, 0, 1}, 1.0);
-    for (int i = 0; i < 3; ++i)
-      sim.add_receiver({0.3 + 0.2 * static_cast<real_t>(i), 0.5, 0.5}, 2);
-    const std::size_t ndof = static_cast<std::size_t>(sim.space().num_global_nodes()) * 3;
-    const std::vector<real_t> zero(ndof, 0.0);
-    sim.set_state(zero, zero);
-    sim.run(sim.dt() * 6);
-  };
-
-  auto serial = build(0, runtime::SchedulerMode::LevelAware);
-  drive(serial);
   real_t smax = 0;
-  for (const auto& r : serial.receivers())
-    for (real_t v : r.values()) smax = std::max(smax, std::abs(v));
+  for (const auto& tv : serial.trace_values)
+    for (real_t x : tv) smax = std::max(smax, std::abs(x));
   ASSERT_GT(smax, 0) << "source injected no energy — scenario is vacuous";
 
-  for (const runtime::SchedulerMode mode : runtime::kAllSchedulerModes) {
-    auto sim = build(4, mode);
-    drive(sim);
-    ASSERT_EQ(sim.receivers().size(), serial.receivers().size()) << to_string(mode);
-    for (std::size_t r = 0; r < serial.receivers().size(); ++r) {
-      ASSERT_EQ(sim.receivers()[r].values().size(), serial.receivers()[r].values().size())
-          << to_string(mode) << " receiver " << r;
-      ASSERT_FALSE(sim.receivers()[r].values().empty()) << to_string(mode) << " receiver " << r;
-      EXPECT_LT(rel_l2(sim.receivers()[r].values(), serial.receivers()[r].values()), 1e-10)
-          << to_string(mode) << " receiver " << r;
+  for (const auto& name : compared_executors()) {
+    if (!is_exact(name)) continue;
+    auto spec = base_spec;
+    spec.executor = name;
+    spec.num_ranks = 4;
+    spec.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
+    const auto got = scenarios::run(spec);
+    ASSERT_EQ(got.trace_values.size(), serial.trace_values.size()) << name;
+    for (std::size_t r = 0; r < serial.trace_values.size(); ++r) {
+      ASSERT_EQ(got.trace_values[r].size(), serial.trace_values[r].size())
+          << name << " receiver " << r;
+      ASSERT_FALSE(got.trace_values[r].empty()) << name << " receiver " << r;
+      EXPECT_LT(rel_l2(got.trace_values[r], serial.trace_values[r]), 1e-10)
+          << name << " receiver " << r;
     }
   }
 }
