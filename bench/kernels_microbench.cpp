@@ -5,10 +5,20 @@
 // measurements anchor the cluster simulator's machine model (see
 // perf/calibrate.hpp).
 //
+// BM_AcousticApply / BM_ElasticApply measure the element-block *batched* path
+// (BatchPlan + block kernels) — the production default in every solver since
+// the batching refactor; the *Single variants keep the per-element kernels
+// for comparison, and BM_*BatchedVsSingle reports the measured speedup
+// directly (the recorded batched-vs-single delta in BENCH_kernels.json).
+//
 // Each benchmark reports:
 //   elems/s        element applies per second,
-//   flops          arithmetic throughput (flop/s; the per-element flop count
-//                  follows the kernel structure, see flop model below),
+//   blocks/s       batched kernel calls per second (block benches only),
+//   flops          arithmetic throughput (flop/s). The flop model is
+//                  block-aware: it counts the same per-element flops on both
+//                  paths and never counts a batched block's padded tail
+//                  lanes, so batched and single-element FLOP/s compare
+//                  one-to-one,
 //   bytes_per_elem main-memory bytes streamed per element apply (gather,
 //                  metric tensors, scatter; D and the workspace stay cached).
 //
@@ -24,8 +34,10 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "core/lts_newmark.hpp"
 #include "mesh/generators.hpp"
+#include "sem/batch_plan.hpp"
 #include "sem/wave_operator.hpp"
 
 using namespace ltswave;
@@ -63,13 +75,20 @@ double elastic_bytes_per_elem(int n) {
   return npts * 8.0 * (1 + 3 + 9 + 9 + 6); // l2g, u(3), jinv(9), wjinv(9), out r+w(3)
 }
 
+// Block-aware counters: `nelems` is always the number of *real* elements
+// (padded tail lanes of a ragged block do arithmetic but are not counted), so
+// flops and elems/s stay comparable between the batched and single-element
+// paths. `nblocks` > 0 additionally reports batched kernel calls per second.
 void set_kernel_counters(benchmark::State& state, std::size_t nelems, double flops_per_elem,
-                         double bytes_per_elem) {
+                         double bytes_per_elem, std::size_t nblocks = 0) {
   state.counters["elems/s"] = benchmark::Counter(static_cast<double>(nelems),
                                                  benchmark::Counter::kIsIterationInvariantRate);
   state.counters["flops"] = benchmark::Counter(flops_per_elem * static_cast<double>(nelems),
                                                benchmark::Counter::kIsIterationInvariantRate);
   state.counters["bytes_per_elem"] = benchmark::Counter(bytes_per_elem);
+  if (nblocks > 0)
+    state.counters["blocks/s"] = benchmark::Counter(static_cast<double>(nblocks),
+                                                    benchmark::Counter::kIsIterationInvariantRate);
 }
 
 struct KernelFixture {
@@ -97,10 +116,31 @@ struct KernelFixture {
 };
 
 // ---------------------------------------------------------------------------
-// Full applies
+// Full applies: batched (production default) and single-element (reference)
 // ---------------------------------------------------------------------------
 
 void BM_AcousticApply(benchmark::State& state) {
+  // The batched production path: block iteration over the operator's
+  // full-mesh BatchPlan.
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const sem::BatchPlan& plan = op.full_plan();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
+                      acoustic_bytes_per_elem(n1),
+                      static_cast<std::size_t>(plan.num_blocks()));
+}
+BENCHMARK(BM_AcousticApply)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_AcousticApplySingle(benchmark::State& state) {
+  // One element per kernel call — the pre-batching path, kept as reference.
   KernelFixture f(static_cast<int>(state.range(0)));
   sem::AcousticOperator op(*f.space);
   auto ws = op.make_workspace();
@@ -114,9 +154,26 @@ void BM_AcousticApply(benchmark::State& state) {
   set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
                       acoustic_bytes_per_elem(n1));
 }
-BENCHMARK(BM_AcousticApply)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AcousticApplySingle)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
 void BM_ElasticApply(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::ElasticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const sem::BatchPlan& plan = op.full_plan();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()) * 3, 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
+                      elastic_bytes_per_elem(n1), static_cast<std::size_t>(plan.num_blocks()));
+}
+BENCHMARK(BM_ElasticApply)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticApplySingle(benchmark::State& state) {
   KernelFixture f(static_cast<int>(state.range(0)));
   sem::ElasticOperator op(*f.space);
   auto ws = op.make_workspace();
@@ -130,7 +187,61 @@ void BM_ElasticApply(benchmark::State& state) {
   set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
                       elastic_bytes_per_elem(n1));
 }
-BENCHMARK(BM_ElasticApply)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ElasticApplySingle)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_AcousticBatchedVsSingle(benchmark::State& state) {
+  // Measures both paths back-to-back and reports the speedup as a counter, so
+  // the batched-vs-single delta lands in BENCH_kernels.json as one number.
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const sem::BatchPlan& plan = op.full_plan();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  double t_single = 0, t_batched = 0;
+  for (auto _ : state) {
+    {
+      const WallTimer t;
+      op.apply_add(f.all, u.data(), out.data(), ws);
+      t_single += t.seconds();
+    }
+    {
+      const WallTimer t;
+      op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
+      t_batched += t.seconds();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["batched_speedup"] =
+      benchmark::Counter(t_batched > 0 ? t_single / t_batched : 0.0);
+}
+BENCHMARK(BM_AcousticBatchedVsSingle)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticBatchedVsSingle(benchmark::State& state) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::ElasticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const sem::BatchPlan& plan = op.full_plan();
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()) * 3, 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  double t_single = 0, t_batched = 0;
+  for (auto _ : state) {
+    {
+      const WallTimer t;
+      op.apply_add(f.all, u.data(), out.data(), ws);
+      t_single += t.seconds();
+    }
+    {
+      const WallTimer t;
+      op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
+      t_batched += t.seconds();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["batched_speedup"] =
+      benchmark::Counter(t_batched > 0 ? t_single / t_batched : 0.0);
+}
+BENCHMARK(BM_ElasticBatchedVsSingle)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Column-masked (LTS) applies: legacy per-node branch vs LevelMask plan
@@ -172,6 +283,33 @@ void BM_MaskedApplyPlan(benchmark::State& state) {
                       acoustic_bytes_per_elem(n1));
 }
 BENCHMARK(BM_MaskedApplyPlan)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MaskedApplyBlocks(benchmark::State& state) {
+  // The batched column-restricted apply: a level-1 BatchPlan group over the
+  // uniform structure — every block classifies homogeneous, so this is the
+  // per-block mask-free fast path and should track BM_AcousticApply.
+  KernelFixture f(static_cast<int>(state.range(0)));
+  sem::AcousticOperator op(*f.space);
+  auto ws = op.make_workspace();
+  const auto st = f.uniform_structure();
+  sem::BatchPlan::Group g;
+  g.elems = f.all;
+  g.level = 1;
+  g.node_level = st.node_level;
+  std::vector<sem::BatchPlan::Group> groups;
+  groups.push_back(std::move(g));
+  const sem::BatchPlan plan(*f.space, 1, std::move(groups));
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()), 1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  for (auto _ : state) {
+    op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const int n1 = f.space->ref().nodes_1d();
+  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
+                      acoustic_bytes_per_elem(n1), static_cast<std::size_t>(plan.num_blocks()));
+}
+BENCHMARK(BM_MaskedApplyBlocks)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_ElasticMaskedApply(benchmark::State& state) {
   KernelFixture f(static_cast<int>(state.range(0)));

@@ -47,7 +47,7 @@ int main() {
 
   const int cycles = 8;
   TextTable t({"ranks", "partitioner", "scheduler", "wall ms/cycle", "speedup",
-               "max stall %", "stall s", "steals"});
+               "max stall %", "stall s", "steals", "Mblk/s"});
   // Go to at least 4 ranks even on small machines (oversubscription warns and
   // proceeds): the scheduler comparison needs enough ranks for imbalance.
   const rank_t max_ranks = static_cast<rank_t>(
@@ -86,6 +86,11 @@ int main() {
             max_stall = std::max(max_stall,
                                  solver.stall_seconds()[static_cast<std::size_t>(r)] / tot);
         }
+        // Batched-kernel throughput: blocks per wall second across all ranks
+        // (set_state above reset the cycle counter, so blocks_applied covers
+        // exactly the timed cycles).
+        const double blocks_per_cycle =
+            static_cast<double>(solver.blocks_applied()) / static_cast<double>(cycles);
         t.row()
             .cell(static_cast<std::int64_t>(k))
             .cell(to_string(strat))
@@ -94,7 +99,8 @@ int main() {
             .cell(base_ms / (wall * 1e3), 2)
             .percent(100 * max_stall, 0)
             .cell(stall_total, 3)
-            .cell(steals);
+            .cell(steals)
+            .cell(blocks_per_cycle / wall / 1e6, 2);
       }
     }
   }

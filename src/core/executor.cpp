@@ -44,6 +44,15 @@ class SerialExecutorBase : public Executor {
 public:
   [[nodiscard]] real_t time() const override { return solver_->time(); }
   [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
+  [[nodiscard]] std::int64_t blocks_applied() const override { return solver_->blocks_applied(); }
+
+  /// Serial backends have no ranks (the vectors stay empty) but do run the
+  /// batched path, so the block counter is populated.
+  [[nodiscard]] ExecutorCounters counters() const override {
+    ExecutorCounters c;
+    c.blocks_applied = solver_->blocks_applied();
+    return c;
+  }
 
   void drain_receivers(std::span<sem::Receiver> sinks) override { drain_traces(traces_, sinks); }
 
@@ -124,7 +133,7 @@ private:
   void do_adopt_state_from(const Executor& prev) override {
     const auto& p = adopt_prologue<NewmarkExecutor>(prev);
     solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
-                             p.solver_->element_applies());
+                             p.solver_->element_applies(), p.solver_->blocks_applied());
   }
 };
 
@@ -141,7 +150,8 @@ private:
   void do_adopt_state_from(const Executor& prev) override {
     const auto& p = adopt_prologue<SerialLtsExecutor>(prev);
     solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
-                             p.solver_->element_applies(), p.solver_->applies_per_level());
+                             p.solver_->element_applies(), p.solver_->applies_per_level(),
+                             p.solver_->blocks_applied());
   }
 };
 
@@ -172,9 +182,11 @@ public:
 
   [[nodiscard]] real_t time() const override { return solver_->time(); }
   [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
+  [[nodiscard]] std::int64_t blocks_applied() const override { return solver_->blocks_applied(); }
 
   [[nodiscard]] ExecutorCounters counters() const override {
-    return {solver_->busy_seconds(), solver_->stall_seconds(), solver_->steal_counts()};
+    return {solver_->busy_seconds(), solver_->stall_seconds(), solver_->steal_counts(),
+            solver_->blocks_applied()};
   }
   [[nodiscard]] bool supports_feedback() const noexcept override { return true; }
   [[nodiscard]] runtime::ThreadedLtsSolver* threaded_solver() const noexcept override {

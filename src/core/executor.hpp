@@ -71,11 +71,14 @@ struct ExecutorContext {
 };
 
 /// Per-rank performance counters; empty vectors for backends without ranks
-/// (the serial solvers). Sizes agree when non-empty.
+/// (the serial solvers). Sizes agree when non-empty. blocks_applied is
+/// backend-wide: batched kernel calls consumed so far (every backend runs the
+/// block path, so this is populated even when the per-rank vectors are not).
 struct ExecutorCounters {
   std::vector<double> busy_seconds;
   std::vector<double> stall_seconds;
   std::vector<std::int64_t> steal_counts;
+  std::int64_t blocks_applied = 0;
 
   [[nodiscard]] bool empty() const noexcept { return busy_seconds.empty(); }
 };
@@ -121,6 +124,10 @@ public:
 
   [[nodiscard]] virtual real_t time() const = 0;
   [[nodiscard]] virtual std::int64_t element_applies() const = 0;
+  /// Batched kernel calls consumed so far — element_applies' companion under
+  /// the block execution layer (one call advances up to BatchPlan::width()
+  /// elements). Carried across adopt_state_from like every work counter.
+  [[nodiscard]] virtual std::int64_t blocks_applied() const = 0;
 
   /// Registers a point source. Call before set_state so the staggered initial
   /// velocity sees f(0); backends route injection however they execute (the

@@ -11,6 +11,29 @@ namespace ltswave::core {
 // (set_fixed_nodes), which zeroes every component at once, exactly as the
 // former per-dof expansion did.
 
+namespace {
+
+/// The production solver's batched plan: one group per level over E(k), in
+/// level order (rank is trivially 0 here), with the level-homogeneous
+/// elements moved first so the bulk of each group's blocks take the mask-free
+/// fast path and only the trailing level-boundary blocks carry masks.
+sem::BatchPlan make_level_plan(const sem::WaveOperator& op, const LtsStructure& structure) {
+  std::vector<sem::BatchPlan::Group> groups;
+  groups.reserve(static_cast<std::size_t>(structure.num_levels));
+  for (level_t k = 1; k <= structure.num_levels; ++k) {
+    sem::BatchPlan::Group g;
+    g.elems = sem::order_homogeneous_first(
+        op.space(), structure.eval_elems[static_cast<std::size_t>(k - 1)], k,
+        structure.node_level);
+    g.level = k;
+    g.node_level = structure.node_level;
+    groups.push_back(std::move(g));
+  }
+  return sem::BatchPlan(op.space(), op.ncomp(), std::move(groups));
+}
+
+} // namespace
+
 // ===========================================================================
 // Production solver
 // ===========================================================================
@@ -22,7 +45,8 @@ LtsNewmarkSolver::LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssig
       structure_(&structure),
       dt_(levels.dt),
       ncomp_(op.ncomp()),
-      ws_(op.make_workspace()) {
+      ws_(op.make_workspace()),
+      plan_(make_level_plan(op, structure)) {
   const auto& space = op.space();
   const std::size_t ndof =
       static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(ncomp_);
@@ -55,7 +79,11 @@ void LtsNewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
 void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
   LTS_CHECK(u0.size() == u_.size() && v0.size() == v_.size());
   std::copy(u0.begin(), u0.end(), u_.begin());
-  // v^{-1/2} = v(0) - dt/2 * a(0), a(0) = Minv (f(0) - K u0).
+  // v^{-1/2} = v(0) - dt/2 * a(0), a(0) = Minv (f(0) - K u0). One-shot
+  // initialization through the per-element path: materializing the
+  // operator's full-mesh plan just for this would duplicate every metric
+  // slab already held by the level plan. Neither work counter includes it
+  // (set_state is not cycle work), matching element_applies' convention.
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
   std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
   for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
@@ -75,7 +103,8 @@ void LtsNewmarkSolver::set_state(std::span<const real_t> u0, std::span<const rea
 
 void LtsNewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half,
                                        real_t time, std::int64_t applies_total,
-                                       std::span<const std::int64_t> applies_per_level) {
+                                       std::span<const std::int64_t> applies_per_level,
+                                       std::int64_t blocks_applied) {
   LTS_CHECK(u.size() == u_.size() && v_half.size() == v_.size());
   LTS_CHECK(applies_per_level.size() == applies_per_level_.size());
   std::copy(u.begin(), u.end(), u_.begin());
@@ -84,6 +113,7 @@ void LtsNewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<cons
   cycle_t0_ = time;
   applies_total_ = applies_total;
   std::copy(applies_per_level.begin(), applies_per_level.end(), applies_per_level_.begin());
+  blocks_applied_ = blocks_applied;
 }
 
 void LtsNewmarkSolver::apply_sources_to(level_t k, real_t t_sub,
@@ -118,7 +148,7 @@ void LtsNewmarkSolver::recompute_force(level_t k) {
     for (int c = 0; c < ncomp_; ++c)
       scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
 
-  apply_level_restricted(elems, k);
+  apply_level_blocks(k);
   applies_total_ += static_cast<std::int64_t>(elems.size());
   applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
 
@@ -134,8 +164,12 @@ void LtsNewmarkSolver::recompute_force(level_t k) {
   }
 }
 
-void LtsNewmarkSolver::apply_level_restricted(std::span<const index_t> elems, level_t k) {
-  structure_->apply_level_restricted(*op_, elems, k, u_.data(), scratch_.data(), ws_);
+void LtsNewmarkSolver::apply_level_blocks(level_t k) {
+  // scratch_ += K P_k u through the level's block group — the batched
+  // production path (per-block masks, homogeneous-block fast gather).
+  const auto range = plan_.group_blocks(static_cast<std::size_t>(k - 1));
+  op_->apply_add_blocks(plan_, range.first, range.last, u_.data(), scratch_.data(), ws_);
+  blocks_applied_ += range.count();
 }
 
 void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> rows, bool first,
@@ -188,7 +222,7 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
       for (gindex_t g : rows)
         for (int c = 0; c < ncomp_; ++c)
           scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
-      apply_level_restricted(elems, k);
+      apply_level_blocks(k);
       applies_total_ += static_cast<std::int64_t>(elems.size());
       applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
       // Scale K u by Minv in place (rows only).
@@ -239,10 +273,11 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
 void LtsNewmarkSolver::step() {
   const level_t nl = levels_->num_levels;
   if (nl == 1) {
-    // Plain Newmark.
+    // Plain Newmark. The single-level plan group covers every element and is
+    // entirely homogeneous, so the blocks apply the unmasked gather.
     const auto& elems = structure_->eval_elems[0];
     std::fill(scratch_.begin(), scratch_.end(), 0.0);
-    op_->apply_add(elems, u_.data(), scratch_.data(), ws_);
+    apply_level_blocks(1);
     applies_total_ += static_cast<std::int64_t>(elems.size());
     applies_per_level_[0] += static_cast<std::int64_t>(elems.size());
     const bool has_sources = !sources_.empty();

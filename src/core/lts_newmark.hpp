@@ -47,7 +47,8 @@ public:
   /// recomputed from u at the start of every cycle (see step()), so (u, v,
   /// time) is the solver's complete cross-cycle dynamical state.
   void adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half, real_t time,
-                       std::int64_t applies_total, std::span<const std::int64_t> applies_per_level);
+                       std::int64_t applies_total, std::span<const std::int64_t> applies_per_level,
+                       std::int64_t blocks_applied);
 
   /// Advances one LTS cycle (one coarse step Delta-t).
   void step();
@@ -64,10 +65,12 @@ public:
   [[nodiscard]] const std::vector<std::int64_t>& applies_per_level() const noexcept {
     return applies_per_level_;
   }
+  /// Batched kernel calls so far (every force evaluation runs the block path).
+  [[nodiscard]] std::int64_t blocks_applied() const noexcept { return blocks_applied_; }
 
 private:
   void recompute_force(level_t k);
-  void apply_level_restricted(std::span<const index_t> elems, level_t k);
+  void apply_level_blocks(level_t k);
   void run_level(level_t k, real_t t0);
   void collapsed_update(level_t k, std::span<const gindex_t> rows, bool first, real_t delta,
                         real_t t_sub, std::vector<real_t>& vt, const real_t* extra);
@@ -96,8 +99,12 @@ private:
   std::vector<std::size_t> src_dirty_;   // dofs touched in src_scratch_
 
   sem::KernelWorkspace ws_;
+  /// Level-grouped batched execution plan: group k-1 holds E(k)'s blocks,
+  /// level-homogeneous elements first so the leading blocks are mask-free.
+  sem::BatchPlan plan_;
   std::int64_t applies_total_ = 0;
   std::vector<std::int64_t> applies_per_level_;
+  std::int64_t blocks_applied_ = 0;
 };
 
 /// Reference implementation (tests only).

@@ -1,7 +1,5 @@
 #include "core/newmark.hpp"
 
-#include <numeric>
-
 namespace ltswave::core {
 
 NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
@@ -12,10 +10,17 @@ NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
   u_.assign(ndof, 0.0);
   v_.assign(ndof, 0.0);
   scratch_.assign(ndof, 0.0);
-  all_elems_.resize(static_cast<std::size_t>(space.num_elems()));
-  std::iota(all_elems_.begin(), all_elems_.end(), 0);
   // One inverse-mass entry per node; all components share it.
   inv_mass_ = space.inv_mass();
+}
+
+/// scratch_ += K u over every element, through the operator's full-mesh
+/// BatchPlan (lazily built on the first call) — the batched production path.
+void NewmarkSolver::apply_full() {
+  const sem::BatchPlan& plan = op_->full_plan();
+  op_->apply_add_blocks(plan, 0, plan.num_blocks(), u_.data(), scratch_.data(), ws_);
+  applies_ += static_cast<std::int64_t>(op_->space().num_elems());
+  blocks_ += plan.num_blocks();
 }
 
 void NewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
@@ -27,8 +32,7 @@ void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t
   std::copy(u0.begin(), u0.end(), u_.begin());
   // v^{-1/2} = v(0) - dt/2 * a(0) with a(0) = Minv (f(0) - K u0).
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
-  op_->apply_add(all_elems_, u_.data(), scratch_.data(), ws_);
-  applies_ += static_cast<std::int64_t>(all_elems_.size());
+  apply_full();
   std::vector<real_t> f(u_.size(), 0.0);
   for (const auto& s : sources_) s.accumulate(0.0, ncomp_, f.data());
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
@@ -43,18 +47,19 @@ void NewmarkSolver::set_state(std::span<const real_t> u0, std::span<const real_t
 }
 
 void NewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half,
-                                    real_t time, std::int64_t element_applies) {
+                                    real_t time, std::int64_t element_applies,
+                                    std::int64_t blocks_applied) {
   LTS_CHECK(u.size() == u_.size() && v_half.size() == v_.size());
   std::copy(u.begin(), u.end(), u_.begin());
   std::copy(v_half.begin(), v_half.end(), v_.begin());
   time_ = time;
   applies_ = element_applies;
+  blocks_ = blocks_applied;
 }
 
 void NewmarkSolver::step() {
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
-  op_->apply_add(all_elems_, u_.data(), scratch_.data(), ws_);
-  applies_ += static_cast<std::int64_t>(all_elems_.size());
+  apply_full();
   for (const auto& s : sources_) {
     // Subtracting the source from K u realizes v += dt Minv (f - K u).
     const real_t val = -s.amplitude * s.wavelet(time_);

@@ -25,11 +25,11 @@ public:
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
 
   /// Overwrites the raw staggered state (u^n, v^{n-1/2}), the clock and the
-  /// work counter — the executor hand-off used by Executor::adopt_state_from.
+  /// work counters — the executor hand-off used by Executor::adopt_state_from.
   /// Unlike set_state this applies no initial-condition staggering: the inputs
   /// are another solver's internal state at a step boundary, adopted exactly.
   void adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half, real_t time,
-                       std::int64_t element_applies);
+                       std::int64_t element_applies, std::int64_t blocks_applied);
 
   void add_source(const sem::PointSource& src) { sources_.push_back(src); }
 
@@ -48,18 +48,23 @@ public:
 
   /// Total element stiffness applications so far (work counter).
   [[nodiscard]] std::int64_t element_applies() const noexcept { return applies_; }
+  /// Batched kernel calls so far (every apply runs the block path; one call
+  /// covers up to BatchPlan::width() elements).
+  [[nodiscard]] std::int64_t blocks_applied() const noexcept { return blocks_; }
 
 private:
+  void apply_full();
+
   const sem::WaveOperator* op_;
   real_t dt_;
   real_t time_ = 0;
   int ncomp_;
   std::vector<real_t> inv_mass_; // per node (components share it); Dirichlet nodes zeroed
-  std::vector<index_t> all_elems_;
   std::vector<real_t> u_, v_, scratch_;
   std::vector<sem::PointSource> sources_;
   sem::KernelWorkspace ws_;
   std::int64_t applies_ = 0;
+  std::int64_t blocks_ = 0;
 };
 
 } // namespace ltswave::core

@@ -146,6 +146,8 @@ const std::vector<real_t>& WaveSimulation::u() const { return executor_->state()
 
 std::int64_t WaveSimulation::element_applies() const { return executor_->element_applies(); }
 
+std::int64_t WaveSimulation::blocks_applied() const { return executor_->blocks_applied(); }
+
 const runtime::ThreadedLtsSolver* WaveSimulation::threaded() const noexcept {
   return executor_->threaded_solver();
 }

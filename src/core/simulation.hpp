@@ -126,6 +126,10 @@ public:
   /// experiment compares this against the non-LTS scheme).
   [[nodiscard]] std::int64_t element_applies() const;
 
+  /// Batched kernel calls consumed so far (every backend runs the
+  /// BatchPlan block path; one call advances up to a block width of elements).
+  [[nodiscard]] std::int64_t blocks_applied() const;
+
   /// Theoretical LTS speedup of this mesh/config (Eq. 9).
   [[nodiscard]] double theoretical_speedup() const { return core::theoretical_speedup(levels_); }
 

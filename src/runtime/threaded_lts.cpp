@@ -52,6 +52,30 @@ ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
 
   // The persistent worker team: spawned once, reused by every run_cycles.
   pool_ = std::make_unique<ThreadPool>(static_cast<int>(nranks_), cfg_.oversubscribe);
+
+  // NUMA-aware placement: every rank's hot buffers — its plan block slabs,
+  // accumulation buffer, workspace, and chunk buffers — are allocated/filled
+  // by its own pool worker, so first touch pins the pages to the worker's
+  // memory node.
+  first_touch_rank_buffers();
+  if (cfg_.mode == SchedulerMode::LevelAwareSteal) build_steal_reduction();
+}
+
+void ThreadedLtsSolver::first_touch_rank_buffers() {
+  const level_t nl = levels_->num_levels;
+  pool_->run([this, nl](int worker) {
+    const auto r = static_cast<rank_t>(worker);
+    auto& rd = ranks_[static_cast<std::size_t>(r)];
+    // This rank's plan groups are contiguous: (r, 1) .. (r, nl).
+    const index_t first = plan_->group_blocks(group_index(r, 1)).first;
+    const index_t last = plan_->group_blocks(group_index(r, nl)).last;
+    plan_->fill(first, last);
+    rd.private_buf.assign(ndof_, 0.0);
+    rd.workspace = std::make_unique<sem::KernelWorkspace>(op_->make_workspace());
+    const auto nc = static_cast<std::size_t>(ncomp_);
+    for (auto& level_chunks : rd.chunks)
+      for (auto& ch : level_chunks) ch.acc.assign(ch.rows.size() * nc, 0.0);
+  });
 }
 
 void ThreadedLtsSolver::build_rank_data() {
@@ -85,8 +109,8 @@ void ThreadedLtsSolver::build_rank_data() {
     rd.update_rows.assign(static_cast<std::size_t>(nl), {});
     rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
     rd.sources.assign(static_cast<std::size_t>(nl), {});
-    rd.private_buf.assign(ndof_, 0.0);
-    rd.workspace = std::make_unique<sem::KernelWorkspace>(op_->make_workspace());
+    // private_buf and workspace are allocated in first_touch_rank_buffers()
+    // by the owning pool worker (NUMA first touch).
   }
 
   for (level_t k = 1; k <= nl; ++k) {
@@ -134,6 +158,32 @@ void ThreadedLtsSolver::build_rank_data() {
     for (gindex_t g : st.recon_rows[static_cast<std::size_t>(k - 1)])
       ranks_[static_cast<std::size_t>(row_owner_[static_cast<std::size_t>(g)])].recon_rows[static_cast<std::size_t>(k - 1)].push_back(g);
   }
+
+  // The batched execution plan: one group per (rank, level) in that order —
+  // a rank's blocks are contiguous (first-touch fill range) and a level group
+  // never mixes ranks, so steal chunks of whole blocks stay rank-pure. Each
+  // group's elements are reordered homogeneous-first so the leading blocks
+  // take the mask-free fast gather; eval_elems keeps the same order, which
+  // keeps block lanes and element lists aligned for the chunk row sets.
+  std::vector<sem::BatchPlan::Group> plan_groups;
+  plan_groups.reserve(static_cast<std::size_t>(nranks_) * static_cast<std::size_t>(nl));
+  for (rank_t r = 0; r < nranks_; ++r)
+    for (level_t k = 1; k <= nl; ++k) {
+      auto& elems = ranks_[static_cast<std::size_t>(r)].eval_elems[static_cast<std::size_t>(k - 1)];
+      elems = sem::order_homogeneous_first(space, elems, k, st.node_level);
+      sem::BatchPlan::Group g;
+      g.elems = elems;
+      g.level = k;
+      g.node_level = st.node_level;
+      plan_groups.push_back(std::move(g));
+    }
+  plan_ = std::make_unique<sem::BatchPlan>(space, ncomp_, std::move(plan_groups),
+                                           sem::BatchPlan::Fill::Deferred);
+  blocks_per_cycle_ = 0;
+  for (rank_t r = 0; r < nranks_; ++r)
+    for (level_t k = 1; k <= nl; ++k)
+      blocks_per_cycle_ +=
+          level_rate(k) * static_cast<std::int64_t>(plan_->group_blocks(group_index(r, k)).count());
 }
 
 void ThreadedLtsSolver::build_participation() {
@@ -170,36 +220,50 @@ void ThreadedLtsSolver::build_chunks() {
   const auto& space = op_->space();
   const level_t nl = levels_->num_levels;
   const int npts = space.nodes_per_elem();
-  const auto nc = static_cast<std::size_t>(ncomp_);
+  const int W = plan_->width();
 
-  for (auto& rd : ranks_) {
+  for (rank_t r = 0; r < nranks_; ++r) {
+    auto& rd = ranks_[static_cast<std::size_t>(r)];
     rd.chunks.assign(static_cast<std::size_t>(nl), {});
     rd.chunk_cursor = std::make_unique<std::atomic<index_t>[]>(static_cast<std::size_t>(nl));
     rd.red_offsets.assign(static_cast<std::size_t>(nl), {});
     rd.red_sources.assign(static_cast<std::size_t>(nl), {});
     for (level_t k = 1; k <= nl; ++k) {
       const auto L = static_cast<std::size_t>(k - 1);
-      const auto n = static_cast<index_t>(rd.eval_elems[L].size());
-      if (n == 0) {
+      const auto range = plan_->group_blocks(group_index(r, k));
+      const index_t nb = range.count();
+      if (nb == 0) {
         rd.chunk_cursor[L].store(0, std::memory_order_relaxed);
         continue;
       }
-      // Several chunks per rank so idle participants find work to steal, but
-      // large enough that the per-chunk kernel launch stays negligible.
-      const index_t size = cfg_.chunk_elems > 0
-                               ? cfg_.chunk_elems
-                               : std::clamp<index_t>(n / 8, index_t{4}, index_t{128});
-      for (index_t b = 0; b < n; b += size) {
+      // Chunks are whole plan blocks, so stealing moves block-aligned work
+      // and the batched kernel never splits a block. Several chunks per rank
+      // so idle participants find work to steal, but large enough that the
+      // per-chunk launch stays negligible; an explicit chunk_elems is rounded
+      // up to whole blocks.
+      index_t size_blocks;
+      if (cfg_.chunk_elems > 0) {
+        size_blocks = std::max<index_t>(1, (cfg_.chunk_elems + W - 1) / W);
+      } else {
+        const auto n = static_cast<index_t>(rd.eval_elems[L].size());
+        const index_t size_elems = std::clamp<index_t>(n / 8, index_t{4}, index_t{128});
+        size_blocks = std::max<index_t>(1, (size_elems + W - 1) / W);
+      }
+      for (index_t b = range.first; b < range.last; b += size_blocks) {
         Chunk ch;
-        ch.begin = b;
-        ch.end = std::min<index_t>(b + size, n);
-        for (index_t e = ch.begin; e < ch.end; ++e) {
-          const gindex_t* l2g = space.elem_nodes(rd.eval_elems[L][static_cast<std::size_t>(e)]);
-          for (int q = 0; q < npts; ++q) ch.rows.push_back(l2g[q]);
+        ch.first_block = b;
+        ch.last_block = std::min<index_t>(b + size_blocks, range.last);
+        for (index_t blk = ch.first_block; blk < ch.last_block; ++blk) {
+          const index_t* elems = plan_->block_elems(blk);
+          const int fill = plan_->block_fill(blk);
+          for (int l = 0; l < fill; ++l) {
+            const gindex_t* l2g = space.elem_nodes(elems[l]);
+            for (int q = 0; q < npts; ++q) ch.rows.push_back(l2g[q]);
+          }
         }
         std::sort(ch.rows.begin(), ch.rows.end());
         ch.rows.erase(std::unique(ch.rows.begin(), ch.rows.end()), ch.rows.end());
-        ch.acc.assign(ch.rows.size() * nc, 0.0);
+        // ch.acc is allocated by the owning pool worker (first touch).
         rd.chunks[L].push_back(std::move(ch));
       }
       // Cursors start *exhausted*: a queue only opens when its owner resets
@@ -210,6 +274,12 @@ void ThreadedLtsSolver::build_chunks() {
                                std::memory_order_relaxed);
     }
   }
+}
+
+void ThreadedLtsSolver::build_steal_reduction() {
+  const auto& space = op_->space();
+  const level_t nl = levels_->num_levels;
+  const auto nc = static_cast<std::size_t>(ncomp_);
 
   // Static reduction map: every chunk-row contribution is attached to the
   // row's owning rank in (rank, chunk) ascending order. The association of
@@ -323,10 +393,14 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
   LTS_CHECK(u0.size() == ndof_ && v0.size() == ndof_);
   std::copy(u0.begin(), u0.end(), u_.begin());
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  // One-shot initialization apply through the per-element path (the solver's
+  // own plan is level-restricted; building the operator's full-mesh plan for
+  // a single apply would duplicate every metric slab). The workspace is rank
+  // 0's block-sized one — sized once per (order, block width), not re-derived
+  // per set_state call.
   std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
   for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
-  auto ws = op_->make_workspace();
-  op_->apply_add(all, u_.data(), scratch_.data(), ws);
+  op_->apply_add(all, u_.data(), scratch_.data(), *ranks_[0].workspace);
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
   if (sources_.empty()) {
     for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
@@ -362,22 +436,18 @@ void ThreadedLtsSolver::sync(rank_t r, level_t k) {
   stall_[static_cast<std::size_t>(r)] += t.seconds();
 }
 
-void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk, level_t k,
-                                  const RankData& owner) {
-  // The executing thread accumulates the chunk's element contributions in its
+void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk) {
+  // The executing thread accumulates the chunk's block contributions in its
   // own private buffer (zeroed on the chunk's rows), then copies them out to
   // the chunk's acc buffer. The owner reduces acc buffers in a fixed order,
-  // so the result is independent of which thread ran the chunk.
+  // so the result is independent of which thread ran the chunk. Chunks are
+  // whole plan blocks, so the batched kernel runs unsplit.
   const auto nc = static_cast<std::size_t>(ncomp_);
   real_t* buf = self.private_buf.data();
   for (const gindex_t g : chunk.rows)
     for (std::size_t c = 0; c < nc; ++c) buf[static_cast<std::size_t>(g) * nc + c] = 0.0;
-  const auto& elems = owner.eval_elems[static_cast<std::size_t>(k - 1)];
-  structure_->apply_level_restricted(*op_,
-                                     std::span<const index_t>(elems).subspan(
-                                         static_cast<std::size_t>(chunk.begin),
-                                         static_cast<std::size_t>(chunk.end - chunk.begin)),
-                                     k, u_.data(), buf, *self.workspace);
+  op_->apply_add_blocks(*plan_, chunk.first_block, chunk.last_block, u_.data(), buf,
+                        *self.workspace);
   real_t* acc = chunk.acc.data();
   for (std::size_t i = 0; i < chunk.rows.size(); ++i) {
     const std::size_t base = static_cast<std::size_t>(chunk.rows[i]) * nc;
@@ -388,19 +458,19 @@ void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk, level_t k,
 void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
   if (!participates(r, k)) return;
   auto& rd = ranks_[static_cast<std::size_t>(r)];
-  const auto& st = *structure_;
   const auto L = static_cast<std::size_t>(k - 1);
   const bool steal = cfg_.mode == SchedulerMode::LevelAwareSteal;
   const WallTimer timer;
 
   if (steal) {
-    // Chunked evaluation with work stealing among the level's participants.
+    // Chunked evaluation with work stealing among the level's participants;
+    // every chunk is a whole-block range of the batched plan.
     auto& my_cursor = rd.chunk_cursor[L];
     my_cursor.store(0, std::memory_order_relaxed);
     auto& mine = rd.chunks[L];
     for (index_t c;
          (c = my_cursor.fetch_add(1, std::memory_order_relaxed)) < static_cast<index_t>(mine.size());)
-      run_chunk(rd, mine[static_cast<std::size_t>(c)], k, rd);
+      run_chunk(rd, mine[static_cast<std::size_t>(c)]);
 
     const auto& grp = group_[L];
     if (grp.size() > 1) {
@@ -411,18 +481,19 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
         auto& theirs = vd.chunks[L];
         for (index_t c; (c = vd.chunk_cursor[L].fetch_add(1, std::memory_order_relaxed)) <
                         static_cast<index_t>(theirs.size());) {
-          run_chunk(rd, theirs[static_cast<std::size_t>(c)], k, vd);
+          run_chunk(rd, theirs[static_cast<std::size_t>(c)]);
           ++steals_[static_cast<std::size_t>(r)];
         }
       }
     }
   } else {
-    // Private accumulation of this rank's share of E(k).
+    // Private batched accumulation of this rank's share of E(k).
     for (gindex_t g : rd.private_rows[L])
       for (int c = 0; c < ncomp_; ++c)
         rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
-    st.apply_level_restricted(*op_, rd.eval_elems[L], k, u_.data(), rd.private_buf.data(),
-                              *rd.workspace);
+    const auto range = plan_->group_blocks(group_index(r, k));
+    op_->apply_add_blocks(*plan_, range.first, range.last, u_.data(), rd.private_buf.data(),
+                          *rd.workspace);
   }
   busy_[static_cast<std::size_t>(r)] += timer.seconds();
 

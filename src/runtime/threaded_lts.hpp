@@ -10,6 +10,14 @@
 /// for MPI point-to-point exchange) combines interface contributions. Every
 /// global row is updated by exactly one owner rank.
 ///
+/// Stiffness evaluation runs on the element-block batched path: the solver
+/// builds one sem::BatchPlan whose groups are ordered (rank, level) — rank
+/// r's share of E(k), level-homogeneous elements first so most blocks take
+/// the mask-free fast gather — and every eval phase iterates whole blocks.
+/// The per-rank block slabs (and workspaces, accumulation buffers and chunk
+/// buffers) are first-touch initialized by their owning pool thread, so on
+/// NUMA machines each rank's hot data lands on its own memory node.
+///
 /// Synchronization is governed by a SchedulerMode (see runtime/scheduler.hpp):
 /// the legacy barrier-all mode makes every rank arrive at every substep
 /// barrier, reproducing the load-imbalance behaviour of Fig. 1 with *real*
@@ -17,9 +25,10 @@
 /// over the ranks participating at level k or finer (the monotone closure —
 /// fine substeps nest inside coarse phases, so finer ranks must join coarser
 /// barriers but never vice versa). Level-aware+steal additionally splits each
-/// rank's per-level element list into chunks that idle participants steal,
-/// absorbing residual intra-level imbalance the partitioner leaves behind.
-/// Stolen chunks accumulate into per-chunk buffers that the owner reduces in a
+/// rank's per-level block list into chunks — always whole blocks, so stealing
+/// moves block-aligned work — that idle participants steal, absorbing
+/// residual intra-level imbalance the partitioner leaves behind. Stolen
+/// chunks accumulate into per-chunk buffers that the owner reduces in a
 /// fixed (rank, chunk) order, so every mode — stealing included — is bitwise
 /// reproducible run to run.
 ///
@@ -100,8 +109,20 @@ public:
   }
   /// Element applies consumed so far: cycles_done() * applies_per_cycle.
   [[nodiscard]] std::int64_t element_applies() const noexcept;
+  /// Batched kernel calls consumed so far: cycles_done() * blocks per cycle.
+  /// Stealing moves whole blocks between ranks but never changes the total,
+  /// so this is exact in every scheduler mode.
+  [[nodiscard]] std::int64_t blocks_applied() const noexcept {
+    return cycles_done_ * blocks_per_cycle_;
+  }
   [[nodiscard]] rank_t num_ranks() const noexcept { return nranks_; }
   [[nodiscard]] SchedulerMode mode() const noexcept { return cfg_.mode; }
+  /// The (rank, level)-ordered batched execution plan driving the eval phases.
+  [[nodiscard]] const sem::BatchPlan& plan() const noexcept { return *plan_; }
+  /// Plan block range of rank r's share of E(k).
+  [[nodiscard]] sem::BatchPlan::BlockRange rank_level_blocks(rank_t r, level_t k) const {
+    return plan_->group_blocks(group_index(r, k));
+  }
 
   /// Per-rank compute seconds, barrier-wait seconds, and stolen chunk counts,
   /// accumulated since construction or the last reset_counters().
@@ -115,14 +136,15 @@ public:
   [[nodiscard]] rank_t level_participants(level_t k) const;
 
 private:
-  /// A contiguous slice [begin, end) of a rank's per-level element list, with
-  /// the global rows it touches and a per-chunk accumulation buffer
-  /// (rows.size() * ncomp). Whichever thread executes the chunk writes `acc`;
-  /// the row owners reduce the chunks in a fixed order, which makes the
-  /// stealing mode's floating-point association independent of who stole what.
+  /// A contiguous plan-block range [first_block, last_block) of a rank's
+  /// level group — steal chunks always move whole blocks — with the global
+  /// rows it touches and a per-chunk accumulation buffer (rows.size() *
+  /// ncomp). Whichever thread executes the chunk writes `acc`; the row owners
+  /// reduce the chunks in a fixed order, which makes the stealing mode's
+  /// floating-point association independent of who stole what.
   struct Chunk {
-    index_t begin = 0;
-    index_t end = 0;
+    index_t first_block = 0;
+    index_t last_block = 0;
     std::vector<gindex_t> rows;
     std::vector<real_t> acc;
   };
@@ -165,13 +187,19 @@ private:
   void build_rank_data();
   void build_participation();
   void build_chunks();
+  void build_steal_reduction();
+  void first_touch_rank_buffers();
+  [[nodiscard]] std::size_t group_index(rank_t r, level_t k) const noexcept {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(levels_->num_levels) +
+           static_cast<std::size_t>(k - 1);
+  }
   [[nodiscard]] bool participates(rank_t r, level_t k) const {
     return part_mask_[static_cast<std::size_t>(k - 1) * static_cast<std::size_t>(nranks_) +
                       static_cast<std::size_t>(r)] != 0;
   }
   void thread_main(rank_t r, int cycles);
   void eval_phase(rank_t r, level_t k);
-  void run_chunk(RankData& self, Chunk& chunk, level_t k, const RankData& owner);
+  void run_chunk(RankData& self, Chunk& chunk);
   void run_level(rank_t r, level_t k, real_t t0);
   void sync(rank_t r, level_t k);
   /// Folds this rank's level-k sources (sampled at t_src) into an update that
@@ -193,6 +221,11 @@ private:
   real_t dt_;
   std::int64_t cycles_done_ = 0;
   std::size_t ndof_ = 0;
+  std::int64_t blocks_per_cycle_ = 0;
+
+  /// Batched execution plan, groups ordered (rank, level); slabs are filled
+  /// (first-touched) by the owning pool workers, not the constructing thread.
+  std::unique_ptr<sem::BatchPlan> plan_;
 
   std::vector<real_t> inv_mass_; // per node (components share it)
   std::vector<real_t> u_, v_;

@@ -1,0 +1,260 @@
+#include "sem/batch_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ltswave::sem {
+
+namespace {
+
+/// Ulp-scale tolerance of the affine-metric detection: a metric plane is
+/// separable when |value - w_q * C| stays within this relative band of the
+/// plane's magnitude. Elements that miss it (warped geometry, or merely
+/// unlucky rounding) take the full-plane path, so the test is purely a
+/// bandwidth optimization and never a correctness gate.
+constexpr real_t kAffineTol = 64 * std::numeric_limits<real_t>::epsilon();
+
+/// True when every node of element e carries exactly `level`.
+bool elem_homogeneous_at(const SemSpace& space, index_t e, level_t level,
+                         std::span<const level_t> node_level) {
+  const gindex_t* l2g = space.elem_nodes(e);
+  const int npts = space.nodes_per_elem();
+  for (int q = 0; q < npts; ++q)
+    if (node_level[static_cast<std::size_t>(l2g[q])] != level) return false;
+  return true;
+}
+
+/// Checks that plane[q] == w3[q] * C for C = plane[0] / w3[0] within
+/// kAffineTol * scale (C is what the affine kernel will reconstruct the plane
+/// from). `scale` is the magnitude of the whole metric tensor, not of this
+/// plane: an off-diagonal plane of an axis-aligned element is zero up to
+/// rounding junk, and that junk is "zero" relative to the element's metric.
+bool plane_separable(const real_t* plane, int stride, int npts, const real_t* w3,
+                     real_t scale) {
+  const real_t c = plane[0] / w3[0];
+  const real_t tol = kAffineTol * scale;
+  for (int q = 1; q < npts; ++q)
+    if (std::abs(plane[q * stride] - w3[q] * c) > tol) return false;
+  return true;
+}
+
+/// Checks that plane[q] is constant over the element (the affine Jinv).
+bool plane_constant(const real_t* plane, int stride, int npts, real_t scale) {
+  const real_t c = plane[0];
+  const real_t tol = kAffineTol * scale;
+  for (int q = 1; q < npts; ++q)
+    if (std::abs(plane[q * stride] - c) > tol) return false;
+  return true;
+}
+
+/// Largest |value| across `nplanes` interleaved planes of an element metric.
+real_t metric_scale(const real_t* data, int nplanes, int npts) {
+  real_t scale = 0;
+  for (int i = 0; i < nplanes * npts; ++i) scale = std::max(scale, std::abs(data[i]));
+  return std::max(scale, real_t{1e-300});
+}
+
+} // namespace
+
+std::vector<index_t> order_homogeneous_first(const SemSpace& space,
+                                             std::span<const index_t> elems, level_t level,
+                                             std::span<const level_t> node_level) {
+  std::vector<index_t> out(elems.begin(), elems.end());
+  std::stable_partition(out.begin(), out.end(), [&](index_t e) {
+    return elem_homogeneous_at(space, e, level, node_level);
+  });
+  return out;
+}
+
+bool BatchPlan::elem_affine(index_t e) const {
+  auto& cached = affine_cache_[static_cast<std::size_t>(e)];
+  if (cached != 0) return cached == 1;
+  const int npts = npts_;
+  bool affine = true;
+  if (ncomp_ == 1) {
+    const real_t* g = space_->gmat(e); // 6 SoA planes of npts
+    // Separability against w3 needs the weight scale divided out of the
+    // bound: g carries a factor w3[q], so compare at the constant's scale.
+    const real_t scale = metric_scale(g, 6, npts) / w3_[0];
+    for (int p = 0; p < 6 && affine; ++p)
+      affine = plane_separable(g + p * npts, 1, npts, w3_.data(), scale);
+  } else {
+    const real_t jscale = metric_scale(space_->jinv(e, 0), 9, npts);
+    const real_t wscale = metric_scale(space_->wjinv(e, 0), 9, npts) / w3_[0];
+    for (int p = 0; p < 9 && affine; ++p) {
+      affine = plane_constant(space_->jinv(e, 0) + p, 9, npts, jscale) &&
+               plane_separable(space_->wjinv(e, 0) + p, 9, npts, w3_.data(), wscale);
+    }
+  }
+  cached = affine ? 1 : 2;
+  return affine;
+}
+
+BatchPlan::BatchPlan(const SemSpace& space, int ncomp, std::vector<Group> groups, Fill fill)
+    : space_(&space),
+      ncomp_(ncomp),
+      width_(kernels::block_width_for(space.ref().nodes_1d())),
+      npts_(space.nodes_per_elem()),
+      groups_(std::move(groups)) {
+  LTS_CHECK_MSG(ncomp_ == 1 || ncomp_ == 3, "BatchPlan ncomp must be 1 (acoustic) or 3 (elastic)");
+
+  // The separable factor of the compact affine metric: the same 3D quadrature
+  // weight product build_geometry folded into the stored metrics.
+  const auto& w1 = space.ref().weights();
+  const int n1 = space.ref().nodes_1d();
+  w3_.resize(static_cast<std::size_t>(npts_));
+  for (int k = 0; k < n1; ++k)
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i)
+        w3_[static_cast<std::size_t>((k * n1 + j) * n1 + i)] =
+            w1[static_cast<std::size_t>(i)] * w1[static_cast<std::size_t>(j)] *
+            w1[static_cast<std::size_t>(k)];
+  affine_cache_.assign(static_cast<std::size_t>(space.num_elems()), 0);
+
+  // Metric words per block: compact lane constants for affine blocks, full
+  // lane-interleaved planes otherwise.
+  const std::size_t full_words = slab_size() * (ncomp_ == 1 ? 6u : 18u);
+  const std::size_t compact_words = static_cast<std::size_t>(width_) * (ncomp_ == 1 ? 6u : 18u);
+
+  // Pass 1: block layout. Groups never share a block, so every block belongs
+  // to one (group, level) and a group's blocks are contiguous in plan order.
+  group_range_.reserve(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& grp = groups_[g];
+    LTS_CHECK_MSG(grp.level == 0 || grp.node_level.size() ==
+                                        static_cast<std::size_t>(space.num_global_nodes()),
+                  "level-masked BatchPlan group needs node_level over all global nodes");
+    BlockRange range{num_blocks(), num_blocks()};
+    for (std::size_t at = 0; at < grp.elems.size(); at += static_cast<std::size_t>(width_)) {
+      Block blk;
+      blk.group = static_cast<index_t>(g);
+      blk.fill = static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(width_), grp.elems.size() - at));
+      blk.level = grp.level;
+      if (grp.level > 0) {
+        bool homogeneous = true;
+        for (int l = 0; l < blk.fill && homogeneous; ++l)
+          homogeneous = elem_homogeneous_at(space, grp.elems[at + static_cast<std::size_t>(l)],
+                                            grp.level, grp.node_level);
+        if (!homogeneous) {
+          blk.mask_off = static_cast<std::ptrdiff_t>(mask_count_);
+          mask_count_ += slab_size();
+        }
+      }
+      blk.affine = true;
+      for (int l = 0; l < blk.fill && blk.affine; ++l)
+        blk.affine = elem_affine(grp.elems[at + static_cast<std::size_t>(l)]);
+      blk.metric_off = metric_count_;
+      metric_count_ += blk.affine ? compact_words : full_words;
+      for (int l = 0; l < width_; ++l)
+        elem_ids_.push_back(grp.elems[at + static_cast<std::size_t>(
+                                               std::min(l, blk.fill - 1))]);
+      blocks_.push_back(blk);
+      range.last = num_blocks();
+    }
+    group_range_.push_back(range);
+  }
+
+  // Arena allocation: uninitialized, so no page is touched until fill().
+  gather_.allocate(slab_offset(num_blocks()));
+  mask_.allocate(mask_count_);
+  metric_.allocate(metric_count_);
+
+  if (fill == Fill::Now) this->fill(0, num_blocks());
+}
+
+void BatchPlan::fill(index_t b0, index_t b1) {
+  const SemSpace& sp = *space_;
+  const int W = width_;
+  const int npts = npts_;
+  const std::size_t slab = slab_size();
+
+  for (index_t b = b0; b < b1; ++b) {
+    const Block& blk = blocks_[static_cast<std::size_t>(b)];
+    const index_t* elems = block_elems(b);
+
+    gindex_t* gth = gather_.get() + slab_offset(b);
+    for (int l = 0; l < W; ++l) {
+      const gindex_t* l2g = sp.elem_nodes(elems[l]);
+      for (int q = 0; q < npts; ++q) gth[q * W + l] = l2g[q];
+    }
+
+    if (blk.mask_off >= 0) {
+      const auto& node_level = groups_[static_cast<std::size_t>(blk.group)].node_level;
+      real_t* mk = mask_.get() + blk.mask_off;
+      for (int l = 0; l < W; ++l) {
+        // Padded lanes get an all-zero mask: their kernel output is garbage
+        // either way (never scattered), but zeros keep it finite.
+        const bool real_lane = l < blk.fill;
+        const gindex_t* l2g = sp.elem_nodes(elems[l]);
+        for (int q = 0; q < npts; ++q)
+          mk[q * W + l] =
+              real_lane && node_level[static_cast<std::size_t>(l2g[q])] == blk.level ? 1.0 : 0.0;
+      }
+    }
+
+    real_t* mt = metric_.get() + blk.metric_off;
+    if (ncomp_ == 1) {
+      if (blk.affine) {
+        // Compact: 6 lane-constant rows, C_p[l] = G_p(q0) / w3[q0].
+        for (int l = 0; l < W; ++l) {
+          const real_t* src = sp.gmat(elems[l]);
+          for (int p = 0; p < 6; ++p) mt[p * W + l] = src[p * npts] / w3_[0];
+        }
+      } else {
+        // Transpose each element's 6 SoA metric planes into lane-interleaved
+        // block planes: plane p of the block at [p][q*W + l].
+        for (int l = 0; l < W; ++l) {
+          const real_t* src = sp.gmat(elems[l]); // 6 planes of npts
+          for (int p = 0; p < 6; ++p)
+            for (int q = 0; q < npts; ++q)
+              mt[static_cast<std::size_t>(p) * slab + static_cast<std::size_t>(q * W + l)] =
+                  src[p * npts + q];
+        }
+      }
+    } else {
+      if (blk.affine) {
+        // Compact: Jinv constants then wdet*Jinv separable constants.
+        for (int l = 0; l < W; ++l) {
+          const real_t* jsrc = sp.jinv(elems[l], 0);
+          const real_t* wsrc = sp.wjinv(elems[l], 0);
+          for (int p = 0; p < 9; ++p) {
+            mt[p * W + l] = jsrc[p];
+            mt[(9 + p) * W + l] = wsrc[p] / w3_[0];
+          }
+        }
+      } else {
+        // jinv/wjinv are stored per point as row-major 3x3 in the space; the
+        // block slabs hold them as 9 lane-interleaved planes each.
+        real_t* ji = mt;
+        real_t* wj = mt + slab * 9;
+        for (int l = 0; l < W; ++l) {
+          for (int q = 0; q < npts; ++q) {
+            const real_t* jsrc = sp.jinv(elems[l], q);
+            const real_t* wsrc = sp.wjinv(elems[l], q);
+            for (int p = 0; p < 9; ++p) {
+              ji[static_cast<std::size_t>(p) * slab + static_cast<std::size_t>(q * W + l)] =
+                  jsrc[p];
+              wj[static_cast<std::size_t>(p) * slab + static_cast<std::size_t>(q * W + l)] =
+                  wsrc[p];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+std::int64_t BatchPlan::elements_in(index_t b0, index_t b1) const noexcept {
+  std::int64_t n = 0;
+  for (index_t b = b0; b < b1; ++b) n += blocks_[static_cast<std::size_t>(b)].fill;
+  return n;
+}
+
+std::size_t BatchPlan::slab_bytes() const noexcept {
+  return slab_offset(num_blocks()) * sizeof(gindex_t) + mask_count_ * sizeof(real_t) +
+         metric_count_ * sizeof(real_t);
+}
+
+} // namespace ltswave::sem

@@ -185,6 +185,330 @@ void elastic_element_apply(int n1_rt, const real_t* D, const real_t* Dt,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Element-block batched kernels
+// ---------------------------------------------------------------------------
+//
+// Same contractions as above, but on lane-interleaved block slabs: entry
+// (q, l) of a slab lives at [q*W + l], W = block_width_for(n1). Every inner
+// loop below walks the lane axis l, so the vector width is the compile-time
+// block width instead of the short n1 axis — one kernel call advances W
+// elements at near-full vector utilization.
+//
+// The batched form also *fuses* the stages: at each point, all three
+// reference gradients are accumulated in registers and multiplied by the
+// metric immediately (no gradient slab round-trip), and the three weak
+// divergence directions combine into a single accumulator with one store per
+// output point (no out zeroing or read-modify-write passes). The only slab
+// traffic left is one write + one strided read of the three flux planes and
+// one output write — the structure that keeps a W-wide block L1-resident.
+//
+// N1 == 0 again selects the runtime-(n1, bw) generic path from the same
+// source so the block specializations cannot drift from their fallback.
+
+/// Block width as a compile-time constant for specialized instantiations
+/// (0 defers to the runtime bw argument).
+template <int N1>
+inline constexpr int kBlockW = N1 > 0 ? block_width_for(N1) : 0;
+
+/// Size of on-stack lane accumulators: exactly the compile-time width for
+/// specialized kernels so the compiler promotes them to vector registers.
+template <int N1>
+inline constexpr int kAccW = N1 > 0 ? block_width_for(N1) : kMaxBlockWidth;
+
+/// Shared body of the full-metric and affine acoustic block applies. With
+/// Affine == true, `gmat` holds the 6 lane-constant rows C_p (6*W) and the
+/// metric plane value is reconstructed as w3[q] * C_p[l]; otherwise `gmat`
+/// holds the 6 full lane-interleaved planes and `w3` is unused.
+template <int N1, bool Affine>
+void acoustic_block_apply_impl(int n1_rt, int bw_rt, const real_t* __restrict D,
+                               const real_t* __restrict w3, const real_t* __restrict gmat,
+                               const real_t* __restrict kappa, const real_t* __restrict ul,
+                               real_t* __restrict out, real_t* __restrict s1,
+                               real_t* __restrict s2, real_t* __restrict s3) {
+  const int n1 = N1 > 0 ? N1 : n1_rt;
+  const int W = kBlockW<N1> > 0 ? kBlockW<N1> : bw_rt;
+  LTS_DCHECK(W > 0 && W <= kMaxBlockWidth && W % 8 == 0);
+  const int n2 = n1 * n1;
+  const int npts = n2 * n1;
+  const int pts = npts * W;
+
+  const int pstride = Affine ? W : pts;
+  const real_t* __restrict g00 = gmat;
+  const real_t* __restrict g01 = gmat + pstride;
+  const real_t* __restrict g02 = gmat + 2 * pstride;
+  const real_t* __restrict g11 = gmat + 3 * pstride;
+  const real_t* __restrict g12 = gmat + 4 * pstride;
+  const real_t* __restrict g22 = gmat + 5 * pstride;
+
+  // Stage A: per x-line (k, j), the W-wide line values are cached in vector
+  // registers (specialized path) so the x-contraction runs load-free, and the
+  // D columns of the y/z contractions are hoisted per line. Each point's
+  // three reference gradients stay in registers through the symmetric metric
+  // into the flux slabs s1-s3 — gradients never touch memory.
+  for (int k = 0; k < n1; ++k)
+    for (int j = 0; j < n1; ++j) {
+      const real_t* __restrict fline = ul + ((k * n1 + j) * n1) * W;
+      const real_t* __restrict dj = D + j * n1;
+      const real_t* __restrict dk = D + k * n1;
+      for (int i = 0; i < n1; ++i) {
+        const real_t* __restrict fy = ul + (k * n2 + i) * W; // along j, stride n1*W
+        const real_t* __restrict fz = ul + (j * n1 + i) * W; // along k, stride n2*W
+        const real_t* __restrict di = D + i * n1;
+        real_t a[kAccW<N1>], b[kAccW<N1>], c[kAccW<N1>];
+        for (int l = 0; l < W; ++l) {
+          a[l] = di[0] * fline[l];
+          b[l] = dj[0] * fy[l];
+          c[l] = dk[0] * fz[l];
+        }
+        for (int m = 1; m < n1; ++m) {
+          const real_t dim = di[m], djm = dj[m], dkm = dk[m];
+          const real_t* __restrict fxm = fline + m * W;
+          const real_t* __restrict fym = fy + m * n1 * W;
+          const real_t* __restrict fzm = fz + m * n2 * W;
+          for (int l = 0; l < W; ++l) {
+            a[l] += dim * fxm[l];
+            b[l] += djm * fym[l];
+            c[l] += dkm * fzm[l];
+          }
+        }
+        const int q = (k * n1 + j) * n1 + i;
+        const int t0 = q * W;
+        const real_t wq = Affine ? w3[q] : real_t{0};
+        for (int l = 0; l < W; ++l) {
+          const int t = t0 + l;
+          if constexpr (Affine) {
+            // w_q factors out of the whole symmetric apply: three dots on the
+            // lane constants, one combined kappa * w_q scale.
+            const real_t kw = kappa[l] * wq;
+            s1[t] = kw * (g00[l] * a[l] + g01[l] * b[l] + g02[l] * c[l]);
+            s2[t] = kw * (g01[l] * a[l] + g11[l] * b[l] + g12[l] * c[l]);
+            s3[t] = kw * (g02[l] * a[l] + g12[l] * b[l] + g22[l] * c[l]);
+          } else {
+            const real_t kp = kappa[l];
+            s1[t] = kp * (g00[t] * a[l] + g01[t] * b[l] + g02[t] * c[l]);
+            s2[t] = kp * (g01[t] * a[l] + g11[t] * b[l] + g12[t] * c[l]);
+            s3[t] = kp * (g02[t] * a[l] + g12[t] * b[l] + g22[t] * c[l]);
+          }
+        }
+      }
+    }
+
+  // Stage B: fused weak divergence — all three directions accumulate into a
+  // register vector, one store per output point, no zeroing pass. The j/k
+  // columns of D are hoisted per (k, j) pair; only the i column varies inside.
+  for (int k = 0; k < n1; ++k)
+    for (int j = 0; j < n1; ++j) {
+      const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W;
+      for (int i = 0; i < n1; ++i) {
+        const real_t* __restrict F2 = s2 + (k * n2 + i) * W;
+        const real_t* __restrict F3 = s3 + (j * n1 + i) * W;
+        real_t acc[kAccW<N1>];
+        {
+          const real_t d1 = D[i], d2 = D[j], d3 = D[k]; // row m = 0
+          for (int l = 0; l < W; ++l) acc[l] = d1 * F1[l] + d2 * F2[l] + d3 * F3[l];
+        }
+        for (int m = 1; m < n1; ++m) {
+          const real_t d1 = D[m * n1 + i], d2 = D[m * n1 + j], d3 = D[m * n1 + k];
+          const real_t* __restrict f1m = F1 + m * W;
+          const real_t* __restrict f2m = F2 + m * n1 * W;
+          const real_t* __restrict f3m = F3 + m * n2 * W;
+          for (int l = 0; l < W; ++l) acc[l] += d1 * f1m[l] + d2 * f2m[l] + d3 * f3m[l];
+        }
+        real_t* __restrict o = out + ((k * n1 + j) * n1 + i) * W;
+        for (int l = 0; l < W; ++l) o[l] = acc[l];
+      }
+    }
+}
+
+/// Shared body of the full-metric and affine elastic block applies. With
+/// Affine == true, `jinv` holds 9 lane-constant Jinv rows (9*W) and `wjinv`
+/// the separable wdet*Jinv constants (reconstructed as w3[q] * C).
+template <int N1, bool Affine>
+void elastic_block_apply_impl(int n1_rt, int bw_rt, const real_t* __restrict D,
+                              const real_t* __restrict w3, const real_t* __restrict jinv,
+                              const real_t* __restrict wjinv, const real_t* __restrict lam,
+                              const real_t* __restrict mu, const real_t* const* ul,
+                              real_t* const* out, real_t* const* gr) {
+  const int n1 = N1 > 0 ? N1 : n1_rt;
+  const int W = kBlockW<N1> > 0 ? kBlockW<N1> : bw_rt;
+  LTS_DCHECK(W > 0 && W <= kMaxBlockWidth && W % 8 == 0);
+  const int n2 = n1 * n1;
+  const int npts = n2 * n1;
+  const int pts = npts * W;
+  // Plane p of a metric: full path at [p*pts + t], affine at [p*W + l].
+  const std::size_t pstride = static_cast<std::size_t>(Affine ? W : pts);
+
+  // Stage A: per component, the three reference gradients accumulate in
+  // registers (three lane arrays only — the fused nine-accumulator variant
+  // spills) and are stored to the gradient slabs.
+  for (int c = 0; c < 3; ++c) {
+    const real_t* __restrict f = ul[c];
+    real_t* __restrict g1 = gr[3 * c];
+    real_t* __restrict g2 = gr[3 * c + 1];
+    real_t* __restrict g3 = gr[3 * c + 2];
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j) {
+        const real_t* __restrict fline = f + ((k * n1 + j) * n1) * W;
+        const real_t* __restrict dj = D + j * n1;
+        const real_t* __restrict dk = D + k * n1;
+        for (int i = 0; i < n1; ++i) {
+          const real_t* __restrict fy = f + (k * n2 + i) * W;
+          const real_t* __restrict fz = f + (j * n1 + i) * W;
+          const real_t* __restrict di = D + i * n1;
+          real_t a[kAccW<N1>], b[kAccW<N1>], c2[kAccW<N1>];
+          for (int l = 0; l < W; ++l) {
+            a[l] = di[0] * fline[l];
+            b[l] = dj[0] * fy[l];
+            c2[l] = dk[0] * fz[l];
+          }
+          for (int m = 1; m < n1; ++m) {
+            const real_t dim = di[m], djm = dj[m], dkm = dk[m];
+            const real_t* __restrict fxm = fline + m * W;
+            const real_t* __restrict fym = fy + m * n1 * W;
+            const real_t* __restrict fzm = fz + m * n2 * W;
+            for (int l = 0; l < W; ++l) {
+              a[l] += dim * fxm[l];
+              b[l] += djm * fym[l];
+              c2[l] += dkm * fzm[l];
+            }
+          }
+          const int t0 = ((k * n1 + j) * n1 + i) * W;
+          for (int l = 0; l < W; ++l) {
+            g1[t0 + l] = a[l];
+            g2[t0 + l] = b[l];
+            g3[t0 + l] = c2[l];
+          }
+        }
+      }
+  }
+
+  // Pointwise strain -> stress -> reference flux, in place on the gradient
+  // slabs; metric plane (r,d) sits at [(r*3+d)*pstride + (t or l)]. The slab
+  // pointers are rebound as __restrict locals so the lane loop vectorizes
+  // (through a const* const* the compiler must assume aliasing).
+  {
+    real_t* __restrict p0 = gr[0];
+    real_t* __restrict p1 = gr[1];
+    real_t* __restrict p2 = gr[2];
+    real_t* __restrict p3 = gr[3];
+    real_t* __restrict p4 = gr[4];
+    real_t* __restrict p5 = gr[5];
+    real_t* __restrict p6 = gr[6];
+    real_t* __restrict p7 = gr[7];
+    real_t* __restrict p8 = gr[8];
+    for (int q = 0; q < npts; ++q) {
+      const int t0 = q * W;
+      const real_t wq = Affine ? w3[q] : real_t{0};
+      for (int l = 0; l < W; ++l) {
+        const int t = t0 + l;
+        const std::size_t pt = static_cast<std::size_t>(Affine ? l : t);
+        const real_t g0 = p0[t], g1 = p1[t], g2 = p2[t];
+        const real_t g3 = p3[t], g4 = p4[t], g5 = p5[t];
+        const real_t g6 = p6[t], g7 = p7[t], g8 = p8[t];
+        real_t H[3][3];
+        for (int d = 0; d < 3; ++d) {
+          const real_t j0 = jinv[static_cast<std::size_t>(d) * pstride + pt];
+          const real_t j1 = jinv[static_cast<std::size_t>(3 + d) * pstride + pt];
+          const real_t j2 = jinv[static_cast<std::size_t>(6 + d) * pstride + pt];
+          H[0][d] = j0 * g0 + j1 * g1 + j2 * g2;
+          H[1][d] = j0 * g3 + j1 * g4 + j2 * g5;
+          H[2][d] = j0 * g6 + j1 * g7 + j2 * g8;
+        }
+        const real_t trace = H[0][0] + H[1][1] + H[2][2];
+        const real_t lm = lam[l], m2 = mu[l];
+        real_t S[3][3];
+        for (int c = 0; c < 3; ++c)
+          for (int d = 0; d < 3; ++d) S[c][d] = m2 * (H[c][d] + H[d][c]);
+        S[0][0] += lm * trace;
+        S[1][1] += lm * trace;
+        S[2][2] += lm * trace;
+        real_t F[3][3];
+        for (int r = 0; r < 3; ++r) {
+          real_t w0 = wjinv[static_cast<std::size_t>(r * 3) * pstride + pt];
+          real_t w1 = wjinv[static_cast<std::size_t>(r * 3 + 1) * pstride + pt];
+          real_t w2 = wjinv[static_cast<std::size_t>(r * 3 + 2) * pstride + pt];
+          if constexpr (Affine) {
+            w0 *= wq;
+            w1 *= wq;
+            w2 *= wq;
+          }
+          for (int c = 0; c < 3; ++c) F[c][r] = w0 * S[c][0] + w1 * S[c][1] + w2 * S[c][2];
+        }
+        p0[t] = F[0][0];
+        p1[t] = F[0][1];
+        p2[t] = F[0][2];
+        p3[t] = F[1][0];
+        p4[t] = F[1][1];
+        p5[t] = F[1][2];
+        p6[t] = F[2][0];
+        p7[t] = F[2][1];
+        p8[t] = F[2][2];
+      }
+    }
+  }
+
+  // Stage B: fused weak divergence per component, one store per output point.
+  for (int c = 0; c < 3; ++c) {
+    const real_t* __restrict s1 = gr[3 * c];
+    const real_t* __restrict s2 = gr[3 * c + 1];
+    const real_t* __restrict s3 = gr[3 * c + 2];
+    real_t* __restrict oc = out[c];
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j)
+        for (int i = 0; i < n1; ++i) {
+          const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W;
+          const real_t* __restrict F2 = s2 + (k * n2 + i) * W;
+          const real_t* __restrict F3 = s3 + (j * n1 + i) * W;
+          real_t acc[kAccW<N1>];
+          {
+            const real_t d1 = D[i], d2 = D[j], d3 = D[k];
+            for (int l = 0; l < W; ++l) acc[l] = d1 * F1[l] + d2 * F2[l] + d3 * F3[l];
+          }
+          for (int m = 1; m < n1; ++m) {
+            const real_t d1 = D[m * n1 + i], d2 = D[m * n1 + j], d3 = D[m * n1 + k];
+            const real_t* __restrict f1m = F1 + m * W;
+            const real_t* __restrict f2m = F2 + m * n1 * W;
+            const real_t* __restrict f3m = F3 + m * n2 * W;
+            for (int l = 0; l < W; ++l) acc[l] += d1 * f1m[l] + d2 * f2m[l] + d3 * f3m[l];
+          }
+          real_t* __restrict o = oc + ((k * n1 + j) * n1 + i) * W;
+          for (int l = 0; l < W; ++l) o[l] = acc[l];
+        }
+  }
+}
+
+// Thin wrappers binding the shared impls to the public function-pointer
+// signatures (the affine variants take w3 + compact constants).
+template <int N1>
+void acoustic_block_apply(int n1, int bw, const real_t* D, const real_t* gmat,
+                          const real_t* kappa, const real_t* ul, real_t* out, real_t* s1,
+                          real_t* s2, real_t* s3) {
+  acoustic_block_apply_impl<N1, false>(n1, bw, D, nullptr, gmat, kappa, ul, out, s1, s2, s3);
+}
+
+template <int N1>
+void acoustic_block_apply_affine(int n1, int bw, const real_t* D, const real_t* w3,
+                                 const real_t* cmat, const real_t* kappa, const real_t* ul,
+                                 real_t* out, real_t* s1, real_t* s2, real_t* s3) {
+  acoustic_block_apply_impl<N1, true>(n1, bw, D, w3, cmat, kappa, ul, out, s1, s2, s3);
+}
+
+template <int N1>
+void elastic_block_apply(int n1, int bw, const real_t* D, const real_t* jinv,
+                         const real_t* wjinv, const real_t* lam, const real_t* mu,
+                         const real_t* const* ul, real_t* const* out, real_t* const* gr) {
+  elastic_block_apply_impl<N1, false>(n1, bw, D, nullptr, jinv, wjinv, lam, mu, ul, out, gr);
+}
+
+template <int N1>
+void elastic_block_apply_affine(int n1, int bw, const real_t* D, const real_t* w3,
+                                const real_t* cji, const real_t* cwj, const real_t* lam,
+                                const real_t* mu, const real_t* const* ul, real_t* const* out,
+                                real_t* const* gr) {
+  elastic_block_apply_impl<N1, true>(n1, bw, D, w3, cji, cwj, lam, mu, ul, out, gr);
+}
+
 } // namespace
 
 AcousticElemFn acoustic_element_kernel(int n1) {
@@ -218,6 +542,74 @@ ElasticElemFn elastic_element_kernel(int n1) {
 AcousticElemFn acoustic_element_kernel_generic() { return &acoustic_element_apply<0>; }
 
 ElasticElemFn elastic_element_kernel_generic() { return &elastic_element_apply<0>; }
+
+AcousticBlockFn acoustic_block_kernel(int n1) {
+  switch (n1) {
+    case 2: return &acoustic_block_apply<2>;
+    case 3: return &acoustic_block_apply<3>;
+    case 4: return &acoustic_block_apply<4>;
+    case 5: return &acoustic_block_apply<5>;
+    case 6: return &acoustic_block_apply<6>;
+    case 7: return &acoustic_block_apply<7>;
+    case 8: return &acoustic_block_apply<8>;
+    case 9: return &acoustic_block_apply<9>;
+    default: return &acoustic_block_apply<0>;
+  }
+}
+
+ElasticBlockFn elastic_block_kernel(int n1) {
+  switch (n1) {
+    case 2: return &elastic_block_apply<2>;
+    case 3: return &elastic_block_apply<3>;
+    case 4: return &elastic_block_apply<4>;
+    case 5: return &elastic_block_apply<5>;
+    case 6: return &elastic_block_apply<6>;
+    case 7: return &elastic_block_apply<7>;
+    case 8: return &elastic_block_apply<8>;
+    case 9: return &elastic_block_apply<9>;
+    default: return &elastic_block_apply<0>;
+  }
+}
+
+AcousticBlockFn acoustic_block_kernel_generic() { return &acoustic_block_apply<0>; }
+
+ElasticBlockFn elastic_block_kernel_generic() { return &elastic_block_apply<0>; }
+
+AcousticBlockAffineFn acoustic_block_kernel_affine(int n1) {
+  switch (n1) {
+    case 2: return &acoustic_block_apply_affine<2>;
+    case 3: return &acoustic_block_apply_affine<3>;
+    case 4: return &acoustic_block_apply_affine<4>;
+    case 5: return &acoustic_block_apply_affine<5>;
+    case 6: return &acoustic_block_apply_affine<6>;
+    case 7: return &acoustic_block_apply_affine<7>;
+    case 8: return &acoustic_block_apply_affine<8>;
+    case 9: return &acoustic_block_apply_affine<9>;
+    default: return &acoustic_block_apply_affine<0>;
+  }
+}
+
+ElasticBlockAffineFn elastic_block_kernel_affine(int n1) {
+  switch (n1) {
+    case 2: return &elastic_block_apply_affine<2>;
+    case 3: return &elastic_block_apply_affine<3>;
+    case 4: return &elastic_block_apply_affine<4>;
+    case 5: return &elastic_block_apply_affine<5>;
+    case 6: return &elastic_block_apply_affine<6>;
+    case 7: return &elastic_block_apply_affine<7>;
+    case 8: return &elastic_block_apply_affine<8>;
+    case 9: return &elastic_block_apply_affine<9>;
+    default: return &elastic_block_apply_affine<0>;
+  }
+}
+
+AcousticBlockAffineFn acoustic_block_kernel_affine_generic() {
+  return &acoustic_block_apply_affine<0>;
+}
+
+ElasticBlockAffineFn elastic_block_kernel_affine_generic() {
+  return &elastic_block_apply_affine<0>;
+}
 
 } // namespace kernels
 

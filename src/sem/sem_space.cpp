@@ -198,7 +198,6 @@ void SemSpace::build_geometry() {
 
   coords_.assign(static_cast<std::size_t>(num_global_) * 3, 0.0);
   jinv_.assign(static_cast<std::size_t>(ne) * npts * 9, 0.0);
-  wdet_.assign(static_cast<std::size_t>(ne) * npts, 0.0);
   gmat_.assign(static_cast<std::size_t>(ne) * 6 * npts, 0.0);
   wjinv_.assign(static_cast<std::size_t>(ne) * npts * 9, 0.0);
   mass_.assign(static_cast<std::size_t>(num_global_), 0.0);
@@ -245,8 +244,11 @@ void SemSpace::build_geometry() {
           ji[2 * 3 + 2] = (J[0][0] * J[1][1] - J[0][1] * J[1][0]) / det;
 
           const real_t wq = w[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(j)] * w[static_cast<std::size_t>(k)];
+          // w*det is construction-scoped: the per-apply working set only ever
+          // sees it folded into gmat (acoustic) and wjinv (elastic), so no
+          // wdet array is kept resident — only the integrated volume.
           const real_t wd = wq * det;
-          wdet_[static_cast<std::size_t>(e) * npts + static_cast<std::size_t>(q)] = wd;
+          quad_volume_ += wd;
 
           // Fused metrics for the kernel engine: the symmetric
           // G = wdet * Jinv Jinv^T (six SoA planes per element, acoustic
@@ -373,10 +375,6 @@ gindex_t SemSpace::nearest_node(std::array<real_t, 3> x) const {
   return best;
 }
 
-real_t SemSpace::quadrature_volume() const {
-  real_t vol = 0;
-  for (real_t v : wdet_) vol += v;
-  return vol;
-}
+real_t SemSpace::quadrature_volume() const { return quad_volume_; }
 
 } // namespace ltswave::sem

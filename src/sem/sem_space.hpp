@@ -54,11 +54,6 @@ public:
     return jinv_.data() + (static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)) * 9;
   }
 
-  /// Quadrature weight times Jacobian determinant at point q of element e.
-  [[nodiscard]] real_t wdet(index_t e, int q) const {
-    return wdet_[static_cast<std::size_t>(e) * static_cast<std::size_t>(nodes_per_elem()) + static_cast<std::size_t>(q)];
-  }
-
   /// Fused symmetric metric for the acoustic kernel: per quadrature point the
   /// matrix G = wdet * Jinv * Jinv^T (entry (r,s) = wdet * sum_d
   /// jinv[r][d] jinv[s][d]). Stored per element as six SoA planes of
@@ -94,12 +89,16 @@ private:
   std::vector<gindex_t> local_to_global_;
   gindex_t num_global_ = 0;
   std::vector<real_t> coords_; // 3 * num_global_
-  std::vector<real_t> jinv_;   // nelem * npts * 9
-  std::vector<real_t> wdet_;   // nelem * npts
+  // Per-apply geometric working set. The raw quadrature factor w*det is
+  // construction-scoped: nothing reads it after the fused products below are
+  // built (the acoustic path streams gmat, the elastic path jinv + wjinv), so
+  // it is not stored — only its sum (quad_volume_) survives for sanity tests.
+  std::vector<real_t> jinv_;   // nelem * npts * 9 (elastic gradient factor)
   std::vector<real_t> gmat_;   // nelem * 6 * npts (SoA planes per element)
-  std::vector<real_t> wjinv_;  // nelem * npts * 9
+  std::vector<real_t> wjinv_;  // nelem * npts * 9 (elastic flux factor)
   std::vector<real_t> mass_;
   std::vector<real_t> inv_mass_;
+  real_t quad_volume_ = 0;
 
   // Coarse uniform grid over the node cloud for nearest_node queries.
   std::array<int, 3> grid_dims_ = {1, 1, 1};

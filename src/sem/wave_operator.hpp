@@ -15,26 +15,39 @@
 ///    masks (no per-node branch). The raw node_level overload is the generic
 ///    fallback kept for ad-hoc callers and cross-validation.
 ///
+///  * apply_add_blocks:  the batched production path — out += K (P_k) u over
+///    the blocks of a precomputed sem::BatchPlan (one kernel call per block
+///    of W elements, lane-interleaved slabs, per-block baked masks with a
+///    homogeneous-block fast path). All three solvers default to this; the
+///    per-element entry points above remain as the cross-check reference.
+///
 /// The per-element arithmetic is dispatched into the order-specialized kernel
 /// engine (sem/kernels.hpp); the operators own the gather/scatter against the
-/// global vectors and the resolved kernel function pointer.
+/// global vectors and the resolved kernel function pointers. Every operator
+/// also exposes a lazily built BatchPlan over all its elements in natural
+/// order (full_plan) — the block form of the unrestricted apply.
 ///
 /// Kernels are written against a caller-owned scratch workspace so that the
 /// same operator object can be used concurrently from many threads (one
 /// workspace per thread), which the rank-parallel executor relies on.
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "sem/batch_plan.hpp"
 #include "sem/kernels.hpp"
 #include "sem/sem_space.hpp"
 
 namespace ltswave::sem {
 
-/// Scratch buffers for one concurrent kernel evaluation. The backing store is
-/// over-allocated so that buffer(0) starts on a 64-byte boundary and the
-/// per-buffer stride is padded to a multiple of 8 doubles, keeping every
-/// buffer cache-line-aligned for the vectorized kernels.
+/// Scratch buffers for one concurrent kernel evaluation, sized once per
+/// (order, block width) — large enough for a full BatchPlan block slab per
+/// buffer, so the same workspace serves every level and every apply without
+/// re-derivation. The backing store is over-allocated so that buffer(0)
+/// starts on a 64-byte boundary; the per-buffer stride is a whole number of
+/// cache lines (block slabs are W*npts doubles with W a multiple of 8), so
+/// every block slab stays 64-byte aligned.
 class KernelWorkspace {
 public:
   explicit KernelWorkspace(const SemSpace& space, int ncomp);
@@ -80,10 +93,28 @@ public:
                                KernelWorkspace& ws) const = 0;
 
   /// out += K P_level u with a precomputed LevelMask: branch-free masking
-  /// with a homogeneous-element fast path (the production LTS gather).
+  /// with a homogeneous-element fast path (the single-element LTS gather,
+  /// kept as the batched path's cross-check).
   virtual void apply_add_level(std::span<const index_t> elems, const LevelMask& mask,
                                level_t level, const real_t* u, real_t* out,
                                KernelWorkspace& ws) const = 0;
+
+  /// The batched production apply: out += K (P_k) u over plan blocks
+  /// [b0, b1). Column restriction is baked into the plan per block (level-k
+  /// groups carry masks only on mixed blocks; homogeneous blocks take the
+  /// plain gather); padded tail lanes are computed but never scattered. The
+  /// plan must be built over this operator's space with matching ncomp.
+  virtual void apply_add_blocks(const BatchPlan& plan, index_t b0, index_t b1, const real_t* u,
+                                real_t* out, KernelWorkspace& ws) const = 0;
+
+  /// All-elements unmasked BatchPlan in natural element order — the block
+  /// form of `apply_add` over every element. Built lazily on first call (the
+  /// LTS solvers hold their own level-grouped plans and never need this one,
+  /// so building it eagerly would duplicate all resident metric slabs for
+  /// nothing). Not thread-safe on the *first* call: callers are the solvers'
+  /// set_state / NewmarkSolver::step and bench setup, all of which run on
+  /// the driving thread while any worker pool is idle.
+  [[nodiscard]] const BatchPlan& full_plan() const;
 
   [[nodiscard]] KernelWorkspace make_workspace() const {
     return KernelWorkspace(*space_, ncomp());
@@ -94,6 +125,9 @@ protected:
 
 private:
   const SemSpace* space_;
+  /// Lazily materialized by full_plan(). Shared so operator copies stay
+  /// cheap and keep working.
+  mutable std::shared_ptr<const BatchPlan> full_plan_;
 };
 
 /// Scalar acoustic wave: rho u_tt = div(kappa grad u), kappa = rho vp^2.
@@ -108,6 +142,8 @@ public:
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
   void apply_add_level(std::span<const index_t> elems, const LevelMask& mask, level_t level,
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+  void apply_add_blocks(const BatchPlan& plan, index_t b0, index_t b1, const real_t* u,
+                        real_t* out, KernelWorkspace& ws) const override;
 
 private:
   template <class Gather>
@@ -116,6 +152,8 @@ private:
 
   std::vector<real_t> kappa_; // per element
   kernels::AcousticElemFn kernel_;
+  kernels::AcousticBlockFn block_kernel_;
+  kernels::AcousticBlockAffineFn affine_kernel_;
 };
 
 /// Isotropic elastic wave (paper Eq. 1-2 with isotropic C):
@@ -131,6 +169,8 @@ public:
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
   void apply_add_level(std::span<const index_t> elems, const LevelMask& mask, level_t level,
                        const real_t* u, real_t* out, KernelWorkspace& ws) const override;
+  void apply_add_blocks(const BatchPlan& plan, index_t b0, index_t b1, const real_t* u,
+                        real_t* out, KernelWorkspace& ws) const override;
 
 private:
   template <class Gather>
@@ -140,6 +180,8 @@ private:
   std::vector<real_t> lambda_; // per element
   std::vector<real_t> mu_;     // per element
   kernels::ElasticElemFn kernel_;
+  kernels::ElasticBlockFn block_kernel_;
+  kernels::ElasticBlockAffineFn affine_kernel_;
 };
 
 } // namespace ltswave::sem

@@ -178,6 +178,28 @@ TEST(ExecutorContract, AdoptAcrossBackendKindsThrows) {
   EXPECT_THROW(nm->adopt_state_from(*lts), CheckFailure);
 }
 
+TEST(ExecutorContract, BlocksAppliedAccumulatesAndSurvivesAdopt) {
+  // Every backend runs the batched path, so the block work counter must be
+  // populated after an advance, monotone, mirrored into counters(), and
+  // carried across adopt_state_from exactly like element_applies.
+  for (const auto& name : ExecutorFactory::instance().names()) {
+    const Rig rig(name);
+    auto exec = rig.create();
+    const auto u0 = rig.gaussian_state();
+    exec->set_state(u0, std::vector<real_t>(u0.size(), 0.0));
+    exec->advance_cycles(2);
+    const std::int64_t after2 = exec->blocks_applied();
+    EXPECT_GT(after2, 0) << name;
+    EXPECT_EQ(exec->counters().blocks_applied, after2) << name;
+    exec->advance_cycles(1);
+    EXPECT_GT(exec->blocks_applied(), after2) << name;
+
+    auto fresh = rig.create(); // same discretization stack — adoptable
+    fresh->adopt_state_from(*exec);
+    EXPECT_EQ(fresh->blocks_applied(), exec->blocks_applied()) << name;
+  }
+}
+
 TEST(ExecutorContract, CountersShapeMatchesBackendKind) {
   for (const auto& name : ExecutorFactory::instance().names()) {
     const Rig rig(name);

@@ -2,8 +2,12 @@
 // (KernelMode::Auto) must reproduce the runtime-n1 generic fallback
 // (KernelMode::Generic) to near machine precision for every supported order,
 // physics, and masking path — including the branch-free LevelMask gather
-// against the per-node-branch legacy gather. Plus an energy-conservation
-// smoke test driving LtsNewmarkSolver through the new production paths.
+// against the per-node-branch legacy gather — and the element-block batched
+// path (BatchPlan + block kernels, the production default) must reproduce the
+// single-element path to the same 1e-12 bound for every order and physics,
+// masked and unmasked, with ragged tail blocks and both the full-plane and
+// compact-affine metric forms exercised. Plus an energy-conservation smoke
+// test driving LtsNewmarkSolver through the new production paths.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +19,7 @@
 #include "core/lts_levels.hpp"
 #include "core/lts_newmark.hpp"
 #include "mesh/generators.hpp"
+#include "sem/batch_plan.hpp"
 #include "sem/wave_operator.hpp"
 
 namespace ltswave::sem {
@@ -114,6 +119,118 @@ TEST(Kernels, AcousticSpecializedMatchesGenericOrders1To8) {
 
 TEST(Kernels, ElasticSpecializedMatchesGenericOrders1To8) {
   for (int order = 1; order <= 8; ++order) cross_validate_order<ElasticOperator>(order, true);
+}
+
+/// Batched-vs-single-element sweep on one mesh: full apply through the
+/// operator's full-mesh plan and level-restricted applies through a
+/// solver-style level plan, all compared against the single-element kernels
+/// at 1e-12. The mesh has 36 elements, so every block width (8/16/32) gets a
+/// ragged tail block; `expect_affine` asserts which metric form the plan
+/// chose (compact separable constants on parallelepiped meshes, full planes
+/// on warped ones), guaranteeing both kernel variants are exercised.
+template <class Op>
+void batched_matches_single(const mesh::HexMesh& m, int order, bool expect_affine) {
+  SemSpace space(m, order);
+  Op op(space, KernelMode::Auto);
+  const int nc = op.ncomp();
+  const std::size_t ndof =
+      static_cast<std::size_t>(space.num_global_nodes()) * static_cast<std::size_t>(nc);
+  const auto elems = all_elems(space);
+  auto ws = op.make_workspace();
+
+  Rng rng(5000 + order + 10 * nc + (expect_affine ? 1 : 0));
+  const auto u = random_field(ndof, rng);
+
+  // Full apply: operator plan blocks vs single-element.
+  const BatchPlan& fp = op.full_plan();
+  bool ragged = false, affine = false, full_metric = false;
+  for (index_t b = 0; b < fp.num_blocks(); ++b) {
+    ragged = ragged || fp.block_fill(b) < fp.width();
+    (fp.block_affine(b) ? affine : full_metric) = true;
+  }
+  EXPECT_TRUE(ragged) << "sweep must cover a ragged tail block";
+  EXPECT_EQ(affine, expect_affine) << "order " << order;
+  EXPECT_EQ(full_metric, !expect_affine) << "order " << order;
+
+  std::vector<real_t> out_blk(ndof, 0.0), out_single(ndof, 0.0);
+  op.apply_add_blocks(fp, 0, fp.num_blocks(), u.data(), out_blk.data(), ws);
+  op.apply_add(elems, u.data(), out_single.data(), ws);
+  EXPECT_LT(max_rel_diff(out_blk, out_single), 1e-12) << "full, order " << order;
+
+  // Level-restricted applies: a solver-style level plan (homogeneous-first
+  // groups, per-block masks) vs the single-element node-level gather.
+  const auto st = two_level_structure(m, space);
+  std::vector<BatchPlan::Group> groups;
+  for (level_t k = 1; k <= 2; ++k) {
+    BatchPlan::Group g;
+    g.elems = order_homogeneous_first(space, st.eval_elems[static_cast<std::size_t>(k - 1)], k,
+                                      st.node_level);
+    g.level = k;
+    g.node_level = st.node_level;
+    groups.push_back(std::move(g));
+  }
+  const BatchPlan lp(space, nc, std::move(groups));
+  for (level_t k = 1; k <= 2; ++k) {
+    const auto range = lp.group_blocks(static_cast<std::size_t>(k - 1));
+    std::vector<real_t> m_blk(ndof, 0.0), m_single(ndof, 0.0);
+    op.apply_add_blocks(lp, range.first, range.last, u.data(), m_blk.data(), ws);
+    op.apply_add_level(st.eval_elems[static_cast<std::size_t>(k - 1)], st.node_level.data(), k,
+                       u.data(), m_single.data(), ws);
+    EXPECT_LT(max_rel_diff(m_blk, m_single), 1e-12)
+        << "masked level " << k << ", order " << order;
+  }
+}
+
+/// 36-element warped two-material mesh (non-affine geometry: full metric
+/// planes) — a full block plus a ragged tail at every block width.
+mesh::HexMesh make_sweep_mesh(bool warped) {
+  mesh::Material mat;
+  mat.vp = 1.9;
+  mat.vs = 1.0;
+  mat.rho = 1.2;
+  auto m = mesh::make_uniform_box(4, 3, 3, {1.2, 0.9, 1.1}, mat);
+  if (warped)
+    warp_nodes(m, [](real_t& x, real_t& y, real_t& z) {
+      x += 0.04 * std::sin(2 * y + z);
+      y += 0.03 * std::cos(3 * x);
+      z += 0.03 * std::sin(x + 2 * y);
+    });
+  return m;
+}
+
+TEST(Kernels, BatchedMatchesSingleElementOrders1To8) {
+  for (int order = 1; order <= 8; ++order) {
+    batched_matches_single<AcousticOperator>(make_sweep_mesh(true), order, false);
+    batched_matches_single<ElasticOperator>(make_sweep_mesh(true), order, false);
+  }
+}
+
+TEST(Kernels, BatchedAffineFastPathMatchesSingleElement) {
+  // Parallelepiped mesh: every block takes the compact separable metric.
+  for (int order : {1, 2, 4, 6}) {
+    batched_matches_single<AcousticOperator>(make_sweep_mesh(false), order, true);
+    batched_matches_single<ElasticOperator>(make_sweep_mesh(false), order, true);
+  }
+}
+
+TEST(Kernels, BatchedGenericModeMatchesSpecialized) {
+  // KernelMode::Generic routes the batched path through the runtime-(n1, bw)
+  // block kernels; order 9 additionally has no specialization at all.
+  for (int order : {3, 9}) {
+    const auto m = make_sweep_mesh(true);
+    SemSpace space(m, order);
+    AcousticOperator a(space, KernelMode::Auto);
+    AcousticOperator g(space, KernelMode::Generic);
+    const std::size_t n = static_cast<std::size_t>(space.num_global_nodes());
+    Rng rng(77 + order);
+    const auto u = random_field(n, rng);
+    std::vector<real_t> oa(n, 0.0), og(n, 0.0);
+    auto wa = a.make_workspace();
+    auto wg = g.make_workspace();
+    a.apply_add_blocks(a.full_plan(), 0, a.full_plan().num_blocks(), u.data(), oa.data(), wa);
+    g.apply_add_blocks(g.full_plan(), 0, g.full_plan().num_blocks(), u.data(), og.data(), wg);
+    EXPECT_LT(max_rel_diff(oa, og), 1e-12) << "order " << order;
+  }
 }
 
 TEST(Kernels, ExoticOrderFallsBackToGeneric) {
