@@ -20,15 +20,24 @@
 //                  lanes, so batched and single-element FLOP/s compare
 //                  one-to-one,
 //   bytes_per_elem main-memory bytes streamed per element apply (gather,
-//                  metric tensors, scatter; D and the workspace stay cached).
+//                  metric tensors, scatter; D and the workspace stay cached),
+//   ai             arithmetic intensity (flop/byte) of the kernel under the
+//                  same model — the roofline x-axis.
 //
-// Unless --benchmark_out is given explicitly, results are also written as
-// machine-readable JSON to BENCH_kernels.json so the perf trajectory
-// accumulates across runs/commits.
+// The flop/byte model is perf/roofline.hpp — the same accounting the executor
+// run reports and BENCH JSON emission use, so the microbench counters and the
+// solver-level roofline columns cannot drift apart.
+//
+// Unless --benchmark_out (or the shorthand --out=<path>) is given explicitly,
+// results are written as machine-readable JSON to BENCH_kernels.json so the
+// perf trajectory accumulates across runs/commits. A companion
+// <out>_roofline.json carries perf::RunReport records with the static and
+// plan-aware roofline numbers per (physics, order).
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -37,6 +46,8 @@
 #include "common/timer.hpp"
 #include "core/lts_newmark.hpp"
 #include "mesh/generators.hpp"
+#include "perf/roofline.hpp"
+#include "perf/run_report.hpp"
 #include "sem/batch_plan.hpp"
 #include "sem/wave_operator.hpp"
 
@@ -44,36 +55,10 @@ using namespace ltswave;
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Flop / traffic model of the element kernels (per element, n = nodes_1d).
-// ---------------------------------------------------------------------------
-
-// tensor_gradient: 3 directions x npts outputs x (n mul + n-1 add);
-// tensor_divergence_add: 3 x npts x (n mul + n add, accumulating);
-// acoustic pointwise: 18 flops/qp (symmetric 3x3 apply + kappa scale);
-// scatter: 1 add per node.
-double acoustic_flops_per_elem(int n) {
-  const double npts = static_cast<double>(n) * n * n;
-  return npts * (3.0 * (2 * n - 1) + 3.0 * (2 * n) + 18.0 + 1.0);
-}
-
-// Elastic: gradients/divergences for 3 fields, ~116 flops/qp pointwise
-// (H: 45, stress: ~26, flux: 45), 3 scatter adds per node.
-double elastic_flops_per_elem(int n) {
-  const double npts = static_cast<double>(n) * n * n;
-  return npts * (9.0 * (2 * n - 1) + 9.0 * (2 * n) + 116.0 + 3.0);
-}
-
-// Streamed bytes: l2g (8B) + field gather + metric data + out read/write.
-double acoustic_bytes_per_elem(int n) {
-  const double npts = static_cast<double>(n) * n * n;
-  return npts * 8.0 * (1 + 1 + 6 + 2); // l2g, u, gmat(6), out r+w
-}
-
-double elastic_bytes_per_elem(int n) {
-  const double npts = static_cast<double>(n) * n * n;
-  return npts * 8.0 * (1 + 3 + 9 + 9 + 6); // l2g, u(3), jinv(9), wjinv(9), out r+w(3)
-}
+double acoustic_flops_per_elem(int n) { return perf::flops_per_elem(1, n); }
+double elastic_flops_per_elem(int n) { return perf::flops_per_elem(3, n); }
+double acoustic_bytes_per_elem(int n) { return perf::bytes_per_elem_full(1, n); }
+double elastic_bytes_per_elem(int n) { return perf::bytes_per_elem_full(3, n); }
 
 // Block-aware counters: `nelems` is always the number of *real* elements
 // (padded tail lanes of a ragged block do arithmetic but are not counted), so
@@ -86,6 +71,8 @@ void set_kernel_counters(benchmark::State& state, std::size_t nelems, double flo
   state.counters["flops"] = benchmark::Counter(flops_per_elem * static_cast<double>(nelems),
                                                benchmark::Counter::kIsIterationInvariantRate);
   state.counters["bytes_per_elem"] = benchmark::Counter(bytes_per_elem);
+  state.counters["ai"] =
+      benchmark::Counter(bytes_per_elem > 0 ? flops_per_elem / bytes_per_elem : 0.0);
   if (nblocks > 0)
     state.counters["blocks/s"] = benchmark::Counter(static_cast<double>(nblocks),
                                                     benchmark::Counter::kIsIterationInvariantRate);
@@ -363,25 +350,82 @@ void BM_LtsCyclePerDof(benchmark::State& state) {
 }
 BENCHMARK(BM_LtsCyclePerDof)->Unit(benchmark::kMillisecond);
 
+// Structured roofline reports for the kernel grid the benchmarks above cover:
+// one perf::RunReport per (physics, order) with the plan-aware roofline of
+// the same 8^3 box fixture, so BENCH JSON consumers get the flop/byte balance
+// in the run-report schema, not just as per-benchmark counters.
+std::vector<perf::RunReport> roofline_reports() {
+  struct Point {
+    const char* physics;
+    int ncomp;
+    int order;
+  };
+  const Point grid[] = {{"acoustic", 1, 2}, {"acoustic", 1, 4}, {"acoustic", 1, 6},
+                        {"elastic", 3, 2},  {"elastic", 3, 4}};
+  std::vector<perf::RunReport> out;
+  for (const auto& p : grid) {
+    KernelFixture f(p.order);
+    perf::RunReport r;
+    r.executor = "microbench";
+    r.scenario = std::string("kernels/") + p.physics;
+    r.config = std::string("physics=") + p.physics + " order=" + std::to_string(p.order) +
+               " mesh=box n=8";
+    if (p.ncomp == 1) {
+      sem::AcousticOperator op(*f.space);
+      r.roofline = perf::roofline_for_plan(op.full_plan());
+    } else {
+      sem::ElasticOperator op(*f.space);
+      r.roofline = perf::roofline_for_plan(op.full_plan());
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// BENCH_kernels.json -> BENCH_kernels_roofline.json (insert before the
+// extension; append when there is none).
+std::string roofline_path_for(const std::string& out_path) {
+  const std::size_t dot = out_path.rfind('.');
+  const std::size_t slash = out_path.find_last_of("/\\");
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return out_path + "_roofline.json";
+  return out_path.substr(0, dot) + "_roofline" + out_path.substr(dot);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   // Default to emitting machine-readable JSON next to the binary so perf
   // trends accumulate without the caller having to remember the flags; an
-  // explicit --benchmark_out always wins.
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false, has_fmt = false;
+  // explicit --benchmark_out (or the shorthand --out=<path>) always wins.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  std::string out_path = "BENCH_kernels.json";
+  bool has_fmt = false;
+  std::string out_flag;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+      continue; // rewritten to --benchmark_out below
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) out_path = argv[i] + 16;
     if (std::strncmp(argv[i], "--benchmark_out_format", 22) == 0) has_fmt = true;
+    args.push_back(argv[i]);
   }
-  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  out_flag = "--benchmark_out=" + out_path;
+  // google-benchmark keeps the last --benchmark_out, so appending the
+  // canonical spelling is safe whether or not the caller passed one.
+  args.push_back(out_flag.data());
   std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) args.push_back(out_flag.data());
   if (!has_fmt) args.push_back(fmt_flag.data());
   int ac = static_cast<int>(args.size());
   benchmark::Initialize(&ac, args.data());
   if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
+
+  const std::string rl_path = roofline_path_for(out_path);
+  perf::write_json(roofline_reports(), rl_path);
+  std::cout << "wrote roofline reports to " << rl_path << "\n";
   return 0;
 }

@@ -12,22 +12,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 #include <numeric>
+#include <string>
 #include <thread>
 
+#include "common/kv.hpp"
 #include "common/table.hpp"
 #include "paper_meshes.hpp"
 #include "partition/feedback.hpp"
 #include "partition/partitioners.hpp"
+#include "perf/run_report.hpp"
 #include "runtime/threaded_lts.hpp"
 
 using namespace ltswave;
 
-int main() {
+int main(int argc, char** argv) {
+  // Bench knobs (all optional): `--out=<path>` for the structured JSON run
+  // reports, plus key=value overrides so CI smoke runs finish in seconds:
+  //   cycles=<n>     timed LTS cycles per configuration   (default 8)
+  //   max-ranks=<n>  cap on the rank sweep                (default by cores)
+  //   n=<n> nz=<n>   trench mesh resolution               (default 20 x 14)
+  std::string out_path = "BENCH_threaded_scaling.json";
+  int cycles = 8;
+  rank_t max_ranks_cap = 0;
+  index_t mesh_n = 20, mesh_nz = 14;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string_view key = eq == std::string_view::npos ? arg : arg.substr(0, eq);
+    const std::string_view value = eq == std::string_view::npos ? "" : arg.substr(eq + 1);
+    if (key == "cycles")
+      cycles = static_cast<int>(kv::parse_int(key, value));
+    else if (key == "max-ranks")
+      max_ranks_cap = static_cast<rank_t>(kv::parse_int(key, value));
+    else if (key == "n")
+      mesh_n = static_cast<index_t>(kv::parse_int(key, value));
+    else if (key == "nz")
+      mesh_nz = static_cast<index_t>(kv::parse_int(key, value));
+    else {
+      std::cerr << "unknown argument '" << arg
+                << "'; accepted: --out=<path> | cycles | max-ranks | n | nz\n";
+      return 1;
+    }
+  }
+
   // The registered paper-parameter trench workload at bench resolution
   // (same spec as make_paper_trench, smaller n).
-  const auto spec = scenarios::get("trench-paper").with_mesh_resolution(20, 14);
+  const auto spec = scenarios::get("trench-paper").with_mesh_resolution(mesh_n, mesh_nz);
   const auto m = spec.build_mesh();
   const auto levels = core::assign_levels(m, bench::kCourant, 4);
   sem::SemSpace space(m, 3);
@@ -45,14 +82,15 @@ int main() {
             << " LTS levels, order-3 SEM, " << std::thread::hardware_concurrency()
             << " hardware threads\n\n";
 
-  const int cycles = 8;
   TextTable t({"ranks", "partitioner", "scheduler", "wall ms/cycle", "speedup",
                "max stall %", "stall s", "steals", "Mblk/s"});
   // Go to at least 4 ranks even on small machines (oversubscription warns and
   // proceeds): the scheduler comparison needs enough ranks for imbalance.
-  const rank_t max_ranks = static_cast<rank_t>(
+  rank_t max_ranks = static_cast<rank_t>(
       std::min(16u, std::max(4u, std::thread::hardware_concurrency())));
+  if (max_ranks_cap > 0) max_ranks = std::min(max_ranks, max_ranks_cap);
 
+  std::vector<perf::RunReport> reports;
   double base_ms = 0;
   for (rank_t k = 1; k <= max_ranks; k *= 2) {
     for (auto strat : {partition::Strategy::ScotchP, partition::Strategy::Scotch}) {
@@ -73,6 +111,14 @@ int main() {
         solver.reset_counters();
         const double wall = solver.run_cycles(cycles) / cycles;
         if (k == 1) base_ms = wall * 1e3;
+
+        perf::RunReport report = solver.run_report();
+        report.scenario = spec.name;
+        report.config = "ranks=" + std::to_string(k) + " partitioner=" + to_string(strat) +
+                        " scheduler=" + to_string(mode) + " n=" + std::to_string(mesh_n) +
+                        " nz=" + std::to_string(mesh_nz);
+        report.wall_seconds = wall * cycles;
+        reports.push_back(std::move(report));
 
         double max_stall = 0;
         const double stall_total = std::accumulate(solver.stall_seconds().begin(),
@@ -105,6 +151,16 @@ int main() {
     }
   }
   t.print(std::cout);
+
+  // Per-phase breakdown of the most parallel level-aware+steal configuration
+  // (the last report of the sweep) — the run-over-run diffable view.
+  if (!reports.empty()) {
+    const auto& rep = reports.back();
+    print_section(std::cout, "Phase breakdown: " + rep.executor + " (" + rep.config + ")");
+    perf::print_phase_table(std::cout, rep);
+  }
+  perf::write_json(reports, out_path);
+  std::cout << "\nwrote " << reports.size() << " run reports to " << out_path << "\n";
 
   // --- Steal/stall-feedback repartitioning -------------------------------
   // Measure the level-aware scheduler on the SCOTCH-P partition, fold the

@@ -5,35 +5,53 @@
 //   $ ./scenario_runner scenario=layered
 //   $ ./scenario_runner scenario=crust ranks=4 scheduler=level-aware+steal
 //   $ ./scenario_runner scenario=trench executor=threaded/barrier-all ranks=2 n=10
-//   $ ./scenario_runner scenario=embedding order=4 cycles=12
+//   $ ./scenario_runner scenario=embedding order=4 cycles=12 report=run.json
 //
 // Every key=value override is validated with a message naming the accepted
-// spellings; an unknown scenario or executor name prints the registry.
+// spellings; an unknown scenario or executor name prints the registry. The
+// runner-only key `report=<path>` writes the structured perf::RunReport
+// (per-phase timings, counters, roofline) as JSON after the run.
 
 #include <exception>
 #include <iostream>
 #include <span>
+#include <string>
+#include <vector>
 
+#include "common/timer.hpp"
 #include "core/executor.hpp"
+#include "perf/run_report.hpp"
 #include "scenarios/scenario.hpp"
 
 using namespace ltswave;
 
 int main(int argc, char** argv) {
   if (argc <= 1) {
-    std::cout << "usage: scenario_runner scenario=<name> [key=value ...]\n\nscenarios:\n";
+    std::cout << "usage: scenario_runner scenario=<name> [key=value ...] [report=<path>]\n\n"
+                 "scenarios:\n";
     for (const auto& name : scenarios::names())
       std::cout << "  " << name << " — " << scenarios::get(name).description << "\n";
     std::cout << "\nexecutors (executor=<name>):\n";
     for (const auto& name : core::ExecutorFactory::instance().names())
       std::cout << "  " << name << " — " << core::ExecutorFactory::instance().description(name)
                 << "\n";
-    std::cout << "\nkeys: " << scenarios::cli_keys_help() << "\n";
+    std::cout << "\nkeys: " << scenarios::cli_keys_help() << " | report\n";
     return 0;
   }
 
   try {
-    const std::span<const char* const> args{argv + 1, static_cast<std::size_t>(argc - 1)};
+    // `report=<path>` is a runner key, not a scenario key — filter it out
+    // before the spec parser sees the argv tail.
+    std::string report_path;
+    std::vector<const char*> kept;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("report=", 0) == 0)
+        report_path = arg.substr(7);
+      else
+        kept.push_back(argv[i]);
+    }
+    const std::span<const char* const> args{kept.data(), kept.size()};
     auto spec = scenarios::from_args(args, "strip");
     // Demo ergonomics: documented commands run ranks=N on laptops/CI boxes
     // with fewer cores, so default the policy to a warning, then re-apply the
@@ -49,7 +67,9 @@ int main(int argc, char** argv) {
               << core::to_string(spec.config()) << "\n";
 
     const real_t duration = scenarios::run_duration(spec, *sim);
+    const WallTimer wall;
     const auto steps = sim->run(duration);
+    const double wall_seconds = wall.seconds();
     std::cout << "ran " << steps << " coarse cycles to t = " << sim->time() << " in "
               << sim->element_applies() << " element applies\n";
 
@@ -62,6 +82,16 @@ int main(int argc, char** argv) {
       for (real_t x : r.values()) rmax = std::max(rmax, std::abs(x));
       std::cout << "receiver " << i << ": " << r.times().size() << " samples, max |v| = " << rmax
                 << "\n";
+    }
+
+    perf::RunReport report = sim->run_report();
+    report.scenario = spec.name;
+    report.wall_seconds = wall_seconds;
+    std::cout << "\n";
+    perf::print_phase_table(std::cout, report);
+    if (!report_path.empty()) {
+      perf::write_json(report, report_path);
+      std::cout << "wrote run report to " << report_path << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/timer.hpp"
 #include "core/lts_newmark.hpp"
 #include "core/simulation.hpp"
 #include "partition/feedback.hpp"
 #include "partition/partitioners.hpp"
+#include "perf/roofline.hpp"
 #include "runtime/threaded_lts.hpp"
 
 namespace ltswave::core {
@@ -66,8 +68,14 @@ protected:
   void do_advance_cycles(std::int64_t cycles) override {
     for (std::int64_t s = 0; s < cycles; ++s) {
       solver_->step();
-      sample_receivers();
+      if (!traces_.empty()) {
+        const WallTimer timer;
+        sample_receivers();
+        receivers_seconds_ += timer.seconds();
+        ++receivers_count_;
+      }
     }
+    cycles_ += cycles;
   }
   const std::vector<real_t>* direct_state() const override { return &solver_->u(); }
   void gather_state(std::vector<real_t>& out) const override { out = solver_->u(); }
@@ -92,12 +100,31 @@ protected:
                                   << "' — backends hand off within their own kind");
     for (const auto& s : prev.sources()) solver_->add_source(s);
     traces_ = p->traces_;
+    cycles_ = p->cycles_;
+    receivers_seconds_ = p->receivers_seconds_;
+    receivers_count_ = p->receivers_count_;
     return *p;
+  }
+
+  /// Serial backends report the solver's phase accumulators plus the
+  /// adapter-level receiver-sampling time, and a static roofline for the
+  /// batched plan the solver actually runs.
+  void fill_report(perf::RunReport& r) const override {
+    r.cycles = cycles_;
+    solver_->fill_phases(r);
+    if (!traces_.empty()) r.add_phase("receivers", receivers_seconds_, receivers_count_);
+    if constexpr (requires { solver_->plan(); })
+      r.roofline = perf::roofline_for_plan(solver_->plan());
+    else
+      r.roofline = perf::roofline_for_plan(solver_->op().full_plan());
   }
 
   int ncomp_;
   std::unique_ptr<Solver> solver_;
   std::vector<SerialTrace> traces_;
+  std::int64_t cycles_ = 0;
+  double receivers_seconds_ = 0;
+  std::int64_t receivers_count_ = 0;
 
 private:
   void sample_receivers() {
@@ -214,6 +241,16 @@ private:
   void do_add_receiver(gindex_t node, int component) override {
     solver_->add_receiver(node, component);
   }
+  /// Phases, cycle count and roofline all come from the solver's own report
+  /// (the per-rank slots it tallies on the pool workers); the adapter keeps
+  /// its registry name and the counter vectors the base already copied.
+  void fill_report(perf::RunReport& r) const override {
+    perf::RunReport s = solver_->run_report();
+    r.cycles = s.cycles;
+    r.phases = std::move(s.phases);
+    r.roofline = s.roofline;
+  }
+
   void do_adopt_state_from(const Executor& prev) override {
     // Cross-mode hand-off between threaded backends is fine (the solver's
     // adopt only requires the same operator/levels/structure; the partition

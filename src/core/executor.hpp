@@ -26,6 +26,20 @@
 ///    carry over (the mid-run hand-off behind feedback repartitioning);
 ///  * state() is cached per advance: distributed backends gather once per
 ///    cycle, not once per call.
+///
+/// Ownership and thread-safety:
+///  * An Executor owns its dynamical state and any worker pool it spins up;
+///    the discretization objects in ExecutorContext are borrowed and must
+///    outlive it (the facade owns both, so the ordering is structural there).
+///  * The public API is *driving-thread only*: exactly one thread calls
+///    set_state / advance_cycles / state / run_report at a time, and never
+///    while an advance is in flight. Rank-parallel backends synchronize their
+///    own workers internally; two executors never share mutable state, so
+///    distinct instances may run on distinct threads.
+///  * adopt_state_from is the hand-off seam: the adopting executor must be
+///    pristine, `prev` must be quiescent (between advances) and is left
+///    untouched — the caller decides when to destroy it. After adopt, the new
+///    executor continues prev's clock, counters and traces exactly.
 
 #include <functional>
 #include <map>
@@ -37,6 +51,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "perf/run_report.hpp"
 #include "sem/sources.hpp"
 
 namespace ltswave::mesh {
@@ -166,6 +181,27 @@ public:
   /// Per-rank busy/stall/steal counters; empty for serial backends.
   [[nodiscard]] virtual ExecutorCounters counters() const { return {}; }
 
+  /// Structured observability snapshot: per-phase timings, the per-rank
+  /// counter vectors (identical to counters()), lifetime work counters and
+  /// the plan's roofline record — the JSON-serializable record behind every
+  /// BENCH_*.json. Common fields are assembled here; backends add their
+  /// phases/cycles/roofline in fill_report. Call between advances only (same
+  /// rule as counters()); accumulators are lifetime-monotone, so diffing two
+  /// snapshots isolates an interval.
+  [[nodiscard]] perf::RunReport run_report() const {
+    perf::RunReport r;
+    r.executor = name_;
+    r.time = static_cast<double>(time());
+    r.element_applies = element_applies();
+    r.blocks_applied = blocks_applied();
+    ExecutorCounters c = counters();
+    r.rank_busy_seconds = std::move(c.busy_seconds);
+    r.rank_stall_seconds = std::move(c.stall_seconds);
+    r.rank_steal_counts = std::move(c.steal_counts);
+    fill_report(r);
+    return r;
+  }
+
   /// Measured-cost repartitioning support (threaded backends).
   [[nodiscard]] virtual bool supports_feedback() const noexcept { return false; }
 
@@ -207,6 +243,9 @@ protected:
   virtual void do_add_source(const sem::PointSource& src) = 0;
   virtual void do_add_receiver(gindex_t node, int component) = 0;
   virtual void do_adopt_state_from(const Executor& prev) = 0;
+  /// Backend hook for run_report(): add phase stats, cycles and the roofline
+  /// record. The default leaves the common fields as assembled.
+  virtual void fill_report(perf::RunReport& /*report*/) const {}
   virtual void do_refine_from_feedback() {
     LTS_CHECK_MSG(false, "executor '" << name_ << "' does not support feedback repartitioning "
                                       << "(needs a rank-parallel backend, num_ranks > 1)");

@@ -1,6 +1,9 @@
 #include "core/lts_newmark.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/timer.hpp"
 
 namespace ltswave::core {
 
@@ -64,6 +67,18 @@ LtsNewmarkSolver::LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssig
   sources_by_level_.assign(static_cast<std::size_t>(nl), {});
   src_scratch_.assign(ndof, 0.0);
   applies_per_level_.assign(static_cast<std::size_t>(nl), 0);
+  eval_seconds_.assign(static_cast<std::size_t>(nl), 0.0);
+  eval_count_.assign(static_cast<std::size_t>(nl), 0);
+}
+
+void LtsNewmarkSolver::fill_phases(perf::RunReport& report) const {
+  for (level_t k = 1; k <= levels_->num_levels; ++k) {
+    report.add_phase("eval.L" + std::to_string(k), eval_seconds_[static_cast<std::size_t>(k - 1)],
+                     eval_count_[static_cast<std::size_t>(k - 1)]);
+  }
+  report.add_phase("reduce", reduce_seconds_, reduce_count_);
+  report.add_phase("update", update_seconds_, update_count_);
+  if (!sources_.empty()) report.add_phase("sources", source_seconds_, source_count_);
 }
 
 void LtsNewmarkSolver::add_source(const sem::PointSource& src) {
@@ -152,6 +167,7 @@ void LtsNewmarkSolver::recompute_force(level_t k) {
   applies_total_ += static_cast<std::int64_t>(elems.size());
   applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
 
+  const WallTimer timer;
   for (gindex_t g : rows) {
     const real_t im = inv_mass_[static_cast<std::size_t>(g)];
     for (int c = 0; c < ncomp_; ++c) {
@@ -162,13 +178,18 @@ void LtsNewmarkSolver::recompute_force(level_t k) {
       fk[i] = fresh;
     }
   }
+  reduce_seconds_ += timer.seconds();
+  ++reduce_count_;
 }
 
 void LtsNewmarkSolver::apply_level_blocks(level_t k) {
   // scratch_ += K P_k u through the level's block group — the batched
   // production path (per-block masks, homogeneous-block fast gather).
   const auto range = plan_.group_blocks(static_cast<std::size_t>(k - 1));
+  const WallTimer timer;
   op_->apply_add_blocks(plan_, range.first, range.last, u_.data(), scratch_.data(), ws_);
+  eval_seconds_[static_cast<std::size_t>(k - 1)] += timer.seconds();
+  ++eval_count_[static_cast<std::size_t>(k - 1)];
   blocks_applied_ += range.count();
 }
 
@@ -188,7 +209,13 @@ void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> row
   // Newmark step at Delta-t.
   (void)t_sub;
   const bool has_sources = !sources_by_level_[static_cast<std::size_t>(k - 1)].empty();
-  if (has_sources) apply_sources_to(k, cycle_t0_, src_scratch_);
+  if (has_sources) {
+    const WallTimer src_timer;
+    apply_sources_to(k, cycle_t0_, src_scratch_);
+    source_seconds_ += src_timer.seconds();
+    ++source_count_;
+  }
+  const WallTimer timer;
   for (gindex_t g : rows) {
     for (int c = 0; c < ncomp_; ++c) {
       const std::size_t i =
@@ -203,6 +230,8 @@ void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> row
       u_[i] += delta * vt[i];
     }
   }
+  update_seconds_ += timer.seconds();
+  ++update_count_;
   if (has_sources) clear_source_scratch();
 }
 
@@ -226,10 +255,15 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
       applies_total_ += static_cast<std::int64_t>(elems.size());
       applies_per_level_[static_cast<std::size_t>(k - 1)] += static_cast<std::int64_t>(elems.size());
       // Scale K u by Minv in place (rows only).
-      for (gindex_t g : rows) {
-        const real_t im = inv_mass_[static_cast<std::size_t>(g)];
-        for (int c = 0; c < ncomp_; ++c)
-          scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] *= im;
+      {
+        const WallTimer timer;
+        for (gindex_t g : rows) {
+          const real_t im = inv_mass_[static_cast<std::size_t>(g)];
+          for (int c = 0; c < ncomp_; ++c)
+            scratch_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] *= im;
+        }
+        reduce_seconds_ += timer.seconds();
+        ++reduce_count_;
       }
       collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
                        tm, vt, scratch_.data());
@@ -241,27 +275,37 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
     recompute_force(k);
     const auto& recon = structure_->recon_rows[static_cast<std::size_t>(k - 1)];
     auto& save = usave_[static_cast<std::size_t>(k - 1)];
-    for (gindex_t g : recon)
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i =
-            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        save[i] = u_[i];
-      }
+    {
+      const WallTimer timer;
+      for (gindex_t g : recon)
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i =
+              static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          save[i] = u_[i];
+        }
+      update_seconds_ += timer.seconds();
+      ++update_count_;
+    }
 
     run_level(k + 1, tm);
 
     // Velocity reconstruction on the rows the child evolved (Algorithm 1's
     // v~_{m+1/2} update), then reset u to the reconstructed value.
-    for (gindex_t g : recon)
-      for (int c = 0; c < ncomp_; ++c) {
-        const std::size_t i =
-            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-        if (first)
-          vt[i] = (u_[i] - save[i]) / delta;
-        else
-          vt[i] += 2.0 * (u_[i] - save[i]) / delta;
-        u_[i] = save[i] + delta * vt[i];
-      }
+    {
+      const WallTimer timer;
+      for (gindex_t g : recon)
+        for (int c = 0; c < ncomp_; ++c) {
+          const std::size_t i =
+              static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+          if (first)
+            vt[i] = (u_[i] - save[i]) / delta;
+          else
+            vt[i] += 2.0 * (u_[i] - save[i]) / delta;
+          u_[i] = save[i] + delta * vt[i];
+        }
+      update_seconds_ += timer.seconds();
+      ++update_count_;
+    }
 
     // Rows frozen during the child's run advance by one collapsed leapfrog
     // step with F = sum_{j<=k} forces (== cumulative on these rows).
@@ -281,7 +325,13 @@ void LtsNewmarkSolver::step() {
     applies_total_ += static_cast<std::int64_t>(elems.size());
     applies_per_level_[0] += static_cast<std::int64_t>(elems.size());
     const bool has_sources = !sources_.empty();
-    if (has_sources) apply_sources_to(1, time_, src_scratch_);
+    if (has_sources) {
+      const WallTimer src_timer;
+      apply_sources_to(1, time_, src_scratch_);
+      source_seconds_ += src_timer.seconds();
+      ++source_count_;
+    }
+    const WallTimer timer;
     for (gindex_t g = 0; g < op_->space().num_global_nodes(); ++g) {
       const real_t im = inv_mass_[static_cast<std::size_t>(g)];
       for (int c = 0; c < ncomp_; ++c) {
@@ -293,6 +343,8 @@ void LtsNewmarkSolver::step() {
         u_[i] += dt_ * v_[i];
       }
     }
+    update_seconds_ += timer.seconds();
+    ++update_count_;
     if (has_sources) clear_source_scratch();
     time_ += dt_;
     return;
@@ -315,19 +367,30 @@ void LtsNewmarkSolver::step() {
 
   // Level-1 reconstruction with the *physical* staggered velocity (Eq. 14):
   // v^{n+1/2} = v^{n-1/2} + 2 (u~(dt) - u^n)/dt, u^{n+1} = u^n + dt v^{n+1/2}.
-  for (gindex_t g : recon)
-    for (int c = 0; c < ncomp_; ++c) {
-      const std::size_t i =
-          static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
-      v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
-      u_[i] = save[i] + dt_ * v_[i];
-    }
+  {
+    const WallTimer timer;
+    for (gindex_t g : recon)
+      for (int c = 0; c < ncomp_; ++c) {
+        const std::size_t i =
+            static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
+        v_[i] += 2.0 * (u_[i] - save[i]) / dt_;
+        u_[i] = save[i] + dt_ * v_[i];
+      }
+    update_seconds_ += timer.seconds();
+    ++update_count_;
+  }
 
   // Far-coarse rows: one standard Newmark step with the frozen level-1 force.
   {
     const auto& rows = structure_->update_rows[0]; // S(1)
     const bool has_sources = !sources_by_level_[0].empty();
-    if (has_sources) apply_sources_to(1, t0, src_scratch_);
+    if (has_sources) {
+      const WallTimer src_timer;
+      apply_sources_to(1, t0, src_scratch_);
+      source_seconds_ += src_timer.seconds();
+      ++source_count_;
+    }
+    const WallTimer timer;
     for (gindex_t g : rows)
       for (int c = 0; c < ncomp_; ++c) {
         const std::size_t i =
@@ -337,6 +400,8 @@ void LtsNewmarkSolver::step() {
         v_[i] -= dt_ * F;
         u_[i] += dt_ * v_[i];
       }
+    update_seconds_ += timer.seconds();
+    ++update_count_;
     if (has_sources) clear_source_scratch();
   }
   time_ = t0 + dt_;

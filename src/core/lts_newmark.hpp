@@ -28,6 +28,7 @@
 
 #include "core/lts_levels.hpp"
 #include "core/newmark.hpp"
+#include "perf/run_report.hpp"
 
 namespace ltswave::core {
 
@@ -68,6 +69,16 @@ public:
   /// Batched kernel calls so far (every force evaluation runs the block path).
   [[nodiscard]] std::int64_t blocks_applied() const noexcept { return blocks_applied_; }
 
+  /// The level-grouped batched execution plan (roofline accounting).
+  [[nodiscard]] const sem::BatchPlan& plan() const noexcept { return plan_; }
+
+  /// Appends this solver's phase accumulators — "eval.L<k>" (per-level block
+  /// kernel time), "reduce" (Minv scaling + cumulative-force folds) and
+  /// "update" (row updates + reconstructions), plus "sources" when any are
+  /// registered — onto `report`. Lifetime-monotone, timed at phase boundaries
+  /// only (never inside apply_add_blocks).
+  void fill_phases(perf::RunReport& report) const;
+
 private:
   void recompute_force(level_t k);
   void apply_level_blocks(level_t k);
@@ -105,6 +116,17 @@ private:
   std::int64_t applies_total_ = 0;
   std::vector<std::int64_t> applies_per_level_;
   std::int64_t blocks_applied_ = 0;
+
+  // Phase accumulators (fill_phases). One WallTimer read per phase region per
+  // substep — nothing inside the block kernels themselves.
+  std::vector<double> eval_seconds_;          // per level
+  std::vector<std::int64_t> eval_count_;      // per level
+  double reduce_seconds_ = 0;
+  std::int64_t reduce_count_ = 0;
+  double update_seconds_ = 0;
+  std::int64_t update_count_ = 0;
+  double source_seconds_ = 0;
+  std::int64_t source_count_ = 0;
 };
 
 /// Reference implementation (tests only).

@@ -1,5 +1,7 @@
 #include "core/newmark.hpp"
 
+#include "common/timer.hpp"
+
 namespace ltswave::core {
 
 NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
@@ -18,9 +20,18 @@ NewmarkSolver::NewmarkSolver(const sem::WaveOperator& op, real_t dt)
 /// BatchPlan (lazily built on the first call) — the batched production path.
 void NewmarkSolver::apply_full() {
   const sem::BatchPlan& plan = op_->full_plan();
+  const WallTimer timer;
   op_->apply_add_blocks(plan, 0, plan.num_blocks(), u_.data(), scratch_.data(), ws_);
+  eval_seconds_ += timer.seconds();
+  ++eval_count_;
   applies_ += static_cast<std::int64_t>(op_->space().num_elems());
   blocks_ += plan.num_blocks();
+}
+
+void NewmarkSolver::fill_phases(perf::RunReport& report) const {
+  report.add_phase("eval.L1", eval_seconds_, eval_count_);
+  report.add_phase("update", update_seconds_, update_count_);
+  if (!sources_.empty()) report.add_phase("sources", source_seconds_, source_count_);
 }
 
 void NewmarkSolver::set_fixed_nodes(std::span<const gindex_t> nodes) {
@@ -60,13 +71,19 @@ void NewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<const r
 void NewmarkSolver::step() {
   std::fill(scratch_.begin(), scratch_.end(), 0.0);
   apply_full();
-  for (const auto& s : sources_) {
-    // Subtracting the source from K u realizes v += dt Minv (f - K u).
-    const real_t val = -s.amplitude * s.wavelet(time_);
-    for (int c = 0; c < ncomp_; ++c)
-      scratch_[static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] +=
-          val * s.direction[static_cast<std::size_t>(c)];
+  if (!sources_.empty()) {
+    const WallTimer src_timer;
+    for (const auto& s : sources_) {
+      // Subtracting the source from K u realizes v += dt Minv (f - K u).
+      const real_t val = -s.amplitude * s.wavelet(time_);
+      for (int c = 0; c < ncomp_; ++c)
+        scratch_[static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] +=
+            val * s.direction[static_cast<std::size_t>(c)];
+    }
+    source_seconds_ += src_timer.seconds();
+    ++source_count_;
   }
+  const WallTimer timer;
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
   for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
     const real_t im = inv_mass_[g];
@@ -76,6 +93,8 @@ void NewmarkSolver::step() {
       u_[i] += dt_ * v_[i];
     }
   }
+  update_seconds_ += timer.seconds();
+  ++update_count_;
   time_ += dt_;
 }
 

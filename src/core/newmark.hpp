@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "perf/run_report.hpp"
 #include "sem/sources.hpp"
 #include "sem/wave_operator.hpp"
 
@@ -52,6 +53,11 @@ public:
   /// covers up to BatchPlan::width() elements).
   [[nodiscard]] std::int64_t blocks_applied() const noexcept { return blocks_; }
 
+  /// Appends this solver's phase accumulators ("eval.L1" full-mesh block
+  /// kernel time, "update" staggered row update, "sources" when any are
+  /// registered) onto `report`. Lifetime-monotone.
+  void fill_phases(perf::RunReport& report) const;
+
 private:
   void apply_full();
 
@@ -65,6 +71,14 @@ private:
   sem::KernelWorkspace ws_;
   std::int64_t applies_ = 0;
   std::int64_t blocks_ = 0;
+
+  // Phase accumulators (fill_phases); timed at phase boundaries only.
+  double eval_seconds_ = 0;
+  std::int64_t eval_count_ = 0;
+  double update_seconds_ = 0;
+  std::int64_t update_count_ = 0;
+  double source_seconds_ = 0;
+  std::int64_t source_count_ = 0;
 };
 
 } // namespace ltswave::core

@@ -148,6 +148,12 @@ std::int64_t WaveSimulation::element_applies() const { return executor_->element
 
 std::int64_t WaveSimulation::blocks_applied() const { return executor_->blocks_applied(); }
 
+perf::RunReport WaveSimulation::run_report() const {
+  perf::RunReport r = executor_->run_report();
+  r.config = to_string(cfg_);
+  return r;
+}
+
 const runtime::ThreadedLtsSolver* WaveSimulation::threaded() const noexcept {
   return executor_->threaded_solver();
 }

@@ -133,6 +133,12 @@ public:
   /// Theoretical LTS speedup of this mesh/config (Eq. 9).
   [[nodiscard]] double theoretical_speedup() const { return core::theoretical_speedup(levels_); }
 
+  /// Structured performance report for the run so far: the backend's
+  /// per-phase timings, counters and roofline (Executor::run_report) with the
+  /// facade's config string attached. Serialize with perf::to_json /
+  /// perf::write_json.
+  [[nodiscard]] perf::RunReport run_report() const;
+
   /// The execution backend driving this simulation and its registry name.
   [[nodiscard]] const Executor& executor() const noexcept { return *executor_; }
   [[nodiscard]] Executor& executor() noexcept { return *executor_; }

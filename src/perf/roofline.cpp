@@ -1,0 +1,118 @@
+#include "perf/roofline.hpp"
+
+#include "common/check.hpp"
+
+namespace ltswave::perf {
+
+namespace {
+
+constexpr double kBytesPerValue = 8.0;
+
+double npts_of(int nodes_1d) {
+  const double n1 = nodes_1d;
+  return n1 * n1 * n1;
+}
+
+/// Streamed values per point that scale with npts (gather + field + output
+/// read/write), shared by the full and affine byte models.
+double field_planes(int ncomp) {
+  // l2g index + ncomp field planes + ncomp output planes read and written.
+  return 1.0 + static_cast<double>(ncomp) + 2.0 * static_cast<double>(ncomp);
+}
+
+/// Metric planes streamed per point with full slabs: the fused acoustic G has
+/// 6 independent entries, the elastic kernel reads jinv (9) + wdet*jinv (9).
+double metric_planes(int ncomp) {
+  return ncomp == 1 ? 6.0 : 18.0;
+}
+
+/// Per-element metric constants of an affine block (lane constants, not
+/// per-point planes).
+double metric_constants(int ncomp) {
+  return ncomp == 1 ? 6.0 : 18.0;
+}
+
+const char* physics_name(int ncomp) {
+  return ncomp == 1 ? "acoustic" : "elastic";
+}
+
+void check_args(int ncomp, int nodes_1d) {
+  LTS_CHECK_MSG(ncomp == 1 || ncomp == 3, "roofline: ncomp must be 1 or 3");
+  LTS_CHECK_MSG(nodes_1d >= 2, "roofline: nodes_1d must be >= 2");
+}
+
+} // namespace
+
+double flops_per_elem(int ncomp, int nodes_1d) {
+  check_args(ncomp, nodes_1d);
+  const double n1 = nodes_1d;
+  // Three derivative contractions (2*n1-1 ops per output per component),
+  // three transposed contractions (2*n1), then the pointwise metric work:
+  // 18 ops + 1 accumulate per point acoustic, 116 + 3 elastic.
+  if (ncomp == 1) return npts_of(nodes_1d) * (3 * (2 * n1 - 1) + 3 * (2 * n1) + 18 + 1);
+  return npts_of(nodes_1d) * (9 * (2 * n1 - 1) + 9 * (2 * n1) + 116 + 3);
+}
+
+double bytes_per_elem_full(int ncomp, int nodes_1d) {
+  check_args(ncomp, nodes_1d);
+  return npts_of(nodes_1d) * kBytesPerValue * (field_planes(ncomp) + metric_planes(ncomp));
+}
+
+double bytes_per_elem_affine(int ncomp, int nodes_1d) {
+  check_args(ncomp, nodes_1d);
+  return npts_of(nodes_1d) * kBytesPerValue * field_planes(ncomp) +
+         metric_constants(ncomp) * kBytesPerValue;
+}
+
+namespace {
+
+RooflineStat finish(RooflineStat s) {
+  s.bytes_per_flop = s.flops_per_elem > 0 ? s.bytes_per_elem / s.flops_per_elem : 0.0;
+  s.arithmetic_intensity = s.bytes_per_elem > 0 ? s.flops_per_elem / s.bytes_per_elem : 0.0;
+  s.flops_total = s.flops_per_elem * static_cast<double>(s.elements);
+  s.bytes_total = s.bytes_per_elem * static_cast<double>(s.elements);
+  return s;
+}
+
+} // namespace
+
+RooflineStat roofline_static(int ncomp, int order) {
+  const int n1 = order + 1;
+  RooflineStat s;
+  s.physics = physics_name(ncomp);
+  s.order = order;
+  s.block_width = 0;
+  s.elements = 1;
+  s.flops_per_elem = flops_per_elem(ncomp, n1);
+  s.bytes_per_elem = bytes_per_elem_full(ncomp, n1);
+  return finish(s);
+}
+
+RooflineStat roofline_for_plan(const sem::BatchPlan& plan) {
+  const int ncomp = plan.ncomp();
+  const int n1 = plan.space().ref().nodes_1d();
+  const double full = bytes_per_elem_full(ncomp, n1);
+  const double affine = bytes_per_elem_affine(ncomp, n1);
+  // Mixed blocks additionally stream their 0/1 column-mask slab (one plane).
+  const double mask_plane = static_cast<double>(plan.npts()) * kBytesPerValue;
+
+  std::int64_t elements = 0;
+  double bytes = 0;
+  for (index_t b = 0; b < plan.num_blocks(); ++b) {
+    const auto fill = static_cast<double>(plan.block_fill(b));
+    elements += plan.block_fill(b);
+    bytes += fill * (plan.block_affine(b) ? affine : full);
+    if (plan.mask(b) != nullptr) bytes += fill * mask_plane;
+  }
+
+  RooflineStat s;
+  s.physics = physics_name(ncomp);
+  s.order = plan.space().order();
+  s.block_width = plan.width();
+  s.elements = elements;
+  s.flops_per_elem = flops_per_elem(ncomp, n1);
+  s.bytes_per_elem = elements > 0 ? bytes / static_cast<double>(elements) : 0.0;
+  return finish(s);
+}
+
+} // namespace ltswave::perf

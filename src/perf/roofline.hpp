@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file roofline.hpp
+/// Static roofline accounting for the batched SEM kernels: flops and
+/// main-memory bytes per element as a function of (physics, order), and a
+/// BatchPlan-aware aggregate that credits affine blocks with their collapsed
+/// metric traffic. This is the single flop/byte model shared by the kernel
+/// microbench counters, the run reports, and the BENCH_*.json emission — the
+/// "roofline-style bytes/flop report" the ROADMAP asks bench-smoke to watch.
+///
+/// Flop model (per element, n1 = nodes per 1D direction, npts = n1^3):
+///   acoustic: npts * (3*(2*n1 - 1) + 3*(2*n1) + 18 + 1)
+///   elastic:  npts * (9*(2*n1 - 1) + 9*(2*n1) + 116 + 3)
+/// i.e. the three derivative contractions (2*n1-1 fused ops per output each),
+/// the three transposed contractions, and the pointwise metric work.
+///
+/// Byte model (per element, 8 B per streamed value — gather indices counted
+/// at 8 B like everything else):
+///   full slabs:   acoustic npts*8*(1 + 1 + 6 + 2)   l2g, u, G planes, out r+w
+///                 elastic  npts*8*(1 + 3 + 9 + 9 + 6)
+///   affine block: the metric planes collapse to per-lane constants
+///                 (6 values for acoustic, 9 + 9 for elastic), so only the
+///                 gather, field and output streams scale with npts.
+/// Caches are ignored (pure streaming model), matching the microbench's
+/// bytes_per_second counter convention.
+
+#include "perf/run_report.hpp"
+#include "sem/batch_plan.hpp"
+
+namespace ltswave::perf {
+
+/// Arithmetic ops per element as the kernels issue them (mul and add counted
+/// separately, no FMA credit), matching the microbench's flops_per_second
+/// counter. `ncomp` is 1 (acoustic) or 3 (elastic); `nodes_1d` = order + 1.
+[[nodiscard]] double flops_per_elem(int ncomp, int nodes_1d);
+
+/// Streamed bytes per element with full lane-interleaved metric slabs.
+[[nodiscard]] double bytes_per_elem_full(int ncomp, int nodes_1d);
+
+/// Streamed bytes per element in an affine block (compact separable metric).
+[[nodiscard]] double bytes_per_elem_affine(int ncomp, int nodes_1d);
+
+/// Static (physics, order) roofline point using the full-slab byte model —
+/// what the microbench's per-benchmark counters report. block_width 0 means
+/// "not tied to a concrete plan".
+[[nodiscard]] RooflineStat roofline_static(int ncomp, int order);
+
+/// Roofline aggregate of one concrete plan: walks every block, credits affine
+/// blocks with the collapsed metric traffic, counts only real (unpadded)
+/// lanes, and averages per element. This is the number attached to executor
+/// run reports (one full apply of all plan blocks).
+[[nodiscard]] RooflineStat roofline_for_plan(const sem::BatchPlan& plan);
+
+} // namespace ltswave::perf

@@ -1,0 +1,530 @@
+#include "perf/run_report.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/kv.hpp"
+#include "common/table.hpp"
+
+namespace ltswave::perf {
+
+void RunReport::add_phase(std::string_view name, double seconds, std::int64_t count) {
+  for (auto& p : phases) {
+    if (p.name == name) {
+      p.seconds += seconds;
+      p.count += count;
+      return;
+    }
+  }
+  phases.push_back(PhaseStat{std::string(name), seconds, count});
+}
+
+const PhaseStat* RunReport::find_phase(std::string_view name) const noexcept {
+  for (const auto& p : phases)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+double RunReport::phase_seconds(std::string_view name) const noexcept {
+  const PhaseStat* p = find_phase(name);
+  return p ? p->seconds : 0.0;
+}
+
+// --- JSON writer -------------------------------------------------------------
+//
+// Hand-rolled on purpose: the repo has no JSON dependency, the schema is
+// fixed, and kv::format_real gives shortest-exact reals so the round-trip
+// test can compare bit-for-bit.
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string& out) : out_(out) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    indent();
+    append_escaped(out_, k);
+    out_ += ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) { lead(); append_escaped(out_, v); }
+  void value(double v) { lead(); out_ += kv::format_real(v); }
+  void value(std::int64_t v) { lead(); out_ += std::to_string(v); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  template <typename T>
+  void array(std::string_view k, const std::vector<T>& vals) {
+    key(k);
+    begin_array();
+    for (const T& v : vals) value(static_cast<std::conditional_t<std::is_integral_v<T>, std::int64_t, double>>(v));
+    end_array();
+  }
+
+private:
+  void open(char c) {
+    lead();
+    out_ += c;
+    first_.push_back(true);
+  }
+  void close(char c) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      out_ += '\n';
+      indent();
+    }
+    out_ += c;
+  }
+  void comma() {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+    out_ += '\n';
+  }
+  void lead() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    comma();
+    indent();
+  }
+  void indent() {
+    out_.append(2 * first_.size(), ' ');
+  }
+
+  std::string& out_;
+  std::vector<bool> first_ = {true}; ///< per nesting level: no element yet
+  bool pending_value_ = false;       ///< a key was just written
+};
+
+void write_report(JsonWriter& w, const RunReport& r) {
+  w.begin_object();
+  w.key("executor");
+  w.value(r.executor);
+  w.key("scenario");
+  w.value(r.scenario);
+  w.key("config");
+  w.value(r.config);
+  w.key("cycles");
+  w.value(r.cycles);
+  w.key("time");
+  w.value(r.time);
+  w.key("wall_seconds");
+  w.value(r.wall_seconds);
+  w.key("element_applies");
+  w.value(r.element_applies);
+  w.key("blocks_applied");
+  w.value(r.blocks_applied);
+  w.array("rank_busy_seconds", r.rank_busy_seconds);
+  w.array("rank_stall_seconds", r.rank_stall_seconds);
+  w.array("rank_steal_counts", r.rank_steal_counts);
+  w.key("phases");
+  w.begin_array();
+  for (const PhaseStat& p : r.phases) {
+    w.begin_object();
+    w.key("name");
+    w.value(p.name);
+    w.key("seconds");
+    w.value(p.seconds);
+    w.key("count");
+    w.value(p.count);
+    w.end_object();
+  }
+  w.end_array();
+  if (r.roofline) {
+    const RooflineStat& rf = *r.roofline;
+    w.key("roofline");
+    w.begin_object();
+    w.key("physics");
+    w.value(rf.physics);
+    w.key("order");
+    w.value(rf.order);
+    w.key("block_width");
+    w.value(rf.block_width);
+    w.key("elements");
+    w.value(rf.elements);
+    w.key("flops_per_elem");
+    w.value(rf.flops_per_elem);
+    w.key("bytes_per_elem");
+    w.value(rf.bytes_per_elem);
+    w.key("flops_total");
+    w.value(rf.flops_total);
+    w.key("bytes_total");
+    w.value(rf.bytes_total);
+    w.key("bytes_per_flop");
+    w.value(rf.bytes_per_flop);
+    w.key("arithmetic_intensity");
+    w.value(rf.arithmetic_intensity);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+} // namespace
+
+std::string to_json(const RunReport& report) {
+  std::string out;
+  JsonWriter w(out);
+  write_report(w, report);
+  out += '\n';
+  return out;
+}
+
+std::string to_json(const std::vector<RunReport>& reports) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_array();
+  for (const RunReport& r : reports) write_report(w, r);
+  w.end_array();
+  out += '\n';
+  return out;
+}
+
+namespace {
+void write_file(const std::string& text, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  LTS_CHECK_MSG(f.good(), "cannot open '" << path << "' for writing");
+  f << text;
+  f.flush();
+  LTS_CHECK_MSG(f.good(), "write to '" << path << "' failed");
+}
+} // namespace
+
+void write_json(const RunReport& report, const std::string& path) {
+  write_file(to_json(report), path);
+}
+
+void write_json(const std::vector<RunReport>& reports, const std::string& path) {
+  write_file(to_json(reports), path);
+}
+
+// --- JSON parser -------------------------------------------------------------
+//
+// Minimal recursive-descent parser for the writer's output (and anything
+// structurally equivalent). Numbers keep their raw token so integer fields
+// parse exactly as int64 and reals round-trip through from_chars.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string raw;    ///< Number: raw token; String: decoded text
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  [[nodiscard]] double as_double() const {
+    LTS_CHECK_MSG(kind == Kind::Number, "JSON: expected a number");
+    double v{};
+    const auto* end = raw.data() + raw.size();
+    const auto [ptr, ec] = std::from_chars(raw.data(), end, v);
+    LTS_CHECK_MSG(ec == std::errc{} && ptr == end, "JSON: bad number '" << raw << "'");
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t as_int64() const {
+    LTS_CHECK_MSG(kind == Kind::Number, "JSON: expected a number");
+    std::int64_t v{};
+    const auto* end = raw.data() + raw.size();
+    const auto [ptr, ec] = std::from_chars(raw.data(), end, v);
+    LTS_CHECK_MSG(ec == std::errc{} && ptr == end, "JSON: bad integer '" << raw << "'");
+    return v;
+  }
+
+  [[nodiscard]] const std::string& as_string() const {
+    LTS_CHECK_MSG(kind == Kind::String, "JSON: expected a string");
+    return raw;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    LTS_CHECK_MSG(pos_ == text_.size(), "JSON: trailing characters at offset " << pos_);
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    LTS_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    LTS_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (consume('}')) return v;
+    do {
+      JsonValue key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key.raw), parse_value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (consume(']')) return v;
+    do {
+      v.items.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    while (true) {
+      LTS_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        v.raw += c;
+        continue;
+      }
+      LTS_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.raw += '"'; break;
+        case '\\': v.raw += '\\'; break;
+        case '/': v.raw += '/'; break;
+        case 'n': v.raw += '\n'; break;
+        case 't': v.raw += '\t'; break;
+        case 'r': v.raw += '\r'; break;
+        case 'b': v.raw += '\b'; break;
+        case 'f': v.raw += '\f'; break;
+        case 'u': {
+          LTS_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+          unsigned code = 0;
+          const auto* first = text_.data() + pos_;
+          const auto [ptr, ec] = std::from_chars(first, first + 4, code, 16);
+          LTS_CHECK_MSG(ec == std::errc{} && ptr == first + 4, "JSON: bad \\u escape");
+          LTS_CHECK_MSG(code < 0x80, "JSON: non-ASCII \\u escape unsupported");
+          v.raw += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: LTS_CHECK_MSG(false, "JSON: unknown escape '\\" << e << "'");
+      }
+    }
+    return v;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      LTS_CHECK_MSG(false, "JSON: bad literal at offset " << pos_);
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    LTS_CHECK_MSG(text_.substr(pos_, 4) == "null", "JSON: bad literal at offset " << pos_);
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+'))
+      ++pos_;
+    LTS_CHECK_MSG(pos_ > start, "JSON: expected a value at offset " << start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.raw = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T, typename Get>
+std::vector<T> to_vector(const JsonValue* arr, Get get) {
+  std::vector<T> out;
+  if (!arr) return out;
+  LTS_CHECK_MSG(arr->kind == JsonValue::Kind::Array, "JSON: expected an array");
+  out.reserve(arr->items.size());
+  for (const JsonValue& v : arr->items) out.push_back(get(v));
+  return out;
+}
+
+RunReport report_from_value(const JsonValue& v) {
+  LTS_CHECK_MSG(v.kind == JsonValue::Kind::Object, "JSON: run report must be an object");
+  RunReport r;
+  if (const auto* p = v.find("executor")) r.executor = p->as_string();
+  if (const auto* p = v.find("scenario")) r.scenario = p->as_string();
+  if (const auto* p = v.find("config")) r.config = p->as_string();
+  if (const auto* p = v.find("cycles")) r.cycles = p->as_int64();
+  if (const auto* p = v.find("time")) r.time = p->as_double();
+  if (const auto* p = v.find("wall_seconds")) r.wall_seconds = p->as_double();
+  if (const auto* p = v.find("element_applies")) r.element_applies = p->as_int64();
+  if (const auto* p = v.find("blocks_applied")) r.blocks_applied = p->as_int64();
+  r.rank_busy_seconds = to_vector<double>(v.find("rank_busy_seconds"),
+                                          [](const JsonValue& x) { return x.as_double(); });
+  r.rank_stall_seconds = to_vector<double>(v.find("rank_stall_seconds"),
+                                           [](const JsonValue& x) { return x.as_double(); });
+  r.rank_steal_counts = to_vector<std::int64_t>(
+      v.find("rank_steal_counts"), [](const JsonValue& x) { return x.as_int64(); });
+  if (const auto* arr = v.find("phases")) {
+    LTS_CHECK_MSG(arr->kind == JsonValue::Kind::Array, "JSON: phases must be an array");
+    for (const JsonValue& pv : arr->items) {
+      LTS_CHECK_MSG(pv.kind == JsonValue::Kind::Object, "JSON: phase must be an object");
+      PhaseStat p;
+      if (const auto* q = pv.find("name")) p.name = q->as_string();
+      if (const auto* q = pv.find("seconds")) p.seconds = q->as_double();
+      if (const auto* q = pv.find("count")) p.count = q->as_int64();
+      r.phases.push_back(std::move(p));
+    }
+  }
+  if (const auto* rf = v.find("roofline"); rf && rf->kind == JsonValue::Kind::Object) {
+    RooflineStat s;
+    if (const auto* q = rf->find("physics")) s.physics = q->as_string();
+    if (const auto* q = rf->find("order")) s.order = static_cast<int>(q->as_int64());
+    if (const auto* q = rf->find("block_width")) s.block_width = static_cast<int>(q->as_int64());
+    if (const auto* q = rf->find("elements")) s.elements = q->as_int64();
+    if (const auto* q = rf->find("flops_per_elem")) s.flops_per_elem = q->as_double();
+    if (const auto* q = rf->find("bytes_per_elem")) s.bytes_per_elem = q->as_double();
+    if (const auto* q = rf->find("flops_total")) s.flops_total = q->as_double();
+    if (const auto* q = rf->find("bytes_total")) s.bytes_total = q->as_double();
+    if (const auto* q = rf->find("bytes_per_flop")) s.bytes_per_flop = q->as_double();
+    if (const auto* q = rf->find("arithmetic_intensity"))
+      s.arithmetic_intensity = q->as_double();
+    r.roofline = std::move(s);
+  }
+  return r;
+}
+
+} // namespace
+
+RunReport run_report_from_json(std::string_view json) {
+  return report_from_value(JsonParser(json).parse());
+}
+
+std::vector<RunReport> run_reports_from_json(std::string_view json) {
+  const JsonValue v = JsonParser(json).parse();
+  std::vector<RunReport> out;
+  if (v.kind == JsonValue::Kind::Object) {
+    out.push_back(report_from_value(v));
+    return out;
+  }
+  LTS_CHECK_MSG(v.kind == JsonValue::Kind::Array,
+                "JSON: expected a run report object or array");
+  out.reserve(v.items.size());
+  for (const JsonValue& item : v.items) out.push_back(report_from_value(item));
+  return out;
+}
+
+void print_phase_table(std::ostream& os, const RunReport& report) {
+  double total = 0;
+  for (const PhaseStat& p : report.phases) total += p.seconds;
+  TextTable t({"phase", "seconds", "count", "share"});
+  for (const PhaseStat& p : report.phases) {
+    t.row()
+        .cell(p.name)
+        .cell(p.seconds, 6)
+        .cell(p.count)
+        .percent(total > 0 ? 100.0 * p.seconds / total : 0.0, 1);
+  }
+  t.print(os);
+}
+
+} // namespace ltswave::perf

@@ -20,6 +20,14 @@
 ///    behind. Stolen chunks accumulate into per-chunk buffers reduced in a
 ///    fixed (rank, chunk) order, so the mode is bitwise reproducible run to
 ///    run; results match the serial solver to roundoff.
+///
+/// SchedulerConfig is a plain value type with no behaviour of its own: the
+/// solver copies it at construction and never reads it again from the
+/// caller's storage, so the caller may reuse or destroy its copy freely.
+/// Changing the mode of a running solver is deliberately impossible —
+/// schedule structure is baked into the per-rank work lists at build time;
+/// build a fresh solver (or executor, via adopt_state_from hand-off) to
+/// switch modes mid-experiment.
 
 #include <optional>
 #include <string>

@@ -1,8 +1,10 @@
 #include "runtime/threaded_lts.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/timer.hpp"
+#include "perf/roofline.hpp"
 
 namespace ltswave::runtime {
 
@@ -109,6 +111,8 @@ void ThreadedLtsSolver::build_rank_data() {
     rd.update_rows.assign(static_cast<std::size_t>(nl), {});
     rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
     rd.sources.assign(static_cast<std::size_t>(nl), {});
+    rd.phase_seconds.assign(static_cast<std::size_t>(nl) + 5, 0.0);
+    rd.phase_count.assign(static_cast<std::size_t>(nl) + 5, 0);
     // private_buf and workspace are allocated in first_touch_rank_buffers()
     // by the owning pool worker (NUMA first touch).
   }
@@ -347,6 +351,44 @@ void ThreadedLtsSolver::reset_counters() {
   std::fill(busy_.begin(), busy_.end(), 0.0);
   std::fill(stall_.begin(), stall_.end(), 0.0);
   std::fill(steals_.begin(), steals_.end(), 0);
+  for (auto& rd : ranks_) {
+    std::fill(rd.phase_seconds.begin(), rd.phase_seconds.end(), 0.0);
+    std::fill(rd.phase_count.begin(), rd.phase_count.end(), 0);
+  }
+}
+
+void ThreadedLtsSolver::fill_phases(perf::RunReport& report) const {
+  const level_t nl = levels_->num_levels;
+  const auto sum_slot = [&](std::size_t slot, const std::string& name) {
+    double seconds = 0;
+    std::int64_t count = 0;
+    for (const auto& rd : ranks_) {
+      seconds += rd.phase_seconds[slot];
+      count += rd.phase_count[slot];
+    }
+    report.add_phase(name, seconds, count);
+  };
+  for (level_t k = 1; k <= nl; ++k) sum_slot(slot_eval(k), "eval.L" + std::to_string(k));
+  sum_slot(slot_reduce(), "reduce");
+  sum_slot(slot_update(), "update");
+  if (!sources_.empty()) sum_slot(slot_sources(), "sources");
+  if (!traces_.empty()) sum_slot(slot_receivers(), "receivers");
+  sum_slot(slot_barrier(), "barrier");
+}
+
+perf::RunReport ThreadedLtsSolver::run_report() const {
+  perf::RunReport r;
+  r.executor = "threaded/" + to_string(cfg_.mode);
+  r.cycles = cycles_done_;
+  r.time = static_cast<double>(time());
+  r.element_applies = element_applies();
+  r.blocks_applied = blocks_applied();
+  r.rank_busy_seconds = busy_;
+  r.rank_stall_seconds = stall_;
+  r.rank_steal_counts = steals_;
+  fill_phases(r);
+  r.roofline = perf::roofline_for_plan(*plan_);
+  return r;
 }
 
 void ThreadedLtsSolver::add_source(const sem::PointSource& src) {
@@ -433,7 +475,9 @@ void ThreadedLtsSolver::sync(rank_t r, level_t k) {
   if (!participates(r, k)) return;
   const WallTimer t;
   level_barriers_[static_cast<std::size_t>(k - 1)]->arrive_and_wait();
-  stall_[static_cast<std::size_t>(r)] += t.seconds();
+  const double s = t.seconds();
+  stall_[static_cast<std::size_t>(r)] += s;
+  tally(ranks_[static_cast<std::size_t>(r)], slot_barrier(), s);
 }
 
 void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk) {
@@ -495,7 +539,11 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
     op_->apply_add_blocks(*plan_, range.first, range.last, u_.data(), rd.private_buf.data(),
                           *rd.workspace);
   }
-  busy_[static_cast<std::size_t>(r)] += timer.seconds();
+  {
+    const double s = timer.seconds();
+    busy_[static_cast<std::size_t>(r)] += s;
+    tally(rd, slot_eval(k), s);
+  }
 
   sync(r, k); // all private contributions complete
 
@@ -549,7 +597,11 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
       }
     }
   }
-  busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+  {
+    const double s = timer2.seconds();
+    busy_[static_cast<std::size_t>(r)] += s;
+    tally(rd, slot_reduce(), s);
+  }
 
   sync(r, k); // scratch/cumulative consistent before row updates
 }
@@ -611,8 +663,16 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
           }
         // Sources are sampled frozen at the cycle start (the serial scheme's
         // midpoint rule; see LtsNewmarkSolver::collapsed_update).
-        if (has_sources) apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
-        busy_[static_cast<std::size_t>(r)] += timer.seconds();
+        double t_src = 0;
+        if (has_sources) {
+          const WallTimer src_timer;
+          apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
+          t_src = src_timer.seconds();
+          tally(rd, slot_sources(), t_src);
+        }
+        const double s = timer.seconds();
+        busy_[static_cast<std::size_t>(r)] += s;
+        tally(rd, slot_update(), s - t_src);
       }
       // m == 0: updates visible before the next eval gathers u. m == 1: the
       // caller's post-child barrier publishes instead.
@@ -629,7 +689,9 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
           const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
           save[i] = u_[i];
         }
-      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      const double s = timer.seconds();
+      busy_[static_cast<std::size_t>(r)] += s;
+      tally(rd, slot_update(), s);
     }
     sync(r, k); // saves done before the child mutates u
 
@@ -658,8 +720,16 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
             vt[i] -= delta * F;
           u_[i] += delta * vt[i];
         }
-      if (has_sources) apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
-      busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+      double t_src = 0;
+      if (has_sources) {
+        const WallTimer src_timer;
+        apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
+        t_src = src_timer.seconds();
+        tally(rd, slot_sources(), t_src);
+      }
+      const double s = timer2.seconds();
+      busy_[static_cast<std::size_t>(r)] += s;
+      tally(rd, slot_update(), s - t_src);
     }
     if (first) sync(r, k); // level-k updates visible before the next eval
   }
@@ -686,9 +756,22 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
             u_[i] += dt_ * v_[i];
           }
         // Single level: plain Newmark samples the source at the step start.
-        if (has_sources) apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
-        sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
-        busy_[static_cast<std::size_t>(r)] += timer.seconds();
+        double t_src = 0, t_recv = 0;
+        if (has_sources) {
+          const WallTimer src_timer;
+          apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+          t_src = src_timer.seconds();
+          tally(rd, slot_sources(), t_src);
+        }
+        if (!rd.receivers.empty()) {
+          const WallTimer recv_timer;
+          sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
+          t_recv = recv_timer.seconds();
+          tally(rd, slot_receivers(), t_recv);
+        }
+        const double s = timer.seconds();
+        busy_[static_cast<std::size_t>(r)] += s;
+        tally(rd, slot_update(), s - t_src - t_recv);
       }
       sync(r, 1);
       continue;
@@ -703,7 +786,9 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
           const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
           save[i] = u_[i];
         }
-      busy_[static_cast<std::size_t>(r)] += timer.seconds();
+      const double s = timer.seconds();
+      busy_[static_cast<std::size_t>(r)] += s;
+      tally(rd, slot_update(), s);
     }
     sync(r, 1); // saves done before the child mutates u
 
@@ -727,12 +812,25 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
         }
       // Level-1 rows take the cycle-frozen source exactly as the serial
       // step() applies it to S(1) after the fine recursion.
-      if (has_sources) apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+      double t_src = 0, t_recv = 0;
+      if (has_sources) {
+        const WallTimer src_timer;
+        apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+        t_src = src_timer.seconds();
+        tally(rd, slot_sources(), t_src);
+      }
       // Every row this rank owns is final for the cycle (recon ∪ update
       // covers them all) and only this rank ever writes those rows, so
       // sampling here is race-free.
-      sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
-      busy_[static_cast<std::size_t>(r)] += timer2.seconds();
+      if (!rd.receivers.empty()) {
+        const WallTimer recv_timer;
+        sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
+        t_recv = recv_timer.seconds();
+        tally(rd, slot_receivers(), t_recv);
+      }
+      const double s = timer2.seconds();
+      busy_[static_cast<std::size_t>(r)] += s;
+      tally(rd, slot_update(), s - t_src - t_recv);
     }
     sync(r, 1); // cycle boundary: all updates visible for the next cycle
   }

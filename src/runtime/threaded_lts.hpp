@@ -49,6 +49,7 @@
 
 #include "core/lts_newmark.hpp"
 #include "partition/partition.hpp"
+#include "perf/run_report.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sem/sources.hpp"
@@ -131,6 +132,20 @@ public:
   [[nodiscard]] const std::vector<std::int64_t>& steal_counts() const noexcept { return steals_; }
   void reset_counters();
 
+  /// Appends the per-phase accumulators, summed across ranks, onto `report`:
+  /// "eval.L<k>" (per-level block kernel time), "reduce" (ownership
+  /// reduction, the MPI-exchange stand-in), "update" (row updates +
+  /// reconstructions), "barrier" (level-barrier wait == stall_seconds), and
+  /// "sources"/"receivers" when any are registered. Call between run_cycles
+  /// invocations only (the accumulators are written by the pool workers).
+  void fill_phases(perf::RunReport& report) const;
+
+  /// Complete structured snapshot of this solver: executor spelling
+  /// ("threaded/<mode>"), work counters, per-rank busy/stall/steal vectors,
+  /// phases (fill_phases) and the plan's roofline record. The executor
+  /// adapter and bench/threaded_scaling both emit through this one path.
+  [[nodiscard]] perf::RunReport run_report() const;
+
   /// Number of ranks taking part in level-k substep barriers under the
   /// current mode (== num_ranks() for barrier-all and for level 1).
   [[nodiscard]] rank_t level_participants(level_t k) const;
@@ -182,6 +197,12 @@ private:
     // Ordered by (rank, chunk) ascending — the fixed association order.
     std::vector<std::vector<index_t>> red_offsets;      // [level]
     std::vector<std::vector<const real_t*>> red_sources; // [level]
+    // Per-phase perf accumulators (run_report): slots 0..nl-1 are the
+    // per-level eval kernel time, then reduce/update/sources/receivers/
+    // barrier (slot_* helpers). Written only by this rank's worker at phase
+    // boundaries, reusing the WallTimer reads already taken for busy_/stall_.
+    std::vector<double> phase_seconds;
+    std::vector<std::int64_t> phase_count;
   };
 
   void build_rank_data();
@@ -196,6 +217,22 @@ private:
   [[nodiscard]] bool participates(rank_t r, level_t k) const {
     return part_mask_[static_cast<std::size_t>(k - 1) * static_cast<std::size_t>(nranks_) +
                       static_cast<std::size_t>(r)] != 0;
+  }
+  // Phase accumulator slot layout (see RankData::phase_seconds).
+  [[nodiscard]] std::size_t slot_eval(level_t k) const noexcept {
+    return static_cast<std::size_t>(k - 1);
+  }
+  [[nodiscard]] std::size_t slot_reduce() const noexcept {
+    return static_cast<std::size_t>(levels_->num_levels);
+  }
+  [[nodiscard]] std::size_t slot_update() const noexcept { return slot_reduce() + 1; }
+  [[nodiscard]] std::size_t slot_sources() const noexcept { return slot_reduce() + 2; }
+  [[nodiscard]] std::size_t slot_receivers() const noexcept { return slot_reduce() + 3; }
+  [[nodiscard]] std::size_t slot_barrier() const noexcept { return slot_reduce() + 4; }
+  [[nodiscard]] std::size_t num_phase_slots() const noexcept { return slot_reduce() + 5; }
+  static void tally(RankData& rd, std::size_t slot, double seconds) noexcept {
+    rd.phase_seconds[slot] += seconds;
+    ++rd.phase_count[slot];
   }
   void thread_main(rank_t r, int cycles);
   void eval_phase(rank_t r, level_t k);

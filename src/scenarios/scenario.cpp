@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/kv.hpp"
+#include "common/timer.hpp"
 #include "core/executor.hpp"
 #include "core/lts_levels.hpp"
 #include "mesh/mesh_io.hpp"
@@ -128,7 +129,9 @@ real_t run_duration(const ScenarioSpec& spec, const core::WaveSimulation& sim) {
 
 RunResult run(const ScenarioSpec& spec) {
   auto sim = spec.make_simulation();
+  const WallTimer wall;
   sim->run(run_duration(spec, *sim));
+  const double wall_seconds = wall.seconds();
 
   RunResult out;
   out.u = sim->u();
@@ -139,6 +142,9 @@ RunResult run(const ScenarioSpec& spec) {
     out.trace_times.push_back(r.times());
     out.trace_values.push_back(r.values());
   }
+  out.report = sim->run_report();
+  out.report.scenario = spec.name;
+  out.report.wall_seconds = wall_seconds;
   return out;
 }
 

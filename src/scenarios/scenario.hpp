@@ -15,6 +15,16 @@
 /// (discretization, executor/scheduler selection, mesh generator and
 /// resolution — see apply_override for the key list) take `key=value` CLI
 /// overrides (apply_cli / from_args) so one binary drives any workload.
+///
+/// Ownership and thread-safety. ScenarioSpec is a plain value type: get()
+/// hands out copies, fluent with_* setters mutate the caller's copy only, and
+/// nothing in a spec refers back into the registry. The registry itself is a
+/// process-global map; register_scenario is meant for start-up registration
+/// and is not synchronized against concurrent get()/names() calls. run() and
+/// make_simulation() allocate a fresh WaveSimulation per call (heap-allocated
+/// because the facade pins internal references — see make_simulation), so
+/// concurrent runs of independent specs are safe; sharing one RunResult or
+/// simulation across threads is the caller's problem.
 
 #include <array>
 #include <memory>
@@ -100,6 +110,9 @@ struct RunResult {
   std::int64_t element_applies = 0;
   std::vector<std::vector<real_t>> trace_times;  ///< per receiver
   std::vector<std::vector<real_t>> trace_values; ///< per receiver
+  /// Structured performance report (per-phase timings, counters, roofline)
+  /// with scenario name, config string and end-to-end wall time filled in.
+  perf::RunReport report;
 };
 
 /// A whole run, declaratively. Fluent with_* setters return *this so specs

@@ -44,6 +44,19 @@
 /// Construction can defer the slab fill (Fill::Deferred) so a rank-parallel
 /// owner first-touches its own blocks from its own pool thread — the NUMA
 /// placement the threaded runtime relies on.
+///
+/// Ownership and thread-safety: a plan *borrows* the SemSpace (and, for
+/// masked groups, the node_level span) it was built from — both must outlive
+/// it; it never copies the space. Once every block's slabs are filled the
+/// plan is immutable, and immutability is the concurrency contract: any
+/// number of threads may iterate one shared plan concurrently (the threaded
+/// solver's ranks and its work stealing do exactly that), as long as all
+/// per-apply mutable state — accumulation buffers, kernel workspaces — lives
+/// outside the plan, in per-thread storage. The only mutating call is
+/// fill(b0, b1), which under Fill::Deferred must be called exactly once per
+/// block, with disjoint ranges if called from several threads, and must
+/// happen-before any concurrent use of those blocks (the threaded runtime
+/// orders this with its startup barrier).
 
 #include <cstdint>
 #include <memory>

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to existing files.
+
+Walks the repo for *.md files (skipping build trees and dot-directories),
+extracts inline-style links [text](target), and verifies every relative
+target exists on disk. External links (scheme://, mailto:) and pure
+same-page anchors (#...) are skipped; a relative target's #fragment is
+stripped before the existence check.
+
+Usage: tools/check_markdown_links.py [repo-root]
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed as file:line: target).
+
+Stdlib only — runs anywhere python3 does.
+"""
+
+import pathlib
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".github"}  # .github/*.md has no doc links
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def is_external(target: str) -> bool:
+    return "://" in target or target.startswith(("mailto:", "#"))
+
+
+def iter_markdown(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        rel_parts = path.relative_to(root).parts
+        if any(p in SKIP_DIRS or p.startswith(".") for p in rel_parts[:-1]):
+            continue
+        yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for pattern in (INLINE_LINK, IMAGE_LINK):
+            for match in pattern.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not target or is_external(match.group(1)):
+                    continue
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists() or root.resolve() not in resolved.parents:
+                    broken.append((lineno, match.group(1)))
+    return broken
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    total_files = 0
+    total_links_broken = 0
+    for path in iter_markdown(root):
+        total_files += 1
+        for lineno, target in check_file(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: broken link: {target}")
+            total_links_broken += 1
+    if total_links_broken:
+        print(f"FAIL: {total_links_broken} broken link(s) across {total_files} markdown files")
+        return 1
+    print(f"OK: all relative links resolve across {total_files} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
