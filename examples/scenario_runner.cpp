@@ -11,8 +11,21 @@
 // spellings; an unknown scenario or executor name prints the registry. The
 // runner-only key `report=<path>` writes the structured perf::RunReport
 // (per-phase timings, counters, roofline) as JSON after the run.
+//
+// Fault tolerance (see docs/robustness.md):
+//   * `checkpoint=<path>` saves a checkpoint at the end of the run (and, with
+//     `checkpoint-every=<cycles>`, periodically during it — atomically, so a
+//     crash mid-save keeps the previous good one).
+//   * `restore=<path>` loads a checkpoint before running and continues to the
+//     scenario's original end time.
+//   * `kill-at-cycle=<k>` SIGKILLs the process after cycle k — the crash half
+//     of the kill-and-resume smoke test (tools/kill_resume_smoke.sh).
+//   * `recovery.*` scenario keys switch to supervised execution: the run
+//     retries from the last good in-memory checkpoint per the policy.
 
+#include <csignal>
 #include <exception>
+#include <functional>
 #include <iostream>
 #include <span>
 #include <string>
@@ -21,6 +34,8 @@
 #include "common/timer.hpp"
 #include "core/executor.hpp"
 #include "perf/run_report.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/supervisor.hpp"
 #include "scenarios/scenario.hpp"
 
 using namespace ltswave;
@@ -35,19 +50,29 @@ int main(int argc, char** argv) {
     for (const auto& name : core::ExecutorFactory::instance().names())
       std::cout << "  " << name << " — " << core::ExecutorFactory::instance().description(name)
                 << "\n";
-    std::cout << "\nkeys: " << scenarios::cli_keys_help() << " | report\n";
+    std::cout << "\nkeys: " << scenarios::cli_keys_help()
+              << " | report | checkpoint | checkpoint-every | restore | kill-at-cycle\n";
     return 0;
   }
 
   try {
-    // `report=<path>` is a runner key, not a scenario key — filter it out
-    // before the spec parser sees the argv tail.
-    std::string report_path;
+    // Runner keys (report/checkpoint/restore/kill) are not scenario keys —
+    // filter them out before the spec parser sees the argv tail.
+    std::string report_path, ckpt_path, restore_path;
+    std::int64_t ckpt_every = 0, kill_at = -1;
     std::vector<const char*> kept;
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       if (arg.rfind("report=", 0) == 0)
         report_path = arg.substr(7);
+      else if (arg.rfind("checkpoint=", 0) == 0)
+        ckpt_path = arg.substr(11);
+      else if (arg.rfind("checkpoint-every=", 0) == 0)
+        ckpt_every = std::stoll(std::string(arg.substr(17)));
+      else if (arg.rfind("restore=", 0) == 0)
+        restore_path = arg.substr(8);
+      else if (arg.rfind("kill-at-cycle=", 0) == 0)
+        kill_at = std::stoll(std::string(arg.substr(14)));
       else
         kept.push_back(argv[i]);
     }
@@ -58,6 +83,30 @@ int main(int argc, char** argv) {
     // CLI so an explicit user choice (any accepted spelling) wins.
     spec.scheduler.oversubscribe = runtime::Oversubscribe::Warn;
     spec.apply_cli(args);
+
+    if (spec.recovery.supervised()) {
+      // Supervised execution: the Supervisor owns checkpointing (in-memory)
+      // and the retry loop; the crash-restart runner keys don't apply.
+      resilience::Supervisor sup(spec);
+      const WallTimer wall;
+      auto result = sup.run();
+      result.report.wall_seconds = wall.seconds();
+      std::cout << "scenario '" << spec.name << "' supervised (" << resilience::to_string(
+                       spec.recovery.on_blowup) << ", checkpoint every "
+                << spec.recovery.checkpoint_every << " cycles): ran to t = " << result.end_time
+                << " on executor '" << result.final_executor << "' with "
+                << result.retries_used << " retries\n";
+      for (const auto& ev : result.report.events)
+        std::cout << "  [" << ev.kind << (ev.action.empty() ? "" : ":" + ev.action)
+                  << "] cycle " << ev.cycle << (ev.detail.empty() ? "" : " — " + ev.detail)
+                  << "\n";
+      if (!report_path.empty()) {
+        perf::write_json(result.report, report_path);
+        std::cout << "wrote run report to " << report_path << "\n";
+      }
+      return 0;
+    }
+
     auto sim = spec.make_simulation();
     std::cout << "scenario '" << spec.name << "' (" << spec.description << ")\n"
               << "  " << sim->mesh().num_elems() << " elements, order " << spec.order << ", "
@@ -66,9 +115,28 @@ int main(int argc, char** argv) {
               << "  executor '" << sim->executor_name() << "', config: "
               << core::to_string(spec.config()) << "\n";
 
+    if (!restore_path.empty()) {
+      sim->restore(resilience::load(restore_path));
+      std::cout << "restored checkpoint " << restore_path << " (t = " << sim->time()
+                << ", cycle " << sim->cycles() << ")\n";
+    }
+
+    // Total span is fixed by the scenario; a restored run covers what's left,
+    // so crash-resume lands on the same end time as an uninterrupted run.
     const real_t duration = scenarios::run_duration(spec, *sim);
+    std::function<void(real_t)> on_step;
+    if (ckpt_every > 0 || kill_at >= 0)
+      on_step = [&](real_t) {
+        const std::int64_t c = sim->cycles();
+        if (ckpt_every > 0 && !ckpt_path.empty() && c % ckpt_every == 0)
+          resilience::save(sim->checkpoint(), ckpt_path);
+        if (kill_at >= 0 && c >= kill_at) {
+          std::cout << "kill-at-cycle: raising SIGKILL at cycle " << c << std::endl;
+          std::raise(SIGKILL);
+        }
+      };
     const WallTimer wall;
-    const auto steps = sim->run(duration);
+    const auto steps = sim->run(duration - sim->time(), on_step);
     const double wall_seconds = wall.seconds();
     std::cout << "ran " << steps << " coarse cycles to t = " << sim->time() << " in "
               << sim->element_applies() << " element applies\n";
@@ -82,6 +150,11 @@ int main(int argc, char** argv) {
       for (real_t x : r.values()) rmax = std::max(rmax, std::abs(x));
       std::cout << "receiver " << i << ": " << r.times().size() << " samples, max |v| = " << rmax
                 << "\n";
+    }
+
+    if (!ckpt_path.empty()) {
+      resilience::save(sim->checkpoint(), ckpt_path);
+      std::cout << "wrote checkpoint to " << ckpt_path << "\n";
     }
 
     perf::RunReport report = sim->run_report();

@@ -1,6 +1,7 @@
 #include "common/kv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
@@ -30,6 +31,11 @@ real_t parse_real(std::string_view key, std::string_view value) {
   const auto [ptr, ec] = std::from_chars(value.data(), end, v);
   LTS_CHECK_MSG(ec == std::errc{} && ptr == end,
                 "bad value '" << value << "' for " << key << " — expected a real number");
+  // from_chars happily accepts "nan"/"inf" spellings; a non-finite config
+  // value would propagate silently through dt/courant arithmetic until the
+  // state blows up, so reject it at the parse boundary.
+  LTS_CHECK_MSG(std::isfinite(v),
+                "bad value '" << value << "' for " << key << " — must be a finite real number");
   return v;
 }
 

@@ -1,7 +1,10 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "common/timer.hpp"
 #include "core/lts_newmark.hpp"
@@ -9,6 +12,8 @@
 #include "partition/feedback.hpp"
 #include "partition/partitioners.hpp"
 #include "perf/roofline.hpp"
+#include "resilience/error.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/threaded_lts.hpp"
 
 namespace ltswave::core {
@@ -47,6 +52,8 @@ public:
   [[nodiscard]] real_t time() const override { return solver_->time(); }
   [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
   [[nodiscard]] std::int64_t blocks_applied() const override { return solver_->blocks_applied(); }
+  [[nodiscard]] std::span<const real_t> v_half() const override { return solver_->v_half(); }
+  [[nodiscard]] std::int64_t cycles() const override { return cycles_; }
 
   /// Serial backends have no ranks (the vectors stay empty) but do run the
   /// batched path, so the block counter is populated.
@@ -60,22 +67,26 @@ public:
 
 protected:
   SerialExecutorBase(std::string name, const ExecutorContext& ctx, std::unique_ptr<Solver> solver)
-      : Executor(std::move(name)), ncomp_(ctx.op->ncomp()), solver_(std::move(solver)) {}
+      : Executor(std::move(name)), ncomp_(ctx.op->ncomp()), solver_(std::move(solver)) {
+    if (ctx.cfg) fault_ = ctx.cfg->fault;
+  }
 
   void do_set_state(std::span<const real_t> u0, std::span<const real_t> v0) override {
     solver_->set_state(u0, v0);
   }
   void do_advance_cycles(std::int64_t cycles) override {
     for (std::int64_t s = 0; s < cycles; ++s) {
+      maybe_inject_fault_pre();
       solver_->step();
+      maybe_inject_fault_post();
       if (!traces_.empty()) {
         const WallTimer timer;
         sample_receivers();
         receivers_seconds_ += timer.seconds();
         ++receivers_count_;
       }
+      ++cycles_;
     }
-    cycles_ += cycles;
   }
   const std::vector<real_t>* direct_state() const override { return &solver_->u(); }
   void gather_state(std::vector<real_t>& out) const override { out = solver_->u(); }
@@ -91,6 +102,68 @@ protected:
                   "receiver node " << node << " outside the global node range");
     traces_.emplace_back();
   }
+
+  /// Throw-faults fire on the step boundary *before* the addressed cycle runs
+  /// (matching the threaded driver-thread semantics); nan/stall fire after it
+  /// completes, mirroring the threaded rank's cycle-final update injection.
+  void maybe_inject_fault_pre() {
+    using Kind = resilience::FaultPlan::Kind;
+    if (fault_.kind != Kind::Throw || !fault_.armed() || fault_fired_) return;
+    if (cycles_ != fault_.cycle) return;
+    fault_fired_ = true;
+    record_event({"fault-injected", "", cycles_, "fault.kind=throw"});
+    LTS_RAISE(resilience::Error, "injected failure (fault.kind=throw) at cycle " << cycles_);
+  }
+  void maybe_inject_fault_post() {
+    using Kind = resilience::FaultPlan::Kind;
+    if (fault_.kind != Kind::Nan && fault_.kind != Kind::Stall) return;
+    if (!fault_.armed() || fault_fired_ || cycles_ != fault_.cycle) return;
+    fault_fired_ = true;
+    if (fault_.kind == Kind::Stall) {
+      record_event({"fault-injected", "", cycles_, "fault.kind=stall"});
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault_.stall_ms));
+      return;
+    }
+    auto& u = solver_->u();
+    if (u.empty()) return;
+    const std::size_t node = resilience::fault_pick(fault_.seed, u.size() /
+                                                                     static_cast<std::size_t>(ncomp_));
+    for (int c = 0; c < ncomp_; ++c)
+      u[node * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] =
+          std::numeric_limits<real_t>::quiet_NaN();
+    record_event({"fault-injected", "", cycles_, "fault.kind=nan"});
+  }
+
+  [[nodiscard]] ExecutorState do_export_state() const override {
+    ExecutorState s;
+    s.u = solver_->u();
+    s.v_half = solver_->v_half();
+    s.time = solver_->time();
+    s.dt = solver_->dt();
+    s.cycles = cycles_;
+    s.element_applies = solver_->element_applies();
+    s.blocks_applied = solver_->blocks_applied();
+    export_extra(s);
+    return s;
+  }
+
+  void do_import_state(const ExecutorState& s) override {
+    if (s.u.size() != solver_->u().size() || s.v_half.size() != s.u.size())
+      LTS_RAISE(resilience::CheckpointMismatch,
+                "checkpoint state has " << s.u.size() << " dofs but executor '" << name()
+                                        << "' expects " << solver_->u().size());
+    import_raw(s);
+    cycles_ = s.cycles;
+    // Undrained internal traces belong to the pre-restore timeline.
+    for (auto& t : traces_) {
+      t.times.clear();
+      t.values.clear();
+    }
+  }
+
+  /// LTS subclasses append applies_per_level and the frozen accumulators.
+  virtual void export_extra(ExecutorState& /*s*/) const {}
+  virtual void import_raw(const ExecutorState& s) = 0;
 
   /// The same-kind downcast + source replay every adopt starts with.
   template <typename Self>
@@ -125,6 +198,8 @@ protected:
   std::int64_t cycles_ = 0;
   double receivers_seconds_ = 0;
   std::int64_t receivers_count_ = 0;
+  resilience::FaultPlan fault_; ///< from ctx.cfg->fault; one-shot per instance
+  bool fault_fired_ = false;
 
 private:
   void sample_receivers() {
@@ -162,6 +237,9 @@ private:
     solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
                              p.solver_->element_applies(), p.solver_->blocks_applied());
   }
+  void import_raw(const ExecutorState& s) override {
+    solver_->adopt_raw_state(s.u, s.v_half, s.time, s.element_applies, s.blocks_applied);
+  }
 };
 
 /// The production serial multi-level LTS-Newmark scheme — the baseline every
@@ -179,6 +257,21 @@ private:
     solver_->adopt_raw_state(p.solver_->u(), p.solver_->v_half(), p.solver_->time(),
                              p.solver_->element_applies(), p.solver_->applies_per_level(),
                              p.solver_->blocks_applied());
+  }
+  void export_extra(ExecutorState& s) const override {
+    s.applies_per_level = solver_->applies_per_level();
+    s.frozen_forces = solver_->frozen_forces();
+    s.cumulative = solver_->cumulative();
+  }
+  void import_raw(const ExecutorState& s) override {
+    // A cross-backend checkpoint may carry a different level split; per-level
+    // work attribution is then unknowable, so it restarts at zero while the
+    // total carries over.
+    std::vector<std::int64_t> apl = s.applies_per_level;
+    apl.resize(solver_->applies_per_level().size(), 0);
+    if (s.applies_per_level.size() != apl.size()) std::fill(apl.begin(), apl.end(), 0);
+    solver_->adopt_raw_state(s.u, s.v_half, s.time, s.element_applies, apl, s.blocks_applied);
+    solver_->import_accumulators(s.frozen_forces, s.cumulative);
   }
 };
 
@@ -205,11 +298,14 @@ public:
                                       pc);
     solver_ = std::make_unique<runtime::ThreadedLtsSolver>(*ctx.op, *ctx.levels, *ctx.structure,
                                                            part_, scfg_);
+    if (ctx.cfg->fault.armed()) solver_->set_fault(ctx.cfg->fault);
   }
 
   [[nodiscard]] real_t time() const override { return solver_->time(); }
   [[nodiscard]] std::int64_t element_applies() const override { return solver_->element_applies(); }
   [[nodiscard]] std::int64_t blocks_applied() const override { return solver_->blocks_applied(); }
+  [[nodiscard]] std::span<const real_t> v_half() const override { return solver_->v_half(); }
+  [[nodiscard]] std::int64_t cycles() const override { return solver_->cycles_done(); }
 
   [[nodiscard]] ExecutorCounters counters() const override {
     return {solver_->busy_seconds(), solver_->stall_seconds(), solver_->steal_counts(),
@@ -230,7 +326,22 @@ private:
     solver_->set_state(u0, v0);
   }
   void do_advance_cycles(std::int64_t cycles) override {
-    solver_->run_cycles(static_cast<int>(cycles));
+    // An injected fault may surface as a throw (fault.kind=throw, or the
+    // watchdog's WorkerStall on a stalled rank) — record the firing in the
+    // event log either way before letting it propagate.
+    const bool fired_before = solver_->fault_fired();
+    const auto note = [&] {
+      if (!fired_before && solver_->fault_fired())
+        record_event({"fault-injected", "", solver_->cycles_done(),
+                      "fault.kind=" + resilience::to_string(ctx_.cfg->fault.kind)});
+    };
+    try {
+      solver_->run_cycles(static_cast<int>(cycles));
+    } catch (...) {
+      note();
+      throw;
+    }
+    note();
   }
   // The shared-memory ranks all update one host vector, so state() can alias
   // it directly — zero copies, like the serial adapters. (A genuinely
@@ -249,6 +360,43 @@ private:
     r.cycles = s.cycles;
     r.phases = std::move(s.phases);
     r.roofline = s.roofline;
+  }
+
+  [[nodiscard]] ExecutorState do_export_state() const override {
+    ExecutorState s;
+    s.u = solver_->u();
+    s.v_half = solver_->v_half();
+    s.time = solver_->time();
+    s.dt = solver_->dt();
+    s.cycles = solver_->cycles_done();
+    s.element_applies = solver_->element_applies();
+    s.blocks_applied = solver_->blocks_applied();
+    // The threaded solver derives per-level work from the integer cycle count
+    // (level k runs level_rate(k) substeps over E(k) per cycle), so the
+    // per-level split is exact without per-level counters.
+    const level_t nl = ctx_.levels->num_levels;
+    s.applies_per_level.resize(static_cast<std::size_t>(nl), 0);
+    for (level_t k = 1; k <= nl; ++k)
+      s.applies_per_level[static_cast<std::size_t>(k - 1)] =
+          solver_->cycles_done() * static_cast<std::int64_t>(level_rate(k)) *
+          static_cast<std::int64_t>(
+              ctx_.structure->eval_elems[static_cast<std::size_t>(k - 1)].size());
+    s.frozen_forces = solver_->frozen_forces();
+    s.cumulative = solver_->cumulative();
+    return s;
+  }
+
+  void do_import_state(const ExecutorState& s) override {
+    if (s.u.size() != solver_->u().size() || s.v_half.size() != s.u.size())
+      LTS_RAISE(resilience::CheckpointMismatch,
+                "checkpoint state has " << s.u.size() << " dofs but executor '" << name()
+                                        << "' expects " << solver_->u().size());
+    solver_->adopt_raw_state(s.u, s.v_half, s.time, s.cycles);
+    solver_->import_accumulators(s.frozen_forces, s.cumulative);
+    for (auto& t : solver_->traces()) {
+      t.times.clear();
+      t.values.clear();
+    }
   }
 
   void do_adopt_state_from(const Executor& prev) override {

@@ -98,6 +98,35 @@ struct ExecutorCounters {
   [[nodiscard]] bool empty() const noexcept { return busy_seconds.empty(); }
 };
 
+/// The complete cross-cycle dynamical state of a backend at a cycle boundary
+/// — the serializable image of what adopt_state_from hands off, minus the
+/// sources/receivers (configuration, not state) and minus the drained
+/// receiver traces (the facade owns those). This is what a checkpoint
+/// captures (resilience/checkpoint.hpp).
+///
+/// `frozen_forces`/`cumulative` are the LTS schemes' per-level frozen-force
+/// accumulators. They are redundant in value — every scheme recomputes them
+/// from u at the start of a cycle — but their floating-point association
+/// history is not: importing them bitwise makes a same-backend restore
+/// reproduce the uninterrupted run bit for bit, while an import that drops
+/// them (a cross-backend restore) agrees only to roundoff. Backends without
+/// them (plain Newmark) leave both empty.
+struct ExecutorState {
+  std::vector<real_t> u;
+  std::vector<real_t> v_half;
+  real_t time = 0;
+  real_t dt = 0; ///< the exporting backend's cycle step — restore sanity check
+  std::int64_t cycles = 0;
+  std::int64_t element_applies = 0;
+  std::int64_t blocks_applied = 0;
+  /// Per-level element applies (LTS backends; empty for single-level).
+  std::vector<std::int64_t> applies_per_level;
+  std::vector<std::vector<real_t>> frozen_forces; ///< A P_k u, k = 1..N-1
+  std::vector<real_t> cumulative;                 ///< sum of frozen_forces
+
+  bool operator==(const ExecutorState&) const = default;
+};
+
 class Executor {
 public:
   virtual ~Executor() = default;
@@ -178,6 +207,32 @@ public:
     state_dirty_ = true;
   }
 
+  /// Snapshots the complete cross-cycle dynamical state (see ExecutorState).
+  /// Call between advances only.
+  [[nodiscard]] ExecutorState export_state() const { return do_export_state(); }
+
+  /// Overwrites this executor's dynamical state, clock and work counters with
+  /// a snapshot — the checkpoint-restore counterpart of adopt_state_from.
+  /// Unlike adopt, the target need not be pristine: sources/receivers must
+  /// already be registered (they are configuration, recreated by the caller),
+  /// any undrained internal receiver traces are discarded (the facade restores
+  /// trace history separately), and the state may come from a *different*
+  /// backend kind — frozen-force accumulators that do not fit are dropped and
+  /// recomputed, exact to roundoff. Requires s.u to match this backend's
+  /// problem size; throws resilience::CheckpointMismatch otherwise.
+  void import_state(const ExecutorState& s) {
+    do_import_state(s);
+    state_dirty_ = true;
+  }
+
+  /// The staggered half-step velocity companion of state() — read-only view
+  /// into the backend's live vector (HealthGuard scans it; export_state copies
+  /// it). Same driving-thread-only rule as state().
+  [[nodiscard]] virtual std::span<const real_t> v_half() const = 0;
+
+  /// Coarse cycles advanced so far (steps, for single-level schemes).
+  [[nodiscard]] virtual std::int64_t cycles() const = 0;
+
   /// Per-rank busy/stall/steal counters; empty for serial backends.
   [[nodiscard]] virtual ExecutorCounters counters() const { return {}; }
 
@@ -198,9 +253,14 @@ public:
     r.rank_busy_seconds = std::move(c.busy_seconds);
     r.rank_stall_seconds = std::move(c.stall_seconds);
     r.rank_steal_counts = std::move(c.steal_counts);
+    r.events = events_;
     fill_report(r);
     return r;
   }
+
+  /// Resilience events recorded against this executor (injected faults; the
+  /// Supervisor merges its own recovery events on top in the final report).
+  [[nodiscard]] std::span<const perf::RunEvent> events() const noexcept { return events_; }
 
   /// Measured-cost repartitioning support (threaded backends).
   [[nodiscard]] virtual bool supports_feedback() const noexcept { return false; }
@@ -243,6 +303,8 @@ protected:
   virtual void do_add_source(const sem::PointSource& src) = 0;
   virtual void do_add_receiver(gindex_t node, int component) = 0;
   virtual void do_adopt_state_from(const Executor& prev) = 0;
+  [[nodiscard]] virtual ExecutorState do_export_state() const = 0;
+  virtual void do_import_state(const ExecutorState& s) = 0;
   /// Backend hook for run_report(): add phase stats, cycles and the roofline
   /// record. The default leaves the common fields as assembled.
   virtual void fill_report(perf::RunReport& /*report*/) const {}
@@ -250,9 +312,13 @@ protected:
     LTS_CHECK_MSG(false, "executor '" << name_ << "' does not support feedback repartitioning "
                                       << "(needs a rank-parallel backend, num_ranks > 1)");
   }
+  /// Backends append resilience history (fault firings) here; shows up in
+  /// run_report().events. Driving-thread only, like every public entry point.
+  void record_event(perf::RunEvent event) { events_.push_back(std::move(event)); }
 
 private:
   std::string name_;
+  std::vector<perf::RunEvent> events_;
   std::vector<sem::PointSource> sources_;
   std::vector<ReceiverRecord> receivers_;
   mutable std::vector<real_t> state_cache_;

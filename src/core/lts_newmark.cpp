@@ -131,6 +131,16 @@ void LtsNewmarkSolver::adopt_raw_state(std::span<const real_t> u, std::span<cons
   blocks_applied_ = blocks_applied;
 }
 
+void LtsNewmarkSolver::import_accumulators(const std::vector<std::vector<real_t>>& forces,
+                                           std::span<const real_t> cumulative) {
+  if (forces.size() != forces_.size() || cumulative.size() != cumulative_.size()) return;
+  for (std::size_t k = 0; k < forces.size(); ++k)
+    if (forces[k].size() != forces_[k].size()) return;
+  for (std::size_t k = 0; k < forces.size(); ++k)
+    std::copy(forces[k].begin(), forces[k].end(), forces_[k].begin());
+  std::copy(cumulative.begin(), cumulative.end(), cumulative_.begin());
+}
+
 void LtsNewmarkSolver::apply_sources_to(level_t k, real_t t_sub,
                                         std::vector<real_t>& force_accum) {
   // Adds -Minv f(t) into the force accumulator so the common update

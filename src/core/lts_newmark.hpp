@@ -51,12 +51,29 @@ public:
                        std::int64_t applies_total, std::span<const std::int64_t> applies_per_level,
                        std::int64_t blocks_applied);
 
+  /// Restores the frozen per-level forces and the cumulative sum captured by
+  /// a checkpoint of the same level structure. Recompute-from-u at the next
+  /// cycle start already makes a restore *numerically* exact; importing the
+  /// accumulators additionally makes it *bitwise* exact, because the
+  /// incremental fold `cumulative += fresh - frozen` reassociates differently
+  /// from zeroed buffers. Shape mismatches (a cross-scheme checkpoint) are
+  /// silently ignored — recompute semantics then apply.
+  void import_accumulators(const std::vector<std::vector<real_t>>& forces,
+                           std::span<const real_t> cumulative);
+
+  [[nodiscard]] const std::vector<std::vector<real_t>>& frozen_forces() const noexcept {
+    return forces_;
+  }
+  [[nodiscard]] const std::vector<real_t>& cumulative() const noexcept { return cumulative_; }
+
   /// Advances one LTS cycle (one coarse step Delta-t).
   void step();
 
   [[nodiscard]] real_t time() const noexcept { return time_; }
   [[nodiscard]] real_t dt() const noexcept { return dt_; }
   [[nodiscard]] const std::vector<real_t>& u() const noexcept { return u_; }
+  /// Mutable state access for the fault-injection harness (NaN pokes).
+  [[nodiscard]] std::vector<real_t>& u() noexcept { return u_; }
   [[nodiscard]] const std::vector<real_t>& v_half() const noexcept { return v_; }
   [[nodiscard]] level_t num_levels() const noexcept { return levels_->num_levels; }
 

@@ -5,6 +5,9 @@
 
 #include "common/kv.hpp"
 #include "core/executor.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/error.hpp"
+#include "resilience/health_guard.hpp"
 #include "runtime/threaded_lts.hpp"
 
 namespace ltswave::core {
@@ -35,6 +38,18 @@ std::string to_string(const SimulationConfig& cfg) {
      << " scheduler.mode=" << runtime::to_string(cfg.scheduler.mode)
      << " scheduler.oversubscribe=" << runtime::to_string(cfg.scheduler.oversubscribe)
      << " scheduler.chunk=" << cfg.scheduler.chunk_elems;
+  // Resilience keys print only when set, so configs that never touch them
+  // keep the exact historical string (pinned in docs and reports). Defaults
+  // apply to omitted keys on parse, so the round-trip guarantee holds either
+  // way.
+  if (cfg.scheduler.watchdog_seconds != 0)
+    os << " scheduler.watchdog=" << kv::format_real(cfg.scheduler.watchdog_seconds);
+  if (cfg.health_every != 0) os << " health-every=" << cfg.health_every;
+  if (cfg.fault != resilience::FaultPlan{})
+    os << " fault.kind=" << resilience::to_string(cfg.fault.kind)
+       << " fault.cycle=" << cfg.fault.cycle << " fault.rank=" << cfg.fault.rank
+       << " fault.stall-ms=" << kv::format_real(cfg.fault.stall_ms)
+       << " fault.seed=" << cfg.fault.seed;
   return os.str();
 }
 
@@ -64,6 +79,25 @@ bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
     cfg.scheduler.oversubscribe = runtime::parse_oversubscribe(value);
   } else if (key == "chunk" || key == "scheduler.chunk") {
     cfg.scheduler.chunk_elems = kv::parse_int_as<index_t>(key, value);
+  } else if (key == "watchdog" || key == "scheduler.watchdog") {
+    cfg.scheduler.watchdog_seconds = kv::parse_real(key, value);
+    LTS_CHECK_MSG(cfg.scheduler.watchdog_seconds >= 0,
+                  "watchdog wants a timeout in seconds >= 0 (0 = off), got '" << value << "'");
+  } else if (key == "health-every") {
+    cfg.health_every = kv::parse_int_as<std::int64_t>(key, value);
+    LTS_CHECK_MSG(cfg.health_every >= -1,
+                  "health-every wants -1 (off), 0 (per run() call) or a cycle stride, got '"
+                      << value << "'");
+  } else if (key == "fault.kind") {
+    cfg.fault.kind = resilience::parse_fault_kind(value);
+  } else if (key == "fault.cycle") {
+    cfg.fault.cycle = kv::parse_int_as<std::int64_t>(key, value);
+  } else if (key == "fault.rank") {
+    cfg.fault.rank = kv::parse_int_as<int>(key, value);
+  } else if (key == "fault.stall-ms") {
+    cfg.fault.stall_ms = kv::parse_real(key, value);
+  } else if (key == "fault.seed") {
+    cfg.fault.seed = static_cast<std::uint64_t>(kv::parse_int_as<std::int64_t>(key, value));
   } else {
     return false;
   }
@@ -72,7 +106,9 @@ bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
 
 std::string_view simulation_config_keys_help() {
   return "order | physics | courant | lts | max-levels | ranks | partitioner | feedback | "
-         "executor | scheduler[.mode] | [scheduler.]oversubscribe | [scheduler.]chunk";
+         "executor | scheduler[.mode] | [scheduler.]oversubscribe | [scheduler.]chunk | "
+         "[scheduler.]watchdog | health-every | "
+         "fault.{kind,cycle,rank,stall-ms,seed}";
 }
 
 SimulationConfig parse_simulation_config(std::string_view text) {
@@ -115,6 +151,8 @@ WaveSimulation::WaveSimulation(mesh::HexMesh mesh, SimulationConfig cfg)
   ctx.space = space_.get();
   ctx.cfg = &cfg_;
   executor_ = factory.create(executor_name_, ctx);
+
+  if (cfg_.health_every >= 0) guard_ = std::make_unique<resilience::HealthGuard>(*space_);
 }
 
 WaveSimulation::~WaveSimulation() = default;
@@ -207,9 +245,59 @@ std::int64_t WaveSimulation::run(real_t duration, const std::function<void(real_
     // an unmeasured one).
     if (warm > 0) refine_partition_from_feedback();
   }
-  advance(remaining, on_step);
+  if (guard_ && cfg_.health_every > 0) {
+    // Chunked advance: a blow-up is caught within health_every cycles of
+    // where it started, keeping the rollback window (and any checkpoint
+    // cadence layered on top) tight.
+    while (remaining > 0) {
+      const auto chunk = std::min<std::int64_t>(cfg_.health_every, remaining);
+      advance(chunk, on_step);
+      remaining -= chunk;
+      guard_->check(*executor_);
+    }
+  } else {
+    advance(remaining, on_step);
+    if (guard_) guard_->check(*executor_);
+  }
   executor_->drain_receivers(receivers_);
   return steps;
 }
+
+resilience::Checkpoint WaveSimulation::checkpoint() {
+  // Fold any backend-buffered receiver samples into the facade history first:
+  // the snapshot's trace arrays must be the complete record up to time().
+  executor_->drain_receivers(receivers_);
+  resilience::Checkpoint ck;
+  ck.executor = executor_name_;
+  ck.config = to_string(cfg_);
+  ck.state = executor_->export_state();
+  ck.traces.reserve(receivers_.size());
+  for (const auto& rec : receivers_) ck.traces.push_back({rec.times(), rec.values()});
+  return ck;
+}
+
+void WaveSimulation::restore(const resilience::Checkpoint& ck, bool allow_dt_change) {
+  if (ck.traces.size() != receivers_.size())
+    LTS_RAISE(resilience::CheckpointMismatch,
+              "checkpoint carries " << ck.traces.size() << " receiver traces, simulation has "
+                                    << receivers_.size()
+                                    << " receivers — rebuild the facade from the same scenario "
+                                       "before restoring");
+  if (!allow_dt_change && std::abs(dt() - ck.state.dt) > real_t(1e-12) * dt())
+    LTS_RAISE(resilience::CheckpointMismatch,
+              "checkpoint was written at dt=" << ck.state.dt << ", this simulation runs dt="
+                                              << dt()
+                                              << " (pass allow_dt_change for deliberate "
+                                                 "dt-changing restores, e.g. halve_dt recovery)");
+  executor_->import_state(ck.state);
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    receivers_[i].reset_samples();
+    const auto& t = ck.traces[i];
+    for (std::size_t s = 0; s < t.times.size(); ++s) receivers_[i].append(t.times[s], t.values[s]);
+  }
+  if (guard_) guard_->reset();
+}
+
+std::int64_t WaveSimulation::cycles() const { return executor_->cycles(); }
 
 } // namespace ltswave::core

@@ -22,11 +22,16 @@
 
 #include "core/lts_newmark.hpp"
 #include "partition/partitioners.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/scheduler.hpp"
 #include "sem/sources.hpp"
 
 namespace ltswave::runtime {
 class ThreadedLtsSolver;
+}
+namespace ltswave::resilience {
+struct Checkpoint;
+class HealthGuard;
 }
 
 namespace ltswave::core {
@@ -60,6 +65,12 @@ struct SimulationConfig {
   /// Execution backend by ExecutorFactory name; empty = resolve from the
   /// legacy fields above (see resolve_executor_name in executor.hpp).
   std::string executor;
+  /// Health-guard cadence: -1 disables it, 0 (default) checks the state once
+  /// at the end of every run() call — free relative to a run's kernel work —
+  /// and N > 0 splits each run into N-cycle chunks checked individually.
+  std::int64_t health_every = 0;
+  /// Deterministic fault-injection plan (`fault.*` keys); inert by default.
+  resilience::FaultPlan fault;
 
   bool operator==(const SimulationConfig&) const = default;
 };
@@ -112,8 +123,30 @@ public:
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
 
   /// Advances by (at least) `duration` simulated seconds; receivers sample at
-  /// every coarse step. Returns the number of coarse steps taken.
+  /// every coarse step. Returns the number of coarse steps taken. When the
+  /// health guard is on (cfg.health_every >= 0, the default), the state is
+  /// scanned for NaN/Inf and energy blow-up and resilience::NumericalBlowup
+  /// thrown the moment a check trips.
   std::int64_t run(real_t duration, const std::function<void(real_t)>& on_step = {});
+
+  /// Complete restartable image of the simulation at the current cycle
+  /// boundary: backend state snapshot plus receiver trace history. Drains
+  /// backend trace buffers first (hence non-const). Persist with
+  /// resilience::save / resilience::load.
+  [[nodiscard]] resilience::Checkpoint checkpoint();
+
+  /// Rewinds (or fast-forwards) this simulation to a checkpoint — including
+  /// one written by a *different* backend: same-backend restores are bitwise,
+  /// cross-backend ones recompute the frozen-force accumulators (exact to
+  /// roundoff). The facade must be built from the same scenario (same dof
+  /// count and receiver set); mismatches throw CheckpointMismatch. Restoring
+  /// onto a different dt (e.g. after halve_dt recovery) must be explicit via
+  /// `allow_dt_change`.
+  void restore(const resilience::Checkpoint& ck, bool allow_dt_change = false);
+
+  /// Coarse cycles completed since construction (or since the last restore's
+  /// snapshot count).
+  [[nodiscard]] std::int64_t cycles() const;
 
   /// The displacement vector. Gathered from the backend and cached per cycle
   /// (invalidated by run/set_state/repartitioning), so distributed backends
@@ -173,6 +206,7 @@ private:
   LtsStructure structure_;
   std::unique_ptr<Executor> executor_;
   std::vector<sem::Receiver> receivers_;
+  std::unique_ptr<resilience::HealthGuard> guard_;
   bool feedback_applied_ = false;
 
   void advance(std::int64_t cycles, const std::function<void(real_t)>& on_step);

@@ -1,6 +1,11 @@
 #include "mesh/mesh_io.hpp"
 
+#include <cctype>
+#include <charconv>
+#include <cmath>
 #include <fstream>
+
+#include "resilience/error.hpp"
 
 namespace ltswave::mesh {
 
@@ -71,28 +76,153 @@ void save_mesh(const std::string& path, const HexMesh& m) {
   LTS_CHECK_MSG(out.good(), "write failed for " << path);
 }
 
+namespace {
+
+/// Line-oriented tokenizer for the exchange format. Every failure names the
+/// file and 1-based line so a truncated scp or a mangled external-mesher
+/// conversion is diagnosable from the message alone.
+class MeshParser {
+public:
+  explicit MeshParser(const std::string& path) : path_(path), in_(path) {
+    if (!in_.good()) LTS_RAISE(resilience::CorruptInput, "cannot open mesh file " << path_);
+  }
+
+  /// Advances to the next non-empty line and splits it into whitespace
+  /// tokens; throws CorruptInput(`what`) if the file ends first.
+  void next_line(const char* what) {
+    tokens_.clear();
+    std::string line;
+    while (tokens_.empty()) {
+      if (!std::getline(in_, line))
+        LTS_RAISE(resilience::CorruptInput,
+                  path_ << ":" << line_ + 1 << ": truncated mesh file — expected " << what);
+      ++line_;
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+        std::size_t j = i;
+        while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j]))) ++j;
+        if (j > i) tokens_.emplace_back(line.substr(i, j - i));
+        i = j;
+      }
+    }
+    if (tokens_.size() != expected_tokens_ && expected_tokens_ != 0)
+      LTS_RAISE(resilience::CorruptInput,
+                path_ << ":" << line_ << ": expected " << expected_tokens_ << " fields for "
+                      << what << ", got " << tokens_.size());
+  }
+
+  void expect_tokens(std::size_t n) { expected_tokens_ = n; }
+
+  [[nodiscard]] const std::string& token(std::size_t i) const { return tokens_[i]; }
+  [[nodiscard]] std::size_t num_tokens() const { return tokens_.size(); }
+
+  [[nodiscard]] real_t real_at(std::size_t i, const char* what) const {
+    real_t v{};
+    const std::string& t = tokens_[i];
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc{} || ptr != t.data() + t.size() || !std::isfinite(v))
+      LTS_RAISE(resilience::CorruptInput,
+                path_ << ":" << line_ << ": bad " << what << " '" << t
+                      << "' — expected a finite real");
+    return v;
+  }
+
+  [[nodiscard]] index_t index_at(std::size_t i, const char* what, index_t lo, index_t hi) const {
+    long long v{};
+    const std::string& t = tokens_[i];
+    const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+    if (ec != std::errc{} || ptr != t.data() + t.size() || v < lo || v >= hi)
+      LTS_RAISE(resilience::CorruptInput, path_ << ":" << line_ << ": bad " << what << " '" << t
+                                                << "' — expected an integer in [" << lo << ", "
+                                                << hi << ")");
+    return static_cast<index_t>(v);
+  }
+
+  void expect_eof() {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_;
+      for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+          LTS_RAISE(resilience::CorruptInput,
+                    path_ << ":" << line_ << ": trailing garbage after mesh data");
+    }
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+private:
+  std::string path_;
+  std::ifstream in_;
+  std::size_t line_ = 0;
+  std::size_t expected_tokens_ = 0;
+  std::vector<std::string> tokens_;
+};
+
+} // namespace
+
 HexMesh load_mesh(const std::string& path) {
-  std::ifstream in(path);
-  LTS_CHECK_MSG(in.good(), "cannot open " << path);
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  LTS_CHECK_MSG(magic == "ltswave-mesh" && version == 1, "bad mesh header in " << path);
-  index_t nn = 0, ne = 0;
-  in >> nn >> ne;
-  LTS_CHECK_MSG(in.good() && nn > 0 && ne > 0, "bad mesh counts in " << path);
+  MeshParser p(path);
+
+  p.expect_tokens(2);
+  p.next_line("header 'ltswave-mesh 1'");
+  if (p.token(0) != "ltswave-mesh" || p.token(1) != "1")
+    LTS_RAISE(resilience::CorruptInput,
+              path << ":" << p.line() << ": bad mesh header '" << p.token(0) << " " << p.token(1)
+                   << "' — expected 'ltswave-mesh 1'");
+
+  p.next_line("node and element counts");
+  // An absurd count would otherwise turn into a multi-GB allocation before
+  // the first coordinate line is even read.
+  constexpr index_t kMaxCount = 1 << 28;
+  const index_t nn = p.index_at(0, "node count", 1, kMaxCount);
+  const index_t ne = p.index_at(1, "element count", 1, kMaxCount);
 
   std::vector<real_t> coords(static_cast<std::size_t>(nn) * 3);
-  for (auto& v : coords) in >> v;
-  std::vector<index_t> conn(static_cast<std::size_t>(ne) * kCornersPerElem);
-  for (auto& v : conn) in >> v;
-  std::vector<Material> mats(static_cast<std::size_t>(ne));
-  for (auto& mat : mats) in >> mat.vp >> mat.vs >> mat.rho;
-  LTS_CHECK_MSG(!in.fail(), "truncated mesh file " << path);
+  p.expect_tokens(3);
+  for (index_t n = 0; n < nn; ++n) {
+    p.next_line("node coordinates (x y z)");
+    for (int k = 0; k < 3; ++k)
+      coords[static_cast<std::size_t>(n) * 3 + k] = p.real_at(static_cast<std::size_t>(k), "coordinate");
+  }
 
-  HexMesh m(std::move(coords), std::move(conn), std::move(mats));
-  m.validate();
-  return m;
+  std::vector<index_t> conn(static_cast<std::size_t>(ne) * kCornersPerElem);
+  p.expect_tokens(static_cast<std::size_t>(kCornersPerElem));
+  for (index_t e = 0; e < ne; ++e) {
+    p.next_line("element connectivity (8 corner node ids)");
+    for (int k = 0; k < kCornersPerElem; ++k)
+      conn[static_cast<std::size_t>(e) * kCornersPerElem + k] =
+          p.index_at(static_cast<std::size_t>(k), "corner node id", 0, nn);
+  }
+
+  std::vector<Material> mats(static_cast<std::size_t>(ne));
+  p.expect_tokens(3);
+  for (index_t e = 0; e < ne; ++e) {
+    p.next_line("material (vp vs rho)");
+    Material& mat = mats[static_cast<std::size_t>(e)];
+    mat.vp = p.real_at(0, "vp");
+    mat.vs = p.real_at(1, "vs");
+    mat.rho = p.real_at(2, "rho");
+    if (mat.vp <= 0 || mat.rho <= 0 || mat.vs < 0)
+      LTS_RAISE(resilience::CorruptInput, path << ":" << p.line()
+                                               << ": unphysical material (vp=" << mat.vp
+                                               << " vs=" << mat.vs << " rho=" << mat.rho << ")");
+  }
+  p.expect_eof();
+
+  try {
+    HexMesh m(std::move(coords), std::move(conn), std::move(mats));
+    m.validate();
+    return m;
+  } catch (const resilience::CorruptInput&) {
+    throw;
+  } catch (const CheckFailure& e) {
+    // Geometry/topology validation failures become CorruptInput too, with the
+    // offending file named.
+    LTS_RAISE(resilience::CorruptInput, path << ": mesh failed validation: " << e.what());
+  }
 }
 
 } // namespace ltswave::mesh

@@ -33,7 +33,10 @@ CellField make_cell_field(std::string name, const std::vector<index_t>& values);
 void save_mesh(const std::string& path, const HexMesh& m);
 
 /// Loads a mesh written by save_mesh (or hand-converted from an external
-/// mesher). Validates structure; throws CheckFailure on malformed input.
+/// mesher). The parser tracks line numbers and validates every token, count,
+/// coordinate and connectivity entry; truncated or malformed files throw
+/// resilience::CorruptInput (a CheckFailure subclass) whose message carries
+/// `path:line` context instead of producing silent garbage.
 HexMesh load_mesh(const std::string& path);
 
 } // namespace ltswave::mesh

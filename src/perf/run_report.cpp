@@ -193,6 +193,23 @@ void write_report(JsonWriter& w, const RunReport& r) {
     w.value(rf.arithmetic_intensity);
     w.end_object();
   }
+  if (!r.events.empty()) {
+    w.key("events");
+    w.begin_array();
+    for (const RunEvent& e : r.events) {
+      w.begin_object();
+      w.key("kind");
+      w.value(e.kind);
+      w.key("action");
+      w.value(e.action);
+      w.key("cycle");
+      w.value(e.cycle);
+      w.key("detail");
+      w.value(e.detail);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -489,6 +506,18 @@ RunReport report_from_value(const JsonValue& v) {
     if (const auto* q = rf->find("arithmetic_intensity"))
       s.arithmetic_intensity = q->as_double();
     r.roofline = std::move(s);
+  }
+  if (const auto* arr = v.find("events")) {
+    LTS_CHECK_MSG(arr->kind == JsonValue::Kind::Array, "JSON: events must be an array");
+    for (const JsonValue& ev : arr->items) {
+      LTS_CHECK_MSG(ev.kind == JsonValue::Kind::Object, "JSON: event must be an object");
+      RunEvent e;
+      if (const auto* q = ev.find("kind")) e.kind = q->as_string();
+      if (const auto* q = ev.find("action")) e.action = q->as_string();
+      if (const auto* q = ev.find("cycle")) e.cycle = q->as_int64();
+      if (const auto* q = ev.find("detail")) e.detail = q->as_string();
+      r.events.push_back(std::move(e));
+    }
   }
   return r;
 }

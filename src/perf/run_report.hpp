@@ -68,6 +68,21 @@ struct RooflineStat {
   bool operator==(const RooflineStat&) const = default;
 };
 
+/// One resilience event in a run's history: an injected fault firing, a
+/// health-guard trip, a checkpoint, a rollback-and-retry. `kind` names what
+/// happened ("fault-injected", "blowup-detected", "worker-stall", "checkpoint",
+/// "recovery"), `action` what was done about it ("halve_dt", "fallback_executor",
+/// "rollback", "" for pure observations), `cycle` where in the run, `detail`
+/// free-form context (the error message, the fallback executor name, ...).
+struct RunEvent {
+  std::string kind;
+  std::string action;
+  std::int64_t cycle = 0;
+  std::string detail;
+
+  bool operator==(const RunEvent&) const = default;
+};
+
 /// One run's structured observability snapshot. Executors assemble it in
 /// Executor::run_report(); benches fill it directly. Plain value type — safe
 /// to copy, compare and serialize.
@@ -85,6 +100,7 @@ struct RunReport {
   std::vector<std::int64_t> rank_steal_counts;  ///< per rank; empty if serial
   std::vector<PhaseStat> phases; ///< insertion-ordered phase accumulators
   std::optional<RooflineStat> roofline;
+  std::vector<RunEvent> events; ///< resilience history, in occurrence order
 
   /// Accumulates (seconds, count) onto the named phase, appending it in
   /// insertion order on first use.

@@ -1,0 +1,242 @@
+#include "resilience/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "common/check.hpp"
+#include "resilience/error.hpp"
+
+namespace ltswave::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'T', 'S', 'W', 'C', 'K', 'P', 'T'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+// --- payload writer ---------------------------------------------------------
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+void put_real(std::vector<std::uint8_t>& out, real_t v) {
+  const auto off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_reals(std::vector<std::uint8_t>& out, const std::vector<real_t>& v) {
+  put_u64(out, v.size());
+  const auto off = out.size();
+  out.resize(off + v.size() * sizeof(real_t));
+  if (!v.empty()) std::memcpy(out.data() + off, v.data(), v.size() * sizeof(real_t));
+}
+
+void put_i64s(std::vector<std::uint8_t>& out, const std::vector<std::int64_t>& v) {
+  put_u64(out, v.size());
+  for (const std::int64_t x : v) put_u64(out, static_cast<std::uint64_t>(x));
+}
+
+// --- payload reader ---------------------------------------------------------
+
+class Reader {
+public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint64_t u64() {
+    need(sizeof(std::uint64_t), "integer");
+    std::uint64_t v{};
+    std::memcpy(&v, data_ + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  [[nodiscard]] real_t real() {
+    need(sizeof(real_t), "real");
+    real_t v{};
+    std::memcpy(&v, data_ + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  [[nodiscard]] std::string string() {
+    const std::uint64_t n = u64();
+    need(n, "string bytes");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::vector<real_t> reals() {
+    const std::uint64_t n = u64();
+    // Divide, don't multiply: a hostile length must not overflow the check.
+    if (n > (size_ - pos_) / sizeof(real_t))
+      LTS_RAISE(CorruptInput, "truncated checkpoint payload — real array of " << n
+                                                                              << " entries at offset "
+                                                                              << pos_);
+    std::vector<real_t> v(static_cast<std::size_t>(n));
+    if (n) std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(real_t));
+    pos_ += v.size() * sizeof(real_t);
+    return v;
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> i64s() {
+    const std::uint64_t n = u64();
+    std::vector<std::int64_t> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(static_cast<std::int64_t>(u64()));
+    return v;
+  }
+
+  void expect_end() const {
+    if (pos_ != size_)
+      LTS_RAISE(CorruptInput, "checkpoint payload has " << (size_ - pos_) << " trailing bytes");
+  }
+
+private:
+  void need(std::uint64_t n, const char* what) {
+    if (n > size_ - pos_)
+      LTS_RAISE(CorruptInput, "truncated checkpoint payload — expected " << what << " at offset "
+                                                                         << pos_);
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> serialize(const Checkpoint& ck) {
+  std::vector<std::uint8_t> payload;
+  put_string(payload, ck.executor);
+  put_string(payload, ck.config);
+  const core::ExecutorState& s = ck.state;
+  put_reals(payload, s.u);
+  put_reals(payload, s.v_half);
+  put_real(payload, s.time);
+  put_real(payload, s.dt);
+  put_u64(payload, static_cast<std::uint64_t>(s.cycles));
+  put_u64(payload, static_cast<std::uint64_t>(s.element_applies));
+  put_u64(payload, static_cast<std::uint64_t>(s.blocks_applied));
+  put_i64s(payload, s.applies_per_level);
+  put_u64(payload, s.frozen_forces.size());
+  for (const auto& f : s.frozen_forces) put_reals(payload, f);
+  put_reals(payload, s.cumulative);
+  put_u64(payload, ck.traces.size());
+  for (const auto& t : ck.traces) {
+    put_reals(payload, t.times);
+    put_reals(payload, t.values);
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  std::uint32_t version = Checkpoint::kVersion;
+  const auto voff = out.size();
+  out.resize(voff + sizeof version);
+  std::memcpy(out.data() + voff, &version, sizeof version);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a64(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Checkpoint deserialize(const std::uint8_t* data, std::size_t size) {
+  if (size < kHeaderBytes)
+    LTS_RAISE(CorruptInput, "checkpoint too short for a header (" << size << " bytes)");
+  if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+    LTS_RAISE(CorruptInput, "bad checkpoint magic — not an ltswave checkpoint");
+  std::uint32_t version{};
+  std::memcpy(&version, data + 8, sizeof version);
+  if (version != Checkpoint::kVersion)
+    LTS_RAISE(CorruptInput, "unsupported checkpoint version " << version << " (want "
+                                                              << Checkpoint::kVersion << ")");
+  std::uint64_t payload_size{}, checksum{};
+  std::memcpy(&payload_size, data + 12, sizeof payload_size);
+  std::memcpy(&checksum, data + 20, sizeof checksum);
+  if (size - kHeaderBytes != payload_size)
+    LTS_RAISE(CorruptInput, "checkpoint payload size mismatch — header says "
+                                << payload_size << " bytes, file carries "
+                                << (size - kHeaderBytes));
+  const std::uint8_t* payload = data + kHeaderBytes;
+  const std::uint64_t actual = fnv1a64(payload, payload_size);
+  if (actual != checksum)
+    LTS_RAISE(CorruptInput, "checkpoint checksum mismatch — the payload is corrupted");
+
+  Reader r(payload, static_cast<std::size_t>(payload_size));
+  Checkpoint ck;
+  ck.executor = r.string();
+  ck.config = r.string();
+  ck.state.u = r.reals();
+  ck.state.v_half = r.reals();
+  ck.state.time = r.real();
+  ck.state.dt = r.real();
+  ck.state.cycles = static_cast<std::int64_t>(r.u64());
+  ck.state.element_applies = static_cast<std::int64_t>(r.u64());
+  ck.state.blocks_applied = static_cast<std::int64_t>(r.u64());
+  ck.state.applies_per_level = r.i64s();
+  const std::uint64_t nforces = r.u64();
+  ck.state.frozen_forces.reserve(static_cast<std::size_t>(nforces));
+  for (std::uint64_t k = 0; k < nforces; ++k) ck.state.frozen_forces.push_back(r.reals());
+  ck.state.cumulative = r.reals();
+  const std::uint64_t ntraces = r.u64();
+  ck.traces.reserve(static_cast<std::size_t>(ntraces));
+  for (std::uint64_t i = 0; i < ntraces; ++i) {
+    Checkpoint::TraceHistory t;
+    t.times = r.reals();
+    t.values = r.reals();
+    ck.traces.push_back(std::move(t));
+  }
+  r.expect_end();
+  return ck;
+}
+
+void save(const Checkpoint& ck, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize(ck);
+  // Temp-then-rename: a crash mid-write never leaves a half checkpoint under
+  // the final name, so the previous good one survives.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    LTS_CHECK_MSG(f.good(), "cannot open '" << tmp << "' for writing");
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    LTS_CHECK_MSG(f.good(), "write to '" << tmp << "' failed");
+  }
+  LTS_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot rename '" << tmp << "' to '" << path << "'");
+}
+
+Checkpoint load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) LTS_RAISE(CorruptInput, path << ": cannot open checkpoint file");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  try {
+    return deserialize(bytes.data(), bytes.size());
+  } catch (const CorruptInput& e) {
+    LTS_RAISE(CorruptInput, path << ": " << e.what());
+  }
+}
+
+} // namespace ltswave::resilience

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Versioned, checksummed binary checkpoints of a running simulation.
+///
+/// A Checkpoint is the complete restartable image of a WaveSimulation at a
+/// cycle boundary: the backend's ExecutorState snapshot (u, v_half, clock,
+/// work counters, frozen-force accumulators — see core/executor.hpp) plus the
+/// facade-level receiver trace history. Sources and receivers themselves are
+/// *configuration*, not state — a restore target is a facade built from the
+/// same scenario, which re-registers them before restoring.
+///
+/// On-disk format (native endianness — checkpoints are a crash-recovery
+/// mechanism for the machine that wrote them, not an interchange format):
+///
+///   8 bytes  magic "LTSWCKPT"
+///   4 bytes  format version (kVersion)
+///   8 bytes  payload byte count
+///   8 bytes  FNV-1a 64-bit checksum of the payload
+///   payload  length-prefixed fields in a fixed order (serialize())
+///
+/// load() verifies magic, version, length and checksum and throws
+/// CorruptInput naming what failed — a truncated or bit-flipped checkpoint
+/// is refused loudly, never silently restored. save() writes to a temp file
+/// in the same directory and renames it into place, so a crash mid-save never
+/// clobbers the previous good checkpoint.
+///
+/// Restore across *backends* is first-class: a checkpoint written by
+/// "threaded/level-aware+steal" restores onto "serial-lts" (the frozen
+/// accumulators are dropped and recomputed — exact to roundoff; same-backend
+/// restores are bitwise). Compatibility of the discretization itself is the
+/// caller's contract: the state must have the same dof count, enforced by
+/// Executor::import_state (CheckpointMismatch).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/executor.hpp"
+
+namespace ltswave::resilience {
+
+struct Checkpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  /// Registry name of the exporting backend — informational plus a mismatch
+  /// diagnostic; restore onto any backend is allowed.
+  std::string executor;
+  /// Free-form config string of the writing run (kv grammar), informational.
+  std::string config;
+  core::ExecutorState state;
+
+  /// Facade-level receiver trace history at the snapshot (one entry per
+  /// registered receiver, in registration order).
+  struct TraceHistory {
+    std::vector<real_t> times;
+    std::vector<real_t> values;
+
+    bool operator==(const TraceHistory&) const = default;
+  };
+  std::vector<TraceHistory> traces;
+
+  bool operator==(const Checkpoint&) const = default;
+};
+
+/// The framed binary image (header + checksummed payload) / its inverse.
+/// deserialize throws CorruptInput on bad magic, unknown version, truncation
+/// or checksum mismatch.
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Checkpoint& ck);
+[[nodiscard]] Checkpoint deserialize(const std::uint8_t* data, std::size_t size);
+
+/// Atomic file write (temp + rename) / checked read of a serialized
+/// checkpoint. save throws CheckFailure on I/O errors; load throws
+/// CorruptInput with the path on any validation failure.
+void save(const Checkpoint& ck, const std::string& path);
+[[nodiscard]] Checkpoint load(const std::string& path);
+
+/// FNV-1a 64-bit — the payload checksum. Exposed for tests that corrupt
+/// payload bytes and assert detection.
+[[nodiscard]] std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) noexcept;
+
+} // namespace ltswave::resilience

@@ -1,0 +1,36 @@
+#include "resilience/fault.hpp"
+
+#include "common/check.hpp"
+
+namespace ltswave::resilience {
+
+std::string to_string(FaultPlan::Kind kind) {
+  switch (kind) {
+    case FaultPlan::Kind::None: return "none";
+    case FaultPlan::Kind::Nan: return "nan";
+    case FaultPlan::Kind::Stall: return "stall";
+    case FaultPlan::Kind::Throw: return "throw";
+  }
+  return "unknown";
+}
+
+FaultPlan::Kind parse_fault_kind(std::string_view name) {
+  if (name == "none") return FaultPlan::Kind::None;
+  if (name == "nan") return FaultPlan::Kind::Nan;
+  if (name == "stall") return FaultPlan::Kind::Stall;
+  if (name == "throw") return FaultPlan::Kind::Throw;
+  LTS_CHECK_MSG(false, "unknown fault kind '" << name << "' (want none | nan | stall | throw)");
+  return FaultPlan::Kind::None;
+}
+
+std::size_t fault_pick(std::uint64_t seed, std::size_t n) noexcept {
+  if (n == 0) return 0;
+  // splitmix64 — tiny, stateless, and plenty for picking one index.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return static_cast<std::size_t>(z % n);
+}
+
+} // namespace ltswave::resilience

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic, seeded fault-injection plan — the harness behind the
+/// resilience tests and the `fault.*` scenario keys.
+///
+/// A FaultPlan is plain configuration carried on core::SimulationConfig; the
+/// executor backends read it and misbehave, once, at exactly the addressed
+/// (cycle, rank):
+///
+///  * nan   — poke NaN into a state row the addressed rank owns, at the end
+///            of its cycle-`cycle` update phase (race-free: the row is final
+///            for the cycle and only its owner writes it). The corruption
+///            then propagates like a real blow-up until a HealthGuard trips.
+///  * stall — the addressed rank sleeps `stall_ms` mid-cycle, which the
+///            ThreadPool watchdog (scheduler key `watchdog`) reports as a
+///            WorkerStall when the sleep exceeds the timeout.
+///  * throw — raise resilience::Error at the cycle-`cycle` boundary on the
+///            driving thread. (Not from inside a worker: a worker that
+///            abandons its barriers would deadlock its peers, so the
+///            cooperative boundary is the only safe throw point.)
+///
+/// The seed makes the nan target row a deterministic function of the plan,
+/// not of memory layout or timing — reruns corrupt the same dof.
+/// Injection is one-shot per executor instance; a Supervisor that rebuilds
+/// an executor after rollback clears the plan so the fault does not re-fire
+/// on the re-executed cycles.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ltswave::resilience {
+
+struct FaultPlan {
+  enum class Kind { None, Nan, Stall, Throw };
+
+  Kind kind = Kind::None;
+  std::int64_t cycle = -1; ///< 0-based coarse cycle at which to fire
+  int rank = 0;            ///< addressed rank (threaded backends; serial ignores)
+  double stall_ms = 250;   ///< Stall: how long the worker wedges
+  std::uint64_t seed = 0x5eed; ///< Nan: deterministic target-row choice
+
+  [[nodiscard]] bool armed() const noexcept { return kind != Kind::None && cycle >= 0; }
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+[[nodiscard]] std::string to_string(FaultPlan::Kind kind);
+
+/// Parses "none" | "nan" | "stall" | "throw"; throws CheckFailure naming the
+/// accepted spellings otherwise.
+[[nodiscard]] FaultPlan::Kind parse_fault_kind(std::string_view name);
+
+/// Deterministic index choice in [0, n): splitmix64 on the seed. Used to pick
+/// the NaN target among a rank's owned rows.
+[[nodiscard]] std::size_t fault_pick(std::uint64_t seed, std::size_t n) noexcept;
+
+} // namespace ltswave::resilience

@@ -1,0 +1,44 @@
+#include "resilience/health_guard.hpp"
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/energy.hpp"
+#include "core/executor.hpp"
+#include "resilience/error.hpp"
+
+namespace ltswave::resilience {
+
+namespace {
+
+void check_finite(std::span<const real_t> field, const char* name, std::int64_t cycle) {
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (!std::isfinite(field[i]))
+      LTS_RAISE(NumericalBlowup, "non-finite " << name << " at dof " << i << " (value "
+                                               << field[i] << ") at cycle " << cycle);
+  }
+}
+
+} // namespace
+
+void HealthGuard::check(const core::Executor& exec) {
+  const std::int64_t cycle = exec.cycles();
+  const std::vector<real_t>& u = exec.state();
+  const std::span<const real_t> v = exec.v_half();
+  check_finite(u, "displacement", cycle);
+  check_finite(v, "velocity", cycle);
+
+  // ncomp = dofs / nodes; SemSpace knows the node count.
+  const auto nnodes = static_cast<std::size_t>(space_->num_global_nodes());
+  const int nc = nnodes > 0 ? static_cast<int>(v.size() / nnodes) : 1;
+  const double kinetic = static_cast<double>(core::kinetic_energy(*space_, v, nc));
+  if (last_kinetic_ > cfg_.noise_floor && kinetic > cfg_.energy_factor * last_kinetic_)
+    LTS_RAISE(NumericalBlowup, "kinetic energy grew by "
+                                   << (kinetic / last_kinetic_) << "x since the previous check ("
+                                   << last_kinetic_ << " -> " << kinetic << ") at cycle "
+                                   << cycle);
+  last_kinetic_ = kinetic;
+}
+
+} // namespace ltswave::resilience

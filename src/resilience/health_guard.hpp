@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file health_guard.hpp
+/// Cheap in-run state health monitoring: a HealthGuard scans an executor's
+/// (u, v_half) for non-finite values and watches the kinetic energy for
+/// explosive growth between consecutive checks, throwing NumericalBlowup the
+/// moment either trips. The scan is two linear passes over the state plus one
+/// mass-weighted reduction — microseconds against a cycle's kernel work — so
+/// the WaveSimulation facade runs it once per advance by default
+/// (`health-every` config key; see core/simulation.hpp).
+///
+/// The energy heuristic compares consecutive *checks*, not an absolute bound:
+/// a point-source run ramps from zero energy, so any fixed threshold either
+/// false-positives on the ramp or misses real blow-ups late in the run.
+/// Growth by more than `energy_factor` between checks (once energy is
+/// meaningfully nonzero) is the signature of CFL instability — exponential
+/// doubling per step — and never of a physical source ramp.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ltswave::core {
+class Executor;
+}
+namespace ltswave::sem {
+class SemSpace;
+}
+
+namespace ltswave::resilience {
+
+struct HealthGuardConfig {
+  /// Kinetic energy may grow by at most this factor between consecutive
+  /// checks once it exceeds the noise floor.
+  double energy_factor = 1e6;
+  /// Energies below this are treated as "still ramping" and never trip the
+  /// growth check (they do still trip the finiteness check if NaN/Inf).
+  double noise_floor = 1e-30;
+};
+
+class HealthGuard {
+public:
+  explicit HealthGuard(const sem::SemSpace& space, HealthGuardConfig cfg = {})
+      : space_(&space), cfg_(cfg) {}
+
+  /// Scans state()/v_half() for NaN/Inf and the kinetic energy for explosive
+  /// growth since the previous check; throws NumericalBlowup naming the first
+  /// offending dof (or the energy ratio) on failure. O(ndof), no allocation.
+  void check(const core::Executor& exec);
+
+  /// Forgets the energy history (call after a rollback — the restored state's
+  /// energy must not be compared against the failed timeline's).
+  void reset() noexcept { last_kinetic_ = -1; }
+
+private:
+  const sem::SemSpace* space_;
+  HealthGuardConfig cfg_;
+  double last_kinetic_ = -1; ///< < 0: no previous check yet
+};
+
+} // namespace ltswave::resilience

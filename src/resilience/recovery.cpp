@@ -1,0 +1,26 @@
+#include "resilience/recovery.hpp"
+
+#include "common/check.hpp"
+
+namespace ltswave::resilience {
+
+std::string to_string(RecoveryPolicy::OnBlowup action) {
+  switch (action) {
+    case RecoveryPolicy::OnBlowup::HalveDt: return "halve_dt";
+    case RecoveryPolicy::OnBlowup::FallbackExecutor: return "fallback_executor";
+    case RecoveryPolicy::OnBlowup::Abort: return "abort";
+  }
+  return "unknown";
+}
+
+RecoveryPolicy::OnBlowup parse_on_blowup(std::string_view name) {
+  if (name == "halve_dt") return RecoveryPolicy::OnBlowup::HalveDt;
+  if (name == "fallback_executor") return RecoveryPolicy::OnBlowup::FallbackExecutor;
+  if (name == "abort") return RecoveryPolicy::OnBlowup::Abort;
+  LTS_CHECK_MSG(false, "unknown recovery action '" << name
+                                                   << "' (want halve_dt | fallback_executor | "
+                                                      "abort)");
+  return RecoveryPolicy::OnBlowup::Abort;
+}
+
+} // namespace ltswave::resilience

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file recovery.hpp
+/// Declarative recovery policy for supervised runs — the `recovery.*`
+/// scenario keys. A plain value type: scenarios::ScenarioSpec carries one,
+/// resilience::Supervisor executes it. Kept free of heavy includes so the
+/// scenario layer can hold the policy without pulling in the supervisor.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ltswave::resilience {
+
+struct RecoveryPolicy {
+  /// What the Supervisor does after catching a resilience::Error (named for
+  /// the canonical blow-up case; the same action applies to stalls and
+  /// injected throws — all of them roll back to the last good checkpoint
+  /// first):
+  ///  * HalveDt          — halve the Courant number (so dt halves), rebuild,
+  ///                       restore, continue. The classic stability rescue.
+  ///  * FallbackExecutor — rebuild on `fallback` (default "serial-lts"),
+  ///                       restore, continue: graceful degradation from a
+  ///                       threaded backend to the serial baseline.
+  ///  * Abort            — rethrow immediately (supervision only observes).
+  enum class OnBlowup { HalveDt, FallbackExecutor, Abort };
+
+  /// Cycles between in-memory checkpoints; 0 = checkpoint only at the start
+  /// (the whole run retries from t=0 on failure).
+  std::int64_t checkpoint_every = 0;
+  int max_retries = 2;
+  OnBlowup on_blowup = OnBlowup::Abort;
+  std::string fallback = "serial-lts";
+  /// Base retry backoff; doubles per retry (backoff_ms, 2*backoff_ms, ...).
+  double backoff_ms = 10;
+
+  [[nodiscard]] bool supervised() const noexcept {
+    return checkpoint_every > 0 || on_blowup != OnBlowup::Abort;
+  }
+
+  bool operator==(const RecoveryPolicy&) const = default;
+};
+
+[[nodiscard]] std::string to_string(RecoveryPolicy::OnBlowup action);
+
+/// Parses "halve_dt" | "fallback_executor" | "abort"; throws CheckFailure
+/// naming the accepted spellings otherwise.
+[[nodiscard]] RecoveryPolicy::OnBlowup parse_on_blowup(std::string_view name);
+
+} // namespace ltswave::resilience

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// Supervised execution: run a scenario to completion under a declarative
+/// RecoveryPolicy, rolling back to the last good checkpoint when the run
+/// throws a resilience::Error (health-guard blow-up, worker stall, injected
+/// fault) and retrying with the policy's remedy applied.
+///
+/// The Supervisor owns the whole retry loop so callers stay declarative:
+///
+///   auto spec = scenarios::get("strip");
+///   spec.apply_override("recovery.checkpoint-every", "4");
+///   spec.apply_override("recovery.on-blowup", "halve_dt");
+///   auto result = resilience::Supervisor(spec).run();
+///
+/// Progress is tracked in simulated *time*, not cycles — the physical span is
+/// fixed from the original spec up front, so a halve_dt recovery (which
+/// doubles the cycle count of the remaining span) still finishes at the same
+/// end time. Checkpoints are in-memory (crash-restart across processes goes
+/// through resilience::save/load and the scenario_runner CLI instead).
+///
+/// Every rollback is observable: the supervisor records "blowup-detected" /
+/// "worker-stall" and "recovery" events (plus the executors' own
+/// "fault-injected" records, carried over from failed attempts) and merges
+/// them into the final RunReport, so a run that silently healed still tells
+/// the truth in its JSON report.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/run_report.hpp"
+#include "scenarios/scenario.hpp"
+
+namespace ltswave::resilience {
+
+/// What a supervised run produced. Mirrors scenarios::RunResult's user-facing
+/// fields and adds the recovery story.
+struct SupervisorResult {
+  std::vector<real_t> u;
+  real_t end_time = 0;
+  std::vector<std::vector<real_t>> trace_times;  ///< per receiver
+  std::vector<std::vector<real_t>> trace_values; ///< per receiver
+  /// Final report: the finishing executor's own report with every recovery /
+  /// fault event of the whole supervised run (including failed attempts)
+  /// merged into `.events`, in order.
+  perf::RunReport report;
+  /// Registry name of the backend that completed the run ("serial-lts" after
+  /// a fallback_executor recovery, the original otherwise).
+  std::string final_executor;
+  int retries_used = 0;
+
+  [[nodiscard]] bool recovered() const noexcept { return retries_used > 0; }
+};
+
+class Supervisor {
+public:
+  explicit Supervisor(scenarios::ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  /// Runs the scenario to its full duration under spec.recovery. Throws the
+  /// underlying resilience::Error when the policy is Abort or retries are
+  /// exhausted (rethrown unchanged, so callers see the root cause).
+  [[nodiscard]] SupervisorResult run();
+
+private:
+  scenarios::ScenarioSpec spec_;
+};
+
+} // namespace ltswave::resilience

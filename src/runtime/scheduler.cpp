@@ -62,7 +62,7 @@ Oversubscribe parse_oversubscribe(std::string_view name) {
 std::string to_string(const SchedulerConfig& cfg) {
   std::ostringstream os;
   os << "mode=" << to_string(cfg.mode) << " oversubscribe=" << to_string(cfg.oversubscribe)
-     << " chunk=" << cfg.chunk_elems;
+     << " chunk=" << cfg.chunk_elems << " watchdog=" << kv::format_real(cfg.watchdog_seconds);
   return os.str();
 }
 
@@ -75,9 +75,13 @@ SchedulerConfig parse_scheduler_config(std::string_view text) {
       cfg.oversubscribe = parse_oversubscribe(value);
     } else if (key == "chunk") {
       cfg.chunk_elems = kv::parse_int_as<index_t>(key, value);
+    } else if (key == "watchdog") {
+      cfg.watchdog_seconds = kv::parse_real(key, value);
+      LTS_CHECK_MSG(cfg.watchdog_seconds >= 0, "watchdog timeout must be >= 0 seconds");
     } else {
-      LTS_CHECK_MSG(false, "unknown scheduler key '" << key
-                                                     << "' (want mode | oversubscribe | chunk)");
+      LTS_CHECK_MSG(false,
+                    "unknown scheduler key '"
+                        << key << "' (want mode | oversubscribe | chunk | watchdog)");
     }
   }
   return cfg;

@@ -68,12 +68,16 @@ struct SchedulerConfig {
   /// Elements per work-stealing chunk (LevelAwareSteal only); 0 picks a size
   /// that gives each participating rank several chunks per level.
   index_t chunk_elems = 0;
+  /// Stall watchdog timeout in seconds for the worker team; 0 disables it.
+  /// When armed, a run_cycles call where no worker makes progress for this
+  /// long throws resilience::WorkerStall instead of hanging forever.
+  double watchdog_seconds = 0;
 
   bool operator==(const SchedulerConfig&) const = default;
 };
 
-/// "mode=level-aware oversubscribe=forbid chunk=0" — round-trips through
-/// parse_scheduler_config exactly.
+/// "mode=level-aware oversubscribe=forbid chunk=0 watchdog=0" — round-trips
+/// through parse_scheduler_config exactly.
 [[nodiscard]] std::string to_string(const SchedulerConfig& cfg);
 
 /// Parses the to_string format (keys in any order, all optional; defaults

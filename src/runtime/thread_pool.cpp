@@ -1,8 +1,11 @@
 #include "runtime/thread_pool.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "resilience/error.hpp"
 
 namespace ltswave::runtime {
 
@@ -40,11 +43,15 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(int index) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* task = nullptr;
+    std::shared_ptr<const std::function<void(int)>> task;
     {
       std::unique_lock lock(mu_);
       cv_start_.wait(lock, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
+      // A pending generation runs even when the pool is stopping: after a
+      // watchdog abandon, a worker that was never scheduled (oversubscribed
+      // box) must still execute the task, or its peers deadlock at their
+      // rendezvous waiting for arrivals that would never come.
+      if (generation_ == seen) return; // stopping_, nothing pending
       seen = generation_;
       task = task_;
     }
@@ -54,23 +61,62 @@ void ThreadPool::worker_loop(int index) {
     } catch (...) {
       err = std::current_exception();
     }
+    beat(); // finishing (or dying) is progress too
     {
       const std::scoped_lock lock(mu_);
       if (err && !first_error_) first_error_ = err;
+      if (index < static_cast<int>(done_.size())) done_[static_cast<std::size_t>(index)] = 1;
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
 }
 
-void ThreadPool::run(const std::function<void(int)>& fn) {
+void ThreadPool::drain() {
   std::unique_lock lock(mu_);
-  LTS_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant");
-  task_ = &fn;
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn, double watchdog_seconds) {
+  std::unique_lock lock(mu_);
+  LTS_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant (a previous generation was "
+                                 "abandoned by the watchdog and has not drained yet)");
+  task_ = std::make_shared<const std::function<void(int)>>(fn);
   remaining_ = size();
   first_error_ = nullptr;
+  done_.assign(workers_.size(), 0);
   ++generation_;
   cv_start_.notify_all();
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  if (watchdog_seconds > 0) {
+    // Poll for completion, tracking the liveness counter. The generation is
+    // declared stalled only when *no* beat lands for a full timeout window —
+    // slow-but-moving workers never trip it.
+    const auto timeout = std::chrono::duration<double>(watchdog_seconds);
+    std::uint64_t last_beats = beats_.load(std::memory_order_relaxed);
+    auto last_progress = std::chrono::steady_clock::now();
+    for (;;) {
+      if (cv_done_.wait_for(lock, timeout / 8, [&] { return remaining_ == 0; })) break;
+      const std::uint64_t now_beats = beats_.load(std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      if (now_beats != last_beats) {
+        last_beats = now_beats;
+        last_progress = now;
+        continue;
+      }
+      if (now - last_progress < timeout) continue;
+      // Abandon the generation: remaining_ stays > 0 so the reentrancy check
+      // above rejects further runs until the stragglers drain. task_ must
+      // stay set — a worker that has not yet *started* this generation will
+      // still pick it up, and clearing it would hand that worker a null
+      // function. The next successful run() replaces it.
+      std::ostringstream os;
+      os << "worker stall: no progress for " << watchdog_seconds << " s; unfinished workers:";
+      for (std::size_t i = 0; i < done_.size(); ++i)
+        if (!done_[i]) os << ' ' << i;
+      throw resilience::WorkerStall(os.str());
+    }
+  } else {
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
   task_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }

@@ -11,8 +11,11 @@
 /// task queue: LTS ranks are long-lived peers that synchronize among
 /// themselves with barriers).
 
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <condition_variable>
 #include <thread>
@@ -44,7 +47,29 @@ public:
   /// workers synchronize among themselves, a throwing worker can leave its
   /// peers blocked — exceptions are for fatal invariant violations, not
   /// control flow).
-  void run(const std::function<void(int)>& fn);
+  ///
+  /// `watchdog_seconds > 0` arms a stall watchdog: workers (and the task
+  /// itself, via beat()) signal liveness, and when no signal arrives for the
+  /// timeout, run() abandons the generation and throws
+  /// resilience::WorkerStall naming the unfinished workers. The abandoned
+  /// workers keep running the task to completion in the background (threads
+  /// cannot be killed); the pool refuses further run() calls until they
+  /// finish, and the destructor still joins them — a *bounded* stall (an
+  /// injected fault, a transient hang) is detected and survivable, a truly
+  /// wedged worker still blocks teardown.
+  void run(const std::function<void(int)>& fn, double watchdog_seconds = 0);
+
+  /// Liveness signal for the watchdog: call from inside a task at natural
+  /// progress points (the threaded solver beats once per rank per cycle).
+  /// Cheap (one relaxed atomic increment) and safe from any thread.
+  void beat() noexcept { beats_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Blocks until no generation is in flight (abandoned stragglers included).
+  /// Call before destroying state the task closure still references: the
+  /// owner must drain *while its handle to the pool is still valid*, because
+  /// workers may call back into the pool (beat()) right up to their last
+  /// instruction of the task.
+  void drain();
 
   /// std::thread::hardware_concurrency(), but never 0 (unknown -> 1).
   [[nodiscard]] static unsigned hardware_threads() noexcept;
@@ -56,11 +81,15 @@ private:
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(int)>* task_ = nullptr;
+  /// Shared (not raw) so workers outliving an abandoned generation keep the
+  /// task alive after run() has thrown and unwound the caller's frame.
+  std::shared_ptr<const std::function<void(int)>> task_;
   std::uint64_t generation_ = 0;
   int remaining_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::atomic<std::uint64_t> beats_{0};
+  std::vector<std::uint8_t> done_; ///< per worker, reset each generation (mu_)
 };
 
 } // namespace ltswave::runtime

@@ -1,10 +1,14 @@
 #include "runtime/threaded_lts.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <string>
+#include <thread>
 
 #include "common/timer.hpp"
 #include "perf/roofline.hpp"
+#include "resilience/error.hpp"
 
 namespace ltswave::runtime {
 
@@ -338,6 +342,16 @@ void ThreadedLtsSolver::build_steal_reduction() {
   }
 }
 
+ThreadedLtsSolver::~ThreadedLtsSolver() {
+  // Tear the pool down before any member it touches: after a watchdog
+  // timeout, run_cycles throws while workers are still draining the abandoned
+  // generation, and those workers read/write u_, busy_ and friends — and call
+  // pool_->beat(), so the generation must drain while pool_ is still set
+  // (unique_ptr::reset() nulls the pointer *before* ~ThreadPool joins).
+  if (pool_) pool_->drain();
+  pool_.reset();
+}
+
 rank_t ThreadedLtsSolver::level_participants(level_t k) const {
   LTS_CHECK(k >= 1 && k <= levels_->num_levels);
   return static_cast<rank_t>(group_[static_cast<std::size_t>(k - 1)].size());
@@ -469,6 +483,38 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
     t.values.clear();
   }
   cycles_done_ = 0;
+  time_offset_ = 0;
+  fault_fired_.store(false, std::memory_order_relaxed);
+}
+
+void ThreadedLtsSolver::adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half,
+                                        real_t time, std::int64_t cycles_done) {
+  LTS_CHECK(u.size() == ndof_ && v_half.size() == ndof_);
+  LTS_CHECK(cycles_done >= 0);
+  std::copy(u.begin(), u.end(), u_.begin());
+  std::copy(v_half.begin(), v_half.end(), v_.begin());
+  cycles_done_ = cycles_done;
+  // When the adopted clock sits exactly on the cycle grid (same-dt restore),
+  // the offset must be exactly 0.0 or resumed sample times drift by an ulp:
+  // FP contraction would otherwise fuse this into fma(-cycles, dt, time) and
+  // subtract the *exact* product instead of the rounded one.
+  const real_t elapsed = static_cast<real_t>(cycles_done) * dt_;
+  time_offset_ = (time == elapsed) ? real_t(0) : time - elapsed;
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
+  for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
+  for (auto& w : vt_) std::fill(w.begin(), w.end(), 0.0);
+  for (auto& w : usave_) std::fill(w.begin(), w.end(), 0.0);
+}
+
+void ThreadedLtsSolver::import_accumulators(const std::vector<std::vector<real_t>>& forces,
+                                            std::span<const real_t> cumulative) {
+  if (forces.size() != forces_.size() || cumulative.size() != cumulative_.size()) return;
+  for (std::size_t k = 0; k < forces.size(); ++k)
+    if (forces[k].size() != forces_[k].size()) return;
+  for (std::size_t k = 0; k < forces.size(); ++k)
+    std::copy(forces[k].begin(), forces[k].end(), forces_[k].begin());
+  std::copy(cumulative.begin(), cumulative.end(), cumulative_.begin());
 }
 
 void ThreadedLtsSolver::sync(rank_t r, level_t k) {
@@ -743,8 +789,9 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
 
   for (int cyc = 0; cyc < cycles; ++cyc) {
     // Cycle start time from the integer cycle counter: identical however the
-    // caller splits cycles over run_cycles calls.
-    const real_t t0 = static_cast<real_t>(cycles_done_ + cyc) * dt_;
+    // caller splits cycles over run_cycles calls. (The offset is nonzero only
+    // after a checkpoint restore that changed dt — see adopt_raw_state.)
+    const real_t t0 = time_offset_ + static_cast<real_t>(cycles_done_ + cyc) * dt_;
     if (nl == 1) {
       eval_phase(r, 1);
       if (in) {
@@ -765,14 +812,16 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
         }
         if (!rd.receivers.empty()) {
           const WallTimer recv_timer;
-          sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
+          sample_receivers(rd, time_offset_ + static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
           t_recv = recv_timer.seconds();
           tally(rd, slot_receivers(), t_recv);
         }
+        maybe_inject_fault(rd, r, cycles_done_ + cyc);
         const double s = timer.seconds();
         busy_[static_cast<std::size_t>(r)] += s;
         tally(rd, slot_update(), s - t_src - t_recv);
       }
+      pool_->beat();
       sync(r, 1);
       continue;
     }
@@ -824,24 +873,80 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
       // sampling here is race-free.
       if (!rd.receivers.empty()) {
         const WallTimer recv_timer;
-        sample_receivers(rd, static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
+        sample_receivers(rd, time_offset_ + static_cast<real_t>(cycles_done_ + cyc + 1) * dt_);
         t_recv = recv_timer.seconds();
         tally(rd, slot_receivers(), t_recv);
       }
+      maybe_inject_fault(rd, r, cycles_done_ + cyc);
       const double s = timer2.seconds();
       busy_[static_cast<std::size_t>(r)] += s;
       tally(rd, slot_update(), s - t_src - t_recv);
     }
+    pool_->beat();
     sync(r, 1); // cycle boundary: all updates visible for the next cycle
   }
+}
+
+void ThreadedLtsSolver::maybe_inject_fault(const RankData& rd, rank_t r, std::int64_t cycle) {
+  using Kind = resilience::FaultPlan::Kind;
+  if (fault_.kind != Kind::Nan && fault_.kind != Kind::Stall) return;
+  if (!fault_.armed() || cycle != fault_.cycle) return;
+  if (fault_fired_.load(std::memory_order_relaxed)) return;
+  if (r != static_cast<rank_t>(fault_.rank % static_cast<int>(nranks_))) return;
+
+  if (fault_.kind == Kind::Stall) {
+    fault_fired_.store(true, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault_.stall_ms));
+    return;
+  }
+
+  // Nan: poke one row this rank owns. All of rd's update/recon rows are final
+  // for the cycle here and only this rank ever writes them, so the corruption
+  // is race-free and deterministic (seeded index over the rank's row lists).
+  std::size_t nrows = 0;
+  for (const auto& v : rd.update_rows) nrows += v.size();
+  for (const auto& v : rd.recon_rows) nrows += v.size();
+  if (nrows == 0) return; // the addressed rank owns nothing to corrupt
+  std::size_t pick = resilience::fault_pick(fault_.seed, nrows);
+  gindex_t g = -1;
+  for (const auto& v : rd.update_rows) {
+    if (g < 0 && pick < v.size()) g = v[pick];
+    if (g < 0) pick -= v.size();
+  }
+  for (const auto& v : rd.recon_rows) {
+    if (g < 0 && pick < v.size()) g = v[pick];
+    if (g < 0) pick -= v.size();
+  }
+  LTS_CHECK(g >= 0);
+  fault_fired_.store(true, std::memory_order_relaxed);
+  for (int c = 0; c < ncomp_; ++c)
+    u_[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) +
+       static_cast<std::size_t>(c)] = std::numeric_limits<real_t>::quiet_NaN();
 }
 
 double ThreadedLtsSolver::run_cycles(int cycles) {
   LTS_CHECK(cycles >= 0);
   if (cycles == 0) return 0.0;
   const WallTimer total;
-  pool_->run([this, cycles](int worker) { thread_main(static_cast<rank_t>(worker), cycles); });
-  cycles_done_ += cycles;
+  const auto parallel = [&](int n) {
+    pool_->run([this, n](int worker) { thread_main(static_cast<rank_t>(worker), n); },
+               cfg_.watchdog_seconds);
+    cycles_done_ += n;
+  };
+  // An armed throw-fault fires here, on the driving thread, at the addressed
+  // cycle boundary: a worker that threw mid-cycle would abandon its barriers
+  // and deadlock its peers, so the cooperative boundary is the only safe
+  // throw point (see resilience/fault.hpp).
+  if (fault_.kind == resilience::FaultPlan::Kind::Throw && fault_.armed() &&
+      !fault_fired_.load(std::memory_order_relaxed) && fault_.cycle >= cycles_done_ &&
+      fault_.cycle < cycles_done_ + cycles) {
+    const auto before = static_cast<int>(fault_.cycle - cycles_done_);
+    if (before > 0) parallel(before);
+    fault_fired_.store(true, std::memory_order_relaxed);
+    LTS_RAISE(resilience::Error,
+              "injected failure (fault.kind=throw) at cycle " << cycles_done_);
+  }
+  parallel(cycles);
   return total.seconds();
 }
 

@@ -50,6 +50,7 @@
 #include "core/lts_newmark.hpp"
 #include "partition/partition.hpp"
 #include "perf/run_report.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sem/sources.hpp"
@@ -71,7 +72,45 @@ public:
                     const core::LtsStructure& structure, const partition::Partition& part,
                     SchedulerConfig cfg = {});
 
+  /// Joins any workers still draining an abandoned (watchdog-timed-out)
+  /// generation before the state buffers they touch are destroyed.
+  ~ThreadedLtsSolver();
+
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
+
+  /// Checkpoint restore: overwrites u and the staggered v^{n-1/2} verbatim
+  /// (no initialization apply — the checkpoint already captured a mid-run
+  /// staggered pair) and resumes the integer cycle counter at `cycles_done`
+  /// with `time` preserved exactly via an internal offset (so a restore under
+  /// a halved dt keeps absolute time consistent). The frozen-force/cumulative
+  /// accumulators are zeroed — the first cycle's eval phases rebuild them from
+  /// u — unless import_accumulators() restores them afterwards for a bitwise
+  /// same-scheme resume. Sources/receivers are untouched.
+  void adopt_raw_state(std::span<const real_t> u, std::span<const real_t> v_half, real_t time,
+                       std::int64_t cycles_done);
+
+  /// Restores the frozen per-level forces and the cumulative sum captured by
+  /// a checkpoint of the *same* LTS level structure; silently keeps the
+  /// zeroed accumulators (recompute-from-u semantics) when the shapes do not
+  /// match — a cross-scheme restore, where the captured accumulators are
+  /// meaningless here.
+  void import_accumulators(const std::vector<std::vector<real_t>>& forces,
+                           std::span<const real_t> cumulative);
+
+  [[nodiscard]] const std::vector<std::vector<real_t>>& frozen_forces() const noexcept {
+    return forces_;
+  }
+  [[nodiscard]] const std::vector<real_t>& cumulative() const noexcept { return cumulative_; }
+  [[nodiscard]] real_t dt() const noexcept { return dt_; }
+
+  /// Arms the deterministic fault-injection plan (see resilience/fault.hpp).
+  /// One-shot per solver instance: nan/stall fire inside the addressed rank's
+  /// cycle-final update phase, throw fires on the driving thread at the cycle
+  /// boundary in run_cycles. Call before run_cycles, never mid-run.
+  void set_fault(const resilience::FaultPlan& plan) { fault_ = plan; }
+  [[nodiscard]] bool fault_fired() const noexcept {
+    return fault_fired_.load(std::memory_order_relaxed);
+  }
 
   /// Registers a point source; the rank owning the source node's row injects
   /// it during that node's level-local updates. Must not be called while
@@ -105,8 +144,10 @@ public:
   /// Completed LTS cycles since construction / the last set_state. Time and
   /// work counters derive from this integer — no floating-point drift.
   [[nodiscard]] std::int64_t cycles_done() const noexcept { return cycles_done_; }
+  /// time_offset_ is 0 except after an adopt_raw_state whose restored time is
+  /// not cycles * dt (e.g. a dt change across a checkpoint restore).
   [[nodiscard]] real_t time() const noexcept {
-    return static_cast<real_t>(cycles_done_) * dt_;
+    return time_offset_ + static_cast<real_t>(cycles_done_) * dt_;
   }
   /// Element applies consumed so far: cycles_done() * applies_per_cycle.
   [[nodiscard]] std::int64_t element_applies() const noexcept;
@@ -235,6 +276,10 @@ private:
     ++rd.phase_count[slot];
   }
   void thread_main(rank_t r, int cycles);
+  /// Fires the armed nan/stall fault when (cycle, r) matches the plan; called
+  /// from the addressed rank's cycle-final update phase, where every row the
+  /// rank owns is final for the cycle and single-writer (race-free).
+  void maybe_inject_fault(const RankData& rd, rank_t r, std::int64_t cycle);
   void eval_phase(rank_t r, level_t k);
   void run_chunk(RankData& self, Chunk& chunk);
   void run_level(rank_t r, level_t k, real_t t0);
@@ -257,6 +302,10 @@ private:
   int ncomp_;
   real_t dt_;
   std::int64_t cycles_done_ = 0;
+  real_t time_offset_ = 0;
+  resilience::FaultPlan fault_;
+  /// Written by the single addressed rank (nan/stall) or the driver (throw).
+  std::atomic<bool> fault_fired_{false};
   std::size_t ndof_ = 0;
   std::int64_t blocks_per_cycle_ = 0;
 

@@ -79,6 +79,8 @@ core::SimulationConfig ScenarioSpec::config() const {
   cfg.partitioner = partitioner;
   cfg.feedback_warmup_cycles = feedback_warmup_cycles;
   cfg.executor = executor;
+  cfg.health_every = health_every;
+  cfg.fault = fault;
   return cfg;
 }
 
@@ -153,7 +155,9 @@ RunResult run(const ScenarioSpec& spec) {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr std::string_view kScenarioOnlyKeysHelp = "cycles | n | nz | squeeze | mesh | mesh-file";
+constexpr std::string_view kScenarioOnlyKeysHelp =
+    "cycles | n | nz | squeeze | mesh | mesh-file | "
+    "recovery.{checkpoint-every,max-retries,on-blowup,fallback,backoff-ms}";
 } // namespace
 
 std::string cli_keys_help() {
@@ -177,6 +181,8 @@ void ScenarioSpec::apply_override(std::string_view key, std::string_view value) 
     partitioner = cfg.partitioner;
     feedback_warmup_cycles = cfg.feedback_warmup_cycles;
     executor = cfg.executor;
+    health_every = cfg.health_every;
+    fault = cfg.fault;
     // A config key whose field is missing from the copy-back above (or from
     // config()) would otherwise parse fine and silently do nothing — fail
     // loudly at first use instead.
@@ -187,6 +193,22 @@ void ScenarioSpec::apply_override(std::string_view key, std::string_view value) 
   }
   if (key == "cycles") {
     duration_cycles = kv::parse_real(key, value);
+  } else if (key == "recovery.checkpoint-every" || key == "recovery.checkpoint_every") {
+    recovery.checkpoint_every = kv::parse_int_as<std::int64_t>(key, value);
+    LTS_CHECK_MSG(recovery.checkpoint_every >= 0,
+                  "recovery.checkpoint-every wants a cycle stride >= 0, got '" << value << "'");
+  } else if (key == "recovery.max-retries" || key == "recovery.max_retries") {
+    recovery.max_retries = kv::parse_int_as<int>(key, value);
+    LTS_CHECK_MSG(recovery.max_retries >= 0,
+                  "recovery.max-retries wants a count >= 0, got '" << value << "'");
+  } else if (key == "recovery.on-blowup" || key == "recovery.on_blowup") {
+    recovery.on_blowup = resilience::parse_on_blowup(value);
+  } else if (key == "recovery.fallback") {
+    recovery.fallback = value;
+  } else if (key == "recovery.backoff-ms" || key == "recovery.backoff_ms") {
+    recovery.backoff_ms = kv::parse_real(key, value);
+    LTS_CHECK_MSG(recovery.backoff_ms >= 0,
+                  "recovery.backoff-ms wants milliseconds >= 0, got '" << value << "'");
   } else if (key == "n") {
     mesh.n = kv::parse_int_as<index_t>(key, value);
   } else if (key == "nz") {

@@ -36,6 +36,7 @@
 
 #include "core/simulation.hpp"
 #include "mesh/generators.hpp"
+#include "resilience/recovery.hpp"
 
 namespace ltswave::scenarios {
 
@@ -141,6 +142,14 @@ struct ScenarioSpec {
   /// own level census, so every executor — including single-rate references —
   /// simulates the same physical span).
   real_t duration_cycles = 8;
+  /// Health-guard cadence passthrough (`health-every` key; see
+  /// core/simulation.hpp).
+  std::int64_t health_every = 0;
+  /// Deterministic fault-injection plan passthrough (`fault.*` keys).
+  resilience::FaultPlan fault;
+  /// Recovery policy for supervised runs (`recovery.*` keys). Consumed by
+  /// resilience::Supervisor, not by the facade — plain runs ignore it.
+  resilience::RecoveryPolicy recovery;
   std::vector<SourceSpec> sources;
   std::vector<ReceiverSpec> receivers;
   std::vector<InitialBump> initial;

@@ -65,6 +65,13 @@ public:
   [[nodiscard]] const std::vector<real_t>& values() const noexcept { return values_; }
   [[nodiscard]] gindex_t node() const noexcept { return node_; }
 
+  /// Discards every accumulated sample (checkpoint restore rewinds the trace
+  /// history to the snapshot, then re-appends it).
+  void reset_samples() {
+    times_.clear();
+    values_.clear();
+  }
+
   /// Writes "time,value" CSV.
   void write_csv(const std::string& path) const;
 
