@@ -10,7 +10,9 @@
 // Every key=value override is validated with a message naming the accepted
 // spellings; an unknown scenario or executor name prints the registry. The
 // runner-only key `report=<path>` writes the structured perf::RunReport
-// (per-phase timings, counters, roofline) as JSON after the run.
+// (per-phase timings, counters, roofline) as JSON after the run, and
+// `output-dir=<dir>` writes one CSV seismogram per receiver into <dir>
+// (created if missing).
 //
 // Fault tolerance (see docs/robustness.md):
 //   * `checkpoint=<path>` saves a checkpoint at the end of the run (and, with
@@ -25,6 +27,7 @@
 
 #include <csignal>
 #include <exception>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <span>
@@ -51,20 +54,23 @@ int main(int argc, char** argv) {
       std::cout << "  " << name << " — " << core::ExecutorFactory::instance().description(name)
                 << "\n";
     std::cout << "\nkeys: " << scenarios::cli_keys_help()
-              << " | report | checkpoint | checkpoint-every | restore | kill-at-cycle\n";
+              << " | report | output-dir | checkpoint | checkpoint-every | restore"
+                 " | kill-at-cycle\n";
     return 0;
   }
 
   try {
     // Runner keys (report/checkpoint/restore/kill) are not scenario keys —
     // filter them out before the spec parser sees the argv tail.
-    std::string report_path, ckpt_path, restore_path;
+    std::string report_path, ckpt_path, restore_path, output_dir;
     std::int64_t ckpt_every = 0, kill_at = -1;
     std::vector<const char*> kept;
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       if (arg.rfind("report=", 0) == 0)
         report_path = arg.substr(7);
+      else if (arg.rfind("output-dir=", 0) == 0)
+        output_dir = arg.substr(11);
       else if (arg.rfind("checkpoint=", 0) == 0)
         ckpt_path = arg.substr(11);
       else if (arg.rfind("checkpoint-every=", 0) == 0)
@@ -150,6 +156,15 @@ int main(int argc, char** argv) {
       for (real_t x : r.values()) rmax = std::max(rmax, std::abs(x));
       std::cout << "receiver " << i << ": " << r.times().size() << " samples, max |v| = " << rmax
                 << "\n";
+    }
+    if (!output_dir.empty()) {
+      std::filesystem::create_directories(output_dir);
+      for (std::size_t i = 0; i < sim->receivers().size(); ++i) {
+        const auto path =
+            std::filesystem::path(output_dir) / ("seismogram_" + std::to_string(i) + ".csv");
+        sim->receivers()[i].write_csv(path.string());
+        std::cout << "wrote " << path.string() << "\n";
+      }
     }
 
     if (!ckpt_path.empty()) {

@@ -11,23 +11,39 @@
 //   $ ./seismic_point_source ranks=4 scheduler=level-aware+steal
 //   $ ./seismic_point_source executor=threaded/barrier-all ranks=4
 //   $ ./seismic_point_source scenario=crust        # any registered scenario
+//   $ ./seismic_point_source output-dir=out/run1   # CSVs under out/run1/
 //
 // Threaded runs inject sources per rank at the owning rank's level-local
 // updates and sample receivers from per-rank trace buffers, reproducing the
 // serial seismograms to roundoff.
 
 #include <exception>
+#include <filesystem>
 #include <iostream>
 #include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "scenarios/scenario.hpp"
 
 using namespace ltswave;
 
-static void run_demo(const scenarios::ScenarioSpec& spec);
+static void run_demo(const scenarios::ScenarioSpec& spec, const std::string& output_dir);
 
 int main(int argc, char** argv) {
-  const std::span<const char* const> args{argv + 1, static_cast<std::size_t>(argc - 1)};
+  // `output-dir=` is a demo-only key (where the CSVs go) — peel it off before
+  // the spec parser sees the argv tail.
+  std::string output_dir;
+  std::vector<const char*> kept;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("output-dir=", 0) == 0)
+      output_dir = arg.substr(11);
+    else
+      kept.push_back(argv[i]);
+  }
+  const std::span<const char* const> args{kept.data(), kept.size()};
   scenarios::ScenarioSpec spec;
   try {
     spec = scenarios::from_args(args, "trench");
@@ -55,7 +71,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    run_demo(spec);
+    run_demo(spec, output_dir);
   } catch (const std::exception& e) {
     // e.g. an explicit oversubscribe=forbid on a box with too few cores —
     // print the library's message instead of terminating.
@@ -65,7 +81,7 @@ int main(int argc, char** argv) {
   return 0;
 }
 
-static void run_demo(const scenarios::ScenarioSpec& spec) {
+static void run_demo(const scenarios::ScenarioSpec& spec, const std::string& output_dir) {
   auto sim = spec.make_simulation();
   std::cout << "scenario '" << spec.name << "': " << sim->mesh().num_elems() << " elements, "
             << sim->levels().num_levels << " LTS levels, speedup model "
@@ -77,9 +93,11 @@ static void run_demo(const scenarios::ScenarioSpec& spec) {
   sim->run(duration);
   std::cout << " done (" << sim->element_applies() << " element applies)\n";
 
+  if (!output_dir.empty()) std::filesystem::create_directories(output_dir);
   for (std::size_t i = 0; i < sim->receivers().size(); ++i) {
-    const std::string path = "seismogram_" + std::to_string(i) + ".csv";
-    sim->receivers()[i].write_csv(path);
-    std::cout << "wrote " << path << "\n";
+    const auto path =
+        std::filesystem::path(output_dir) / ("seismogram_" + std::to_string(i) + ".csv");
+    sim->receivers()[i].write_csv(path.string());
+    std::cout << "wrote " << path.string() << "\n";
   }
 }

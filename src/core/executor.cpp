@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/timer.hpp"
+#include "core/integrator.hpp"
 #include "core/lts_newmark.hpp"
 #include "core/simulation.hpp"
 #include "partition/feedback.hpp"
@@ -19,6 +20,12 @@
 namespace ltswave::core {
 
 namespace {
+
+/// The integrator the simulation config asks for (default Newmark when no
+/// config rides in the context — the standalone-solver construction path).
+Integrator integrator_for(const ExecutorContext& ctx) {
+  return ctx.cfg ? Integrator::parse(ctx.cfg->integrator) : Integrator::newmark();
+}
 
 /// Per-receiver trace accumulated by the serial adapters (the threaded
 /// backend keeps equivalent traces inside the solver, per owning rank).
@@ -229,6 +236,12 @@ public:
                   "executor '" << this->name() << "' needs a single-level census (got "
                                << ctx.levels->num_levels
                                << " levels) — build levels with assign_single_level");
+    // The stabilized substep rule only exists inside the LTS recursion; the
+    // single-level reference scheme IS plain Newmark, so any other request is
+    // a configuration error rather than something to silently ignore.
+    LTS_CHECK_MSG(integrator_for(ctx).kind() == IntegratorKind::Newmark,
+                  "executor '" << this->name() << "' only runs integrator=newmark (got '"
+                               << ctx.cfg->integrator << "') — pick an LTS backend");
   }
 
 private:
@@ -249,7 +262,8 @@ public:
   SerialLtsExecutor(std::string name, const ExecutorContext& ctx)
       : SerialExecutorBase(std::move(name), ctx,
                            std::make_unique<LtsNewmarkSolver>(*ctx.op, *ctx.levels,
-                                                              *ctx.structure)) {}
+                                                              *ctx.structure,
+                                                              integrator_for(ctx))) {}
 
 private:
   void do_adopt_state_from(const Executor& prev) override {
@@ -259,6 +273,8 @@ private:
                              p.solver_->blocks_applied());
   }
   void export_extra(ExecutorState& s) const override {
+    s.integrator = std::string(solver_->integrator().name());
+    s.integrator_aux = solver_->integrator().aux_state();
     s.applies_per_level = solver_->applies_per_level();
     s.frozen_forces = solver_->frozen_forces();
     s.cumulative = solver_->cumulative();
@@ -297,7 +313,7 @@ public:
     part_ = partition::partition_mesh(*ctx.mesh, ctx.levels->elem_level, ctx.levels->num_levels,
                                       pc);
     solver_ = std::make_unique<runtime::ThreadedLtsSolver>(*ctx.op, *ctx.levels, *ctx.structure,
-                                                           part_, scfg_);
+                                                           part_, scfg_, integrator_for(ctx));
     if (ctx.cfg->fault.armed()) solver_->set_fault(ctx.cfg->fault);
   }
 
@@ -381,6 +397,8 @@ private:
           solver_->cycles_done() * static_cast<std::int64_t>(level_rate(k)) *
           static_cast<std::int64_t>(
               ctx_.structure->eval_elems[static_cast<std::size_t>(k - 1)].size());
+    s.integrator = std::string(solver_->integrator().name());
+    s.integrator_aux = solver_->integrator().aux_state();
     s.frozen_forces = solver_->frozen_forces();
     s.cumulative = solver_->cumulative();
     return s;
@@ -421,7 +439,8 @@ private:
     part_ = partition::refine_with_feedback(*ctx_.mesh, ctx_.levels->elem_level,
                                             ctx_.levels->num_levels, part_, sig, pc);
     auto fresh = std::make_unique<runtime::ThreadedLtsSolver>(*ctx_.op, *ctx_.levels,
-                                                              *ctx_.structure, part_, scfg_);
+                                                              *ctx_.structure, part_, scfg_,
+                                                              solver_->integrator());
     fresh->adopt_state_from(*solver_);
     solver_ = std::move(fresh);
   }

@@ -1,0 +1,25 @@
+#include "core/integrator.hpp"
+
+#include "common/check.hpp"
+
+namespace ltswave::core {
+
+Integrator Integrator::parse(std::string_view name) {
+  if (name.empty() || name == "newmark") return newmark();
+  if (name == "leapfrog-stab" || name == "stabilized-leapfrog") return leapfrog_stab();
+  LTS_CHECK_MSG(false,
+                "unknown integrator '" << name << "' (want " << names_help() << ")");
+  return newmark();
+}
+
+std::string_view Integrator::name() const noexcept {
+  switch (kind_) {
+    case IntegratorKind::Newmark: return "newmark";
+    case IntegratorKind::LeapfrogStab: return "leapfrog-stab";
+  }
+  return "newmark";
+}
+
+std::string_view Integrator::names_help() noexcept { return "newmark | leapfrog-stab"; }
+
+} // namespace ltswave::core

@@ -42,10 +42,11 @@ sem::BatchPlan make_level_plan(const sem::WaveOperator& op, const LtsStructure& 
 // ===========================================================================
 
 LtsNewmarkSolver::LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssignment& levels,
-                                   const LtsStructure& structure)
+                                   const LtsStructure& structure, Integrator integ)
     : op_(&op),
       levels_(&levels),
       structure_(&structure),
+      integ_(integ),
       dt_(levels.dt),
       ncomp_(op.ncomp()),
       ws_(op.make_workspace()),
@@ -204,7 +205,7 @@ void LtsNewmarkSolver::apply_level_blocks(level_t k) {
 }
 
 void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> rows, bool first,
-                                        real_t delta, real_t t_sub, std::vector<real_t>& vt,
+                                        SubstepCoeffs cs, real_t t_sub, std::vector<real_t>& vt,
                                         const real_t* extra) {
   // Rows whose forces are all frozen at this depth: one leapfrog substep with
   // F = cumulative (+ extra, the level's own fresh evaluation) (+ sources).
@@ -234,10 +235,10 @@ void LtsNewmarkSolver::collapsed_update(level_t k, std::span<const gindex_t> row
       if (extra) F += extra[i];
       if (has_sources) F += src_scratch_[i];
       if (first)
-        vt[i] = -0.5 * delta * F;
+        vt[i] = -cs.kick * F;
       else
-        vt[i] -= delta * F;
-      u_[i] += delta * vt[i];
+        vt[i] -= cs.kick * F;
+      u_[i] += cs.drift * vt[i];
     }
   }
   update_seconds_ += timer.seconds();
@@ -275,8 +276,8 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
         reduce_seconds_ += timer.seconds();
         ++reduce_count_;
       }
-      collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
-                       tm, vt, scratch_.data());
+      collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first,
+                       integ_.coeffs(k, nl, first, delta), tm, vt, scratch_.data());
       continue;
     }
 
@@ -319,8 +320,11 @@ void LtsNewmarkSolver::run_level(level_t k, real_t t0) {
 
     // Rows frozen during the child's run advance by one collapsed leapfrog
     // step with F = sum_{j<=k} forces (== cumulative on these rows).
-    collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first, delta,
-                     tm, vt, nullptr);
+    // Non-deepest levels always use the baseline coefficients — coeffs()
+    // perturbs only the deepest level, so this is the literal historical
+    // update for every integrator.
+    collapsed_update(k, structure_->update_rows[static_cast<std::size_t>(k - 1)], first,
+                     integ_.coeffs(k, nl, first, delta), tm, vt, nullptr);
   }
 }
 
@@ -423,10 +427,11 @@ void LtsNewmarkSolver::step() {
 
 LtsNewmarkReference::LtsNewmarkReference(const sem::WaveOperator& op,
                                          const LevelAssignment& levels,
-                                         const LtsStructure& structure)
+                                         const LtsStructure& structure, Integrator integ)
     : op_(&op),
       levels_(&levels),
       structure_(&structure),
+      integ_(integ),
       dt_(levels.dt),
       ncomp_(op.ncomp()),
       ws_(op.make_workspace()) {
@@ -475,14 +480,15 @@ std::vector<real_t> LtsNewmarkReference::run_level(level_t k, const std::vector<
   for (int m = 0; m < 2; ++m) {
     const bool first = (m == 0);
     if (k == nl) {
+      const SubstepCoeffs cs = integ_.coeffs(k, nl, first, delta);
       auto F = apply_level(k, ut);
       for (std::size_t i = 0; i < F.size(); ++i) F[i] += frozen[i];
       for (std::size_t i = 0; i < ut.size(); ++i) {
         if (first)
-          vt[i] = -0.5 * delta * F[i];
+          vt[i] = -cs.kick * F[i];
         else
-          vt[i] -= delta * F[i];
-        ut[i] += delta * vt[i];
+          vt[i] -= cs.kick * F[i];
+        ut[i] += cs.drift * vt[i];
       }
     } else {
       auto fk = apply_level(k, ut);

@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "core/integrator.hpp"
 #include "core/lts_levels.hpp"
 #include "core/newmark.hpp"
 #include "perf/run_report.hpp"
@@ -35,8 +36,12 @@ namespace ltswave::core {
 /// Production multi-level LTS-Newmark solver.
 class LtsNewmarkSolver {
 public:
+  /// `integ` selects the deepest-level substep rule (see integrator.hpp);
+  /// the default reproduces the historical Newmark scheme bit-for-bit.
   LtsNewmarkSolver(const sem::WaveOperator& op, const LevelAssignment& levels,
-                   const LtsStructure& structure);
+                   const LtsStructure& structure, Integrator integ = Integrator::newmark());
+
+  [[nodiscard]] const Integrator& integrator() const noexcept { return integ_; }
 
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
   void add_source(const sem::PointSource& src);
@@ -100,7 +105,7 @@ private:
   void recompute_force(level_t k);
   void apply_level_blocks(level_t k);
   void run_level(level_t k, real_t t0);
-  void collapsed_update(level_t k, std::span<const gindex_t> rows, bool first, real_t delta,
+  void collapsed_update(level_t k, std::span<const gindex_t> rows, bool first, SubstepCoeffs cs,
                         real_t t_sub, std::vector<real_t>& vt, const real_t* extra);
   void apply_sources_to(level_t k, real_t t_sub, std::vector<real_t>& force_accum);
   void clear_source_scratch();
@@ -108,6 +113,7 @@ private:
   const sem::WaveOperator* op_;
   const LevelAssignment* levels_;
   const LtsStructure* structure_;
+  Integrator integ_;
   real_t dt_;
   real_t time_ = 0;
   real_t cycle_t0_ = 0; ///< start of the current cycle; sources freeze here
@@ -150,7 +156,7 @@ private:
 class LtsNewmarkReference {
 public:
   LtsNewmarkReference(const sem::WaveOperator& op, const LevelAssignment& levels,
-                      const LtsStructure& structure);
+                      const LtsStructure& structure, Integrator integ = Integrator::newmark());
 
   void set_state(std::span<const real_t> u0, std::span<const real_t> v0);
   void step();
@@ -168,6 +174,7 @@ private:
   const sem::WaveOperator* op_;
   const LevelAssignment* levels_;
   const LtsStructure* structure_;
+  Integrator integ_;
   real_t dt_;
   real_t time_ = 0;
   int ncomp_;

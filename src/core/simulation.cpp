@@ -5,6 +5,7 @@
 
 #include "common/kv.hpp"
 #include "core/executor.hpp"
+#include "core/integrator.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/error.hpp"
 #include "resilience/health_guard.hpp"
@@ -38,10 +39,10 @@ std::string to_string(const SimulationConfig& cfg) {
      << " scheduler.mode=" << runtime::to_string(cfg.scheduler.mode)
      << " scheduler.oversubscribe=" << runtime::to_string(cfg.scheduler.oversubscribe)
      << " scheduler.chunk=" << cfg.scheduler.chunk_elems;
-  // Resilience keys print only when set, so configs that never touch them
-  // keep the exact historical string (pinned in docs and reports). Defaults
-  // apply to omitted keys on parse, so the round-trip guarantee holds either
-  // way.
+  // Opt-in keys print only when set, so configs that never touch them keep
+  // the exact historical string (pinned in docs and reports). Defaults apply
+  // to omitted keys on parse, so the round-trip guarantee holds either way.
+  if (!cfg.integrator.empty()) os << " integrator=" << cfg.integrator;
   if (cfg.scheduler.watchdog_seconds != 0)
     os << " scheduler.watchdog=" << kv::format_real(cfg.scheduler.watchdog_seconds);
   if (cfg.health_every != 0) os << " health-every=" << cfg.health_every;
@@ -73,6 +74,10 @@ bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
     cfg.feedback_warmup_cycles = kv::parse_int_as<int>(key, value);
   } else if (key == "executor") {
     cfg.executor = value == "auto" ? std::string{} : value;
+  } else if (key == "integrator") {
+    // Validate and canonicalize eagerly: a typo should fail at parse time,
+    // and aliases ("stabilized-leapfrog") should not leak into checkpoints.
+    cfg.integrator = std::string(Integrator::parse(value).name());
   } else if (key == "scheduler" || key == "scheduler.mode") {
     cfg.scheduler.mode = runtime::parse_scheduler_mode_or_throw(value);
   } else if (key == "oversubscribe" || key == "scheduler.oversubscribe") {
@@ -106,7 +111,8 @@ bool try_simulation_config_key(SimulationConfig& cfg, std::string_view key,
 
 std::string_view simulation_config_keys_help() {
   return "order | physics | courant | lts | max-levels | ranks | partitioner | feedback | "
-         "executor | scheduler[.mode] | [scheduler.]oversubscribe | [scheduler.]chunk | "
+         "executor | integrator | scheduler[.mode] | [scheduler.]oversubscribe | "
+         "[scheduler.]chunk | "
          "[scheduler.]watchdog | health-every | "
          "fault.{kind,cycle,rank,stall-ms,seed}";
 }
@@ -289,6 +295,15 @@ void WaveSimulation::restore(const resilience::Checkpoint& ck, bool allow_dt_cha
                                               << dt()
                                               << " (pass allow_dt_change for deliberate "
                                                  "dt-changing restores, e.g. halve_dt recovery)");
+  // Cross-backend restores are fine; cross-*integrator* ones are not — the
+  // staggered (u, v^{t-dt/2}) pair means something different under each
+  // substep rule, so a silent swap would corrupt the physics.
+  if (Integrator::parse(ck.state.integrator) != Integrator::parse(cfg_.integrator))
+    LTS_RAISE(resilience::CheckpointMismatch,
+              "checkpoint was written by integrator '"
+                  << Integrator::parse(ck.state.integrator).name()
+                  << "', this simulation runs '" << Integrator::parse(cfg_.integrator).name()
+                  << "' — rebuild with the matching integrator= key");
   executor_->import_state(ck.state);
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     receivers_[i].reset_samples();

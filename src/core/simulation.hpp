@@ -65,6 +65,12 @@ struct SimulationConfig {
   /// Execution backend by ExecutorFactory name; empty = resolve from the
   /// legacy fields above (see resolve_executor_name in executor.hpp).
   std::string executor;
+  /// Time-integrator name (core/integrator.hpp): "newmark" (default, also
+  /// selected by the empty string) or "leapfrog-stab" — the Grote/Michel/
+  /// Sauter stabilized leapfrog substep rule on the deepest LTS level.
+  /// Orthogonal to `executor`: every LTS backend honors it; the single-level
+  /// "newmark" backend rejects anything but the default.
+  std::string integrator;
   /// Health-guard cadence: -1 disables it, 0 (default) checks the state once
   /// at the end of every run() call — free relative to a run's kernel work —
   /// and N > 0 splits each run into N-cycle chunks checked individually.
@@ -78,7 +84,8 @@ struct SimulationConfig {
 /// "order=4 physics=acoustic courant=0.12 lts=on max-levels=12 ranks=0
 ///  partitioner=scotch-p feedback=0 executor=auto scheduler.mode=level-aware
 ///  scheduler.oversubscribe=forbid scheduler.chunk=0" — round-trips through
-/// parse_simulation_config exactly.
+/// parse_simulation_config exactly. Opt-in keys (integrator, the resilience
+/// family) print only when set, so default configs keep this exact string.
 [[nodiscard]] std::string to_string(const SimulationConfig& cfg);
 
 /// Applies one `key=value` setting to `cfg`. Returns false when `key` is not

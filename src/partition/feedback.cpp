@@ -35,14 +35,21 @@ std::vector<double> rank_cost_factors(std::span<const level_t> elem_levels,
     work[static_cast<std::size_t>(current.part[e])] += w;
     total_work += w;
   }
-  const double total_busy =
-      std::accumulate(sig.busy_seconds.begin(), sig.busy_seconds.end(), 0.0);
+  // A rank whose timer misbehaved (negative or non-finite busy time) must not
+  // poison the mean or its own factor — treat it as unmeasured (neutral).
+  const auto measured = [&](std::size_t r) {
+    return std::isfinite(sig.busy_seconds[r]) && sig.busy_seconds[r] >= 0;
+  };
+  double total_busy = 0.0;
+  for (std::size_t r = 0; r < k; ++r)
+    if (measured(r)) total_busy += sig.busy_seconds[r];
 
   std::vector<double> factors(k, 1.0);
   if (total_busy <= 0 || total_work <= 0) return factors; // nothing measured
   const double mean_cost = total_busy / total_work;       // seconds per applied element
   for (std::size_t r = 0; r < k; ++r) {
     if (work[r] <= 0) continue; // empty rank: keep neutral weight
+    if (!measured(r)) continue; // broken timer: keep neutral weight
     const double cost = sig.busy_seconds[r] / work[r];
     factors[r] = std::clamp(cost / mean_cost, 1.0 / kMaxCostFactor, kMaxCostFactor);
   }

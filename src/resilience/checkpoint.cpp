@@ -1,5 +1,6 @@
 #include "resilience/checkpoint.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,7 +14,20 @@ namespace ltswave::resilience {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'T', 'S', 'W', 'C', 'K', 'P', 'T'};
-constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+// magic + version + 2 arch-tag bytes + payload size + checksum.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 1 + 1 + 8 + 8;
+
+constexpr std::uint8_t kLittleEndianTag = 0x01;
+constexpr std::uint8_t kBigEndianTag = 0x02;
+
+constexpr std::uint8_t byte_order_tag() noexcept {
+  return std::endian::native == std::endian::little ? kLittleEndianTag : kBigEndianTag;
+}
+
+const char* byte_order_name(std::uint8_t tag) noexcept {
+  return tag == kLittleEndianTag ? "little-endian"
+                                 : (tag == kBigEndianTag ? "big-endian" : "unknown-endian");
+}
 
 // --- payload writer ---------------------------------------------------------
 
@@ -141,6 +155,8 @@ std::vector<std::uint8_t> serialize(const Checkpoint& ck) {
   put_u64(payload, s.frozen_forces.size());
   for (const auto& f : s.frozen_forces) put_reals(payload, f);
   put_reals(payload, s.cumulative);
+  put_string(payload, s.integrator);
+  put_reals(payload, s.integrator_aux);
   put_u64(payload, ck.traces.size());
   for (const auto& t : ck.traces) {
     put_reals(payload, t.times);
@@ -154,6 +170,8 @@ std::vector<std::uint8_t> serialize(const Checkpoint& ck) {
   const auto voff = out.size();
   out.resize(voff + sizeof version);
   std::memcpy(out.data() + voff, &version, sizeof version);
+  out.push_back(byte_order_tag());
+  out.push_back(static_cast<std::uint8_t>(sizeof(real_t)));
   put_u64(out, payload.size());
   put_u64(out, fnv1a64(payload.data(), payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
@@ -170,9 +188,24 @@ Checkpoint deserialize(const std::uint8_t* data, std::size_t size) {
   if (version != Checkpoint::kVersion)
     LTS_RAISE(CorruptInput, "unsupported checkpoint version " << version << " (want "
                                                               << Checkpoint::kVersion << ")");
+  // Arch tags come before the checksum check on purpose: a foreign-arch file
+  // has a *valid* checksum over bytes this build would misinterpret, so it
+  // must be refused on the tag alone.
+  const std::uint8_t order = data[12];
+  const std::uint8_t real_width = data[13];
+  if (order != byte_order_tag())
+    LTS_RAISE(CheckpointMismatch, "checkpoint was written on a "
+                                      << byte_order_name(order) << " machine, this build is "
+                                      << byte_order_name(byte_order_tag())
+                                      << " — checkpoints are not an interchange format");
+  if (real_width != sizeof(real_t))
+    LTS_RAISE(CheckpointMismatch, "checkpoint was written with sizeof(real_t)="
+                                      << static_cast<int>(real_width) << ", this build uses "
+                                      << sizeof(real_t)
+                                      << " — checkpoints are not an interchange format");
   std::uint64_t payload_size{}, checksum{};
-  std::memcpy(&payload_size, data + 12, sizeof payload_size);
-  std::memcpy(&checksum, data + 20, sizeof checksum);
+  std::memcpy(&payload_size, data + 14, sizeof payload_size);
+  std::memcpy(&checksum, data + 22, sizeof checksum);
   if (size - kHeaderBytes != payload_size)
     LTS_RAISE(CorruptInput, "checkpoint payload size mismatch — header says "
                                 << payload_size << " bytes, file carries "
@@ -198,6 +231,8 @@ Checkpoint deserialize(const std::uint8_t* data, std::size_t size) {
   ck.state.frozen_forces.reserve(static_cast<std::size_t>(nforces));
   for (std::uint64_t k = 0; k < nforces; ++k) ck.state.frozen_forces.push_back(r.reals());
   ck.state.cumulative = r.reals();
+  ck.state.integrator = r.string();
+  ck.state.integrator_aux = r.reals();
   const std::uint64_t ntraces = r.u64();
   ck.traces.reserve(static_cast<std::size_t>(ntraces));
   for (std::uint64_t i = 0; i < ntraces; ++i) {
@@ -234,6 +269,10 @@ Checkpoint load(const std::string& path) {
                                   std::istreambuf_iterator<char>());
   try {
     return deserialize(bytes.data(), bytes.size());
+  } catch (const CheckpointMismatch& e) {
+    // Rethrow with the path but keep the type — the arch-mismatch diagnostic
+    // must stay catchable as CheckpointMismatch, not decay to CorruptInput.
+    LTS_RAISE(CheckpointMismatch, path << ": " << e.what());
   } catch (const CorruptInput& e) {
     LTS_RAISE(CorruptInput, path << ": " << e.what());
   }

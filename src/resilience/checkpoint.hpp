@@ -15,9 +15,18 @@
 ///
 ///   8 bytes  magic "LTSWCKPT"
 ///   4 bytes  format version (kVersion)
+///   1 byte   byte-order tag (0x01 little-endian, 0x02 big-endian)
+///   1 byte   sizeof(real_t) of the writing build
 ///   8 bytes  payload byte count
 ///   8 bytes  FNV-1a 64-bit checksum of the payload
 ///   payload  length-prefixed fields in a fixed order (serialize())
+///
+/// The two arch-tag bytes make "not an interchange format" enforceable: a
+/// checkpoint carried to a machine (or build) with a different byte order or
+/// real_t width fails with CheckpointMismatch naming the difference, instead
+/// of passing the checksum and deserializing garbage numbers. Version 2
+/// added the arch tag plus the integrator name and aux-state payload fields;
+/// version-1 files are refused (CorruptInput, unsupported version).
 ///
 /// load() verifies magic, version, length and checksum and throws
 /// CorruptInput naming what failed — a truncated or bit-flipped checkpoint
@@ -42,7 +51,7 @@
 namespace ltswave::resilience {
 
 struct Checkpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   /// Registry name of the exporting backend — informational plus a mismatch
   /// diagnostic; restore onto any backend is allowed.

@@ -15,12 +15,14 @@ namespace ltswave::runtime {
 ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
                                      const core::LevelAssignment& levels,
                                      const core::LtsStructure& structure,
-                                     const partition::Partition& part, SchedulerConfig cfg)
+                                     const partition::Partition& part, SchedulerConfig cfg,
+                                     core::Integrator integ)
     : op_(&op),
       levels_(&levels),
       structure_(&structure),
       part_(&part),
       cfg_(cfg),
+      integ_(integ),
       nranks_(part.num_parts),
       ncomp_(op.ncomp()),
       dt_(levels.dt) {
@@ -653,13 +655,12 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
 }
 
 void ThreadedLtsSolver::apply_rank_sources(const RankData& rd, level_t k, real_t t_src,
-                                           bool first, real_t delta, real_t* vel,
-                                           bool physical) {
+                                           core::SubstepCoeffs cs, real_t* vel) {
   // Post-correction equivalent of the serial solver's "F += src_scratch":
   // the updates are linear in F, so folding the source term in afterwards
   // gives the same result up to a last-ulp reassociation. S is the serial
-  // src_scratch_ entry: -Minv f(t) so that v -= delta * F realizes
-  // v += delta * Minv f.
+  // src_scratch_ entry: -Minv f(t) so that v -= kick * F realizes
+  // v += kick * Minv f.
   for (const auto& s : rd.sources[static_cast<std::size_t>(k - 1)]) {
     const real_t val = s.amplitude * s.wavelet(t_src);
     const real_t im = inv_mass_[static_cast<std::size_t>(s.node)];
@@ -667,9 +668,9 @@ void ThreadedLtsSolver::apply_rank_sources(const RankData& rd, level_t k, real_t
       const std::size_t i = static_cast<std::size_t>(s.node) * static_cast<std::size_t>(ncomp_) +
                             static_cast<std::size_t>(c);
       const real_t S = -im * val * s.direction[static_cast<std::size_t>(c)];
-      const real_t dv = physical ? -delta * S : (first ? -0.5 : -1.0) * delta * S;
+      const real_t dv = -cs.kick * S;
       vel[i] += dv;
-      u_[i] += delta * dv;
+      u_[i] += cs.drift * dv;
     }
   }
 }
@@ -694,6 +695,9 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
   for (int m = 0; m < 2; ++m) {
     const bool first = (m == 0);
     if (k == nl) {
+      // The one integrator-dependent update: the deepest level's kick/drift
+      // pair (baseline {first ? delta/2 : delta, delta} for Newmark).
+      const core::SubstepCoeffs cs = integ_.coeffs(k, nl, first, delta);
       eval_phase(r, k);
       if (in) {
         const WallTimer timer;
@@ -702,17 +706,17 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
             const std::size_t i = static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c);
             const real_t F = cumulative_[i] + scratch_[i];
             if (first)
-              vt[i] = -0.5 * delta * F;
+              vt[i] = -cs.kick * F;
             else
-              vt[i] -= delta * F;
-            u_[i] += delta * vt[i];
+              vt[i] -= cs.kick * F;
+            u_[i] += cs.drift * vt[i];
           }
         // Sources are sampled frozen at the cycle start (the serial scheme's
         // midpoint rule; see LtsNewmarkSolver::collapsed_update).
         double t_src = 0;
         if (has_sources) {
           const WallTimer src_timer;
-          apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
+          apply_rank_sources(rd, k, t0, cs, vt.data());
           t_src = src_timer.seconds();
           tally(rd, slot_sources(), t_src);
         }
@@ -769,7 +773,9 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
       double t_src = 0;
       if (has_sources) {
         const WallTimer src_timer;
-        apply_rank_sources(rd, k, t0, first, delta, vt.data(), false);
+        // Non-deepest collapsed updates always use the baseline coefficients,
+        // for every integrator.
+        apply_rank_sources(rd, k, t0, {first ? real_t(0.5) * delta : delta, delta}, vt.data());
         t_src = src_timer.seconds();
         tally(rd, slot_sources(), t_src);
       }
@@ -806,7 +812,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
         double t_src = 0, t_recv = 0;
         if (has_sources) {
           const WallTimer src_timer;
-          apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+          apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.data());
           t_src = src_timer.seconds();
           tally(rd, slot_sources(), t_src);
         }
@@ -864,7 +870,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
       double t_src = 0, t_recv = 0;
       if (has_sources) {
         const WallTimer src_timer;
-        apply_rank_sources(rd, 1, t0, false, dt_, v_.data(), true);
+        apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.data());
         t_src = src_timer.seconds();
         tally(rd, slot_sources(), t_src);
       }

@@ -68,9 +68,13 @@ public:
     std::vector<real_t> values;
   };
 
+  /// `integ` selects the deepest-level substep rule (core/integrator.hpp);
+  /// the default reproduces the historical Newmark scheme bit-for-bit.
   ThreadedLtsSolver(const sem::WaveOperator& op, const core::LevelAssignment& levels,
                     const core::LtsStructure& structure, const partition::Partition& part,
-                    SchedulerConfig cfg = {});
+                    SchedulerConfig cfg = {}, core::Integrator integ = core::Integrator::newmark());
+
+  [[nodiscard]] const core::Integrator& integrator() const noexcept { return integ_; }
 
   /// Joins any workers still draining an abandoned (watchdog-timed-out)
   /// generation before the state buffers they touch are destroyed.
@@ -286,11 +290,11 @@ private:
   void sync(rank_t r, level_t k);
   /// Folds this rank's level-k sources (sampled at t_src) into an update that
   /// already ran without them: vel (vt or v) and u are post-corrected by the
-  /// same linear terms the serial solver folds into F. `physical` selects the
-  /// leapfrog form used on level-1/single-level rows (v -= delta * F) versus
-  /// the collapsed vt form of the inner levels.
-  void apply_rank_sources(const RankData& rd, level_t k, real_t t_src, bool first, real_t delta,
-                          real_t* vel, bool physical);
+  /// same linear terms the serial solver folds into F, using the substep's
+  /// own kick/drift coefficients (the physical level-1 step passes
+  /// {dt, dt} — the leapfrog form v -= dt * F).
+  void apply_rank_sources(const RankData& rd, level_t k, real_t t_src, core::SubstepCoeffs cs,
+                          real_t* vel);
   void sample_receivers(const RankData& rd, real_t t);
 
   const sem::WaveOperator* op_;
@@ -298,6 +302,7 @@ private:
   const core::LtsStructure* structure_;
   const partition::Partition* part_;
   SchedulerConfig cfg_;
+  core::Integrator integ_;
   rank_t nranks_;
   int ncomp_;
   real_t dt_;

@@ -79,6 +79,7 @@ core::SimulationConfig ScenarioSpec::config() const {
   cfg.partitioner = partitioner;
   cfg.feedback_warmup_cycles = feedback_warmup_cycles;
   cfg.executor = executor;
+  cfg.integrator = integrator;
   cfg.health_every = health_every;
   cfg.fault = fault;
   return cfg;
@@ -181,6 +182,7 @@ void ScenarioSpec::apply_override(std::string_view key, std::string_view value) 
     partitioner = cfg.partitioner;
     feedback_warmup_cycles = cfg.feedback_warmup_cycles;
     executor = cfg.executor;
+    integrator = cfg.integrator;
     health_every = cfg.health_every;
     fault = cfg.fault;
     // A config key whose field is missing from the copy-back above (or from

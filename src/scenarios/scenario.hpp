@@ -131,6 +131,10 @@ struct ScenarioSpec {
   /// (ranks > 1 -> threaded/<scheduler.mode>, else use_lts ? serial-lts
   /// : newmark).
   std::string executor;
+  /// Time-integrator name passthrough (`integrator=` key; see
+  /// core/integrator.hpp). Empty = newmark; "leapfrog-stab" runs the
+  /// stabilized-leapfrog substep rule on the deepest LTS level.
+  std::string integrator;
   /// Legacy shim passthrough (lts=off CLI key): with no explicit executor,
   /// false resolves single-rate reference backends.
   bool use_lts = true;
@@ -159,6 +163,7 @@ struct ScenarioSpec {
   ScenarioSpec& with_physics(core::Physics p) { physics = p; return *this; }
   ScenarioSpec& with_courant(real_t c) { courant = c; return *this; }
   ScenarioSpec& with_executor(std::string name_) { executor = std::move(name_); return *this; }
+  ScenarioSpec& with_integrator(std::string name_) { integrator = std::move(name_); return *this; }
   ScenarioSpec& with_ranks(rank_t ranks) { num_ranks = ranks; return *this; }
   ScenarioSpec& with_scheduler(runtime::SchedulerMode m) { scheduler.mode = m; return *this; }
   ScenarioSpec& with_cycles(real_t cycles) { duration_cycles = cycles; return *this; }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/simulation.hpp"
 #include "mesh/generators.hpp"
@@ -77,6 +78,48 @@ TEST(Feedback, NeutralSignalKeepsFactorsAtOne) {
   empty.steal_counts.assign(4, 0);
   for (double f : rank_cost_factors(rig.levels.elem_level, rig.part, empty))
     EXPECT_EQ(f, 1.0);
+}
+
+TEST(Feedback, EmptyRankGetsNeutralFactorNotDivideByZero) {
+  // Regression: a rank that owns zero elements has zero modeled work; the
+  // cost model must skip it (neutral factor) instead of dividing by it.
+  FeedbackRig rig(4);
+  Partition p = rig.part;
+  for (auto& r : p.part)
+    if (r == 3) r = 0; // empty out rank 3
+  FeedbackSignal sig;
+  sig.busy_seconds = {2.0, 1.0, 1.0, 0.0};
+  sig.stall_seconds.assign(4, 0.0);
+  sig.steal_counts.assign(4, 0);
+  const auto f = rank_cost_factors(rig.levels.elem_level, p, sig);
+  ASSERT_EQ(f.size(), 4u);
+  for (double x : f) EXPECT_TRUE(std::isfinite(x)) << x;
+  EXPECT_EQ(f[3], 1.0) << "empty rank must keep the neutral weight";
+
+  // And the full refinement path on that degenerate layout still produces a
+  // valid partition on the requested rank count.
+  PartitionerConfig cfg;
+  cfg.strategy = Strategy::ScotchP;
+  cfg.num_parts = 4;
+  const auto refined =
+      refine_with_feedback(rig.mesh, rig.levels.elem_level, rig.levels.num_levels, p, sig, cfg);
+  refined.validate();
+  EXPECT_EQ(refined.num_parts, 4);
+}
+
+TEST(Feedback, NonFiniteBusySecondsStayNeutral) {
+  // Regression: a broken per-rank timer (NaN or Inf busy time) must neither
+  // poison the work-weighted mean nor produce a non-finite factor.
+  FeedbackRig rig(4);
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), -1.0}) {
+    auto sig = rig.signal(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+    sig.busy_seconds[2] = bad;
+    const auto f = rank_cost_factors(rig.levels.elem_level, rig.part, sig);
+    ASSERT_EQ(f.size(), 4u);
+    for (double x : f) EXPECT_TRUE(std::isfinite(x)) << "bad=" << bad;
+    EXPECT_EQ(f[2], 1.0) << "unmeasured rank must keep the neutral weight (bad=" << bad << ")";
+  }
 }
 
 TEST(Feedback, RefinedPartitionShiftsWorkOffSlowRank) {

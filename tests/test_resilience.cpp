@@ -190,6 +190,9 @@ resilience::Checkpoint small_checkpoint() {
   ck.state.applies_per_level = {8, 4};
   ck.state.frozen_forces = {{0.1, 0.2, 0.3}, {}};
   ck.state.cumulative = {0.1, 0.2, 0.3};
+  // Non-default integrator fields so the round trip exercises the v2 payload.
+  ck.state.integrator = "leapfrog-stab";
+  ck.state.integrator_aux = {0.5, -0.25};
   ck.traces = {{{0.0625, 0.125}, {1e-3, 2e-3}}, {{}, {}}};
   return ck;
 }
@@ -211,9 +214,9 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
 
 TEST(Checkpoint, EveryPayloadBitFlipIsDetected) {
   auto bytes = resilience::serialize(small_checkpoint());
-  // Flip one byte in every position of the payload (past the 28-byte header):
+  // Flip one byte in every position of the payload (past the 30-byte header):
   // the FNV-1a checksum must catch each one.
-  for (std::size_t i = 28; i < bytes.size(); i += 7) {
+  for (std::size_t i = 30; i < bytes.size(); i += 7) {
     auto corrupted = bytes;
     corrupted[i] ^= 0x40;
     EXPECT_THROW((void)resilience::deserialize(corrupted.data(), corrupted.size()),
@@ -247,6 +250,44 @@ TEST(Checkpoint, HeaderValidationNamesTheFailure) {
   expect_corrupt(truncated, "size mismatch");
 
   expect_corrupt(std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + 10), "header");
+}
+
+TEST(Checkpoint, ForeignArchTagThrowsCheckpointMismatch) {
+  // The two arch-tag bytes (offsets 12/13: byte order, sizeof(real_t)) guard
+  // against restoring a checkpoint written by an incompatible machine or
+  // build. The payload checksum of such a file is *valid*, so the refusal
+  // must come from the tag itself — and as CheckpointMismatch (a wrong-world
+  // checkpoint), not CorruptInput (a damaged one).
+  const auto bytes = resilience::serialize(small_checkpoint());
+
+  auto expect_mismatch = [](std::vector<std::uint8_t> b, const char* needle) {
+    try {
+      (void)resilience::deserialize(b.data(), b.size());
+      FAIL() << "expected CheckpointMismatch for " << needle;
+    } catch (const resilience::CheckpointMismatch& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+
+  auto foreign_order = bytes;
+  foreign_order[12] = foreign_order[12] == 0x01 ? 0x02 : 0x01;
+  expect_mismatch(foreign_order, "endian");
+
+  auto foreign_width = bytes;
+  foreign_width[13] = foreign_width[13] == 4 ? 8 : 4;
+  expect_mismatch(foreign_width, "sizeof(real_t)");
+
+  // Through load() the type survives and the path is named.
+  const auto path = tmp_path("ltswave_ckpt_foreign.ckpt");
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(foreign_order.data()),
+             static_cast<std::streamsize>(foreign_order.size()));
+  try {
+    (void)resilience::load(path);
+    FAIL() << "expected CheckpointMismatch";
+  } catch (const resilience::CheckpointMismatch& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
 }
 
 TEST(Checkpoint, LoadNamesThePathOnFailure) {
@@ -347,6 +388,51 @@ TEST(CheckpointRestore, MismatchedShapeThrowsCheckpointMismatch) {
   auto ck2 = sim->checkpoint();
   ck2.traces.pop_back();
   EXPECT_THROW(sim->restore(ck2), resilience::CheckpointMismatch);
+}
+
+TEST(CheckpointRestore, IntegratorMismatchThrowsCheckpointMismatch) {
+  // The staggered (u, v_half) pair means something different under each
+  // substep rule, so a cross-integrator restore must be refused — in both
+  // directions.
+  auto newmark_spec = strip_spec("serial-lts");
+  auto stab_spec = newmark_spec;
+  stab_spec.integrator = "leapfrog-stab";
+
+  auto newmark_sim = newmark_spec.make_simulation();
+  newmark_sim->run(2 * newmark_sim->dt());
+  const auto newmark_ck = newmark_sim->checkpoint();
+  EXPECT_EQ(newmark_ck.state.integrator, "newmark");
+
+  auto stab_sim = stab_spec.make_simulation();
+  stab_sim->run(2 * stab_sim->dt());
+  const auto stab_ck = stab_sim->checkpoint();
+  EXPECT_EQ(stab_ck.state.integrator, "leapfrog-stab");
+
+  EXPECT_THROW(stab_sim->restore(newmark_ck), resilience::CheckpointMismatch);
+  EXPECT_THROW(newmark_sim->restore(stab_ck), resilience::CheckpointMismatch);
+  EXPECT_NO_THROW(stab_sim->restore(stab_ck));
+  EXPECT_NO_THROW(newmark_sim->restore(newmark_ck));
+}
+
+TEST(CheckpointRestore, LeapfrogStabSameBackendRestoreIsBitwise) {
+  // The bitwise-resume guarantee holds per integrator, not just for the
+  // default scheme.
+  auto spec = strip_spec("serial-lts");
+  spec.integrator = "leapfrog-stab";
+
+  auto ref = spec.make_simulation();
+  ref->run(6 * ref->dt());
+
+  auto half = spec.make_simulation();
+  half->run(3 * half->dt());
+  const auto ck = half->checkpoint();
+
+  auto resumed = spec.make_simulation();
+  resumed->restore(ck);
+  resumed->run(3 * resumed->dt());
+  ASSERT_EQ(resumed->u().size(), ref->u().size());
+  EXPECT_EQ(0, std::memcmp(resumed->u().data(), ref->u().data(),
+                           ref->u().size() * sizeof(real_t)));
 }
 
 TEST(CheckpointRestore, DtChangeNeedsExplicitOptIn) {
