@@ -108,16 +108,19 @@ int main() {
       solver.reset_counters();
       solver.run_cycles(200);
       const auto ms = [](double s) { return s * 1e3; };
+      // One snapshot per counter (the accessors return fresh copies).
+      const std::vector<double> busy = solver.busy_seconds();
+      const std::vector<double> stall = solver.stall_seconds();
+      const std::vector<std::int64_t> steals = solver.steal_counts();
       rt.row()
           .cell(label)
           .cell(to_string(mode))
           .cell(static_cast<std::int64_t>(solver.level_participants(2)))
-          .cell(std::to_string(ms(solver.busy_seconds()[0])).substr(0, 5) + " / " +
-                std::to_string(ms(solver.busy_seconds()[1])).substr(0, 5))
-          .cell(std::to_string(ms(solver.stall_seconds()[0])).substr(0, 5) + " / " +
-                std::to_string(ms(solver.stall_seconds()[1])).substr(0, 5))
-          .cell(std::accumulate(solver.steal_counts().begin(), solver.steal_counts().end(),
-                                std::int64_t{0}));
+          .cell(std::to_string(ms(busy[0])).substr(0, 5) + " / " +
+                std::to_string(ms(busy[1])).substr(0, 5))
+          .cell(std::to_string(ms(stall[0])).substr(0, 5) + " / " +
+                std::to_string(ms(stall[1])).substr(0, 5))
+          .cell(std::accumulate(steals.begin(), steals.end(), std::int64_t{0}));
     }
   }
   rt.print(std::cout);

@@ -103,12 +103,15 @@ int main() {
     solver.run_cycles(2);
     solver.reset_counters();
     const double wall = solver.run_cycles(6) / 6;
+    // One snapshot per counter: the accessors return fresh copies, so paired
+    // begin()/end() calls would iterate two different temporaries.
+    const std::vector<double> stall = solver.stall_seconds();
+    const std::vector<std::int64_t> steals = solver.steal_counts();
     tt.row()
         .cell(to_string(mode))
         .cell(wall * 1e3, 2)
-        .cell(std::accumulate(solver.stall_seconds().begin(), solver.stall_seconds().end(), 0.0), 3)
-        .cell(std::accumulate(solver.steal_counts().begin(), solver.steal_counts().end(),
-                              std::int64_t{0}));
+        .cell(std::accumulate(stall.begin(), stall.end(), 0.0), 3)
+        .cell(std::accumulate(steals.begin(), steals.end(), std::int64_t{0}));
   }
   tt.print(std::cout);
   return 0;

@@ -121,16 +121,18 @@ int main(int argc, char** argv) {
         reports.push_back(std::move(report));
 
         double max_stall = 0;
-        const double stall_total = std::accumulate(solver.stall_seconds().begin(),
-                                                   solver.stall_seconds().end(), 0.0);
-        const auto steals = std::accumulate(solver.steal_counts().begin(),
-                                            solver.steal_counts().end(), std::int64_t{0});
+        // One snapshot per counter: the accessors return fresh copies, so
+        // paired begin()/end() calls would iterate two different temporaries.
+        const std::vector<double> busy_s = solver.busy_seconds();
+        const std::vector<double> stall_s = solver.stall_seconds();
+        const std::vector<std::int64_t> steal_c = solver.steal_counts();
+        const double stall_total = std::accumulate(stall_s.begin(), stall_s.end(), 0.0);
+        const auto steals = std::accumulate(steal_c.begin(), steal_c.end(), std::int64_t{0});
         for (rank_t r = 0; r < k; ++r) {
-          const double tot = solver.busy_seconds()[static_cast<std::size_t>(r)] +
-                             solver.stall_seconds()[static_cast<std::size_t>(r)];
+          const double tot = busy_s[static_cast<std::size_t>(r)] +
+                             stall_s[static_cast<std::size_t>(r)];
           if (tot > 0)
-            max_stall = std::max(max_stall,
-                                 solver.stall_seconds()[static_cast<std::size_t>(r)] / tot);
+            max_stall = std::max(max_stall, stall_s[static_cast<std::size_t>(r)] / tot);
         }
         // Batched-kernel throughput: blocks per wall second across all ranks
         // (set_state above reset the cycle counter, so blocks_applied covers
@@ -197,8 +199,9 @@ int main(int argc, char** argv) {
     after.run_cycles(2); // warm the refined layout
     after.reset_counters();
     const double wall_after = after.run_cycles(cycles) / cycles;
-    const double stall_after = std::accumulate(after.stall_seconds().begin(),
-                                               after.stall_seconds().end(), 0.0);
+    const std::vector<double> stall_after_s = after.stall_seconds(); // one snapshot
+    const double stall_after =
+        std::accumulate(stall_after_s.begin(), stall_after_s.end(), 0.0);
 
     print_section(std::cout, "Feedback repartitioning (level-aware, " +
                                  std::to_string(k) + " ranks)");

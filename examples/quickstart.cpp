@@ -70,9 +70,9 @@ int main() {
   real_t pdiff = 0;
   for (std::size_t i = 0; i < sim->u().size(); ++i)
     pdiff = std::max(pdiff, std::abs(par->u()[i] - sim->u()[i]));
+  const std::vector<double> busy = par->threaded()->busy_seconds(); // one snapshot
   std::cout << "threaded (" << to_string(par->threaded()->mode()) << ", "
             << par->threaded()->num_ranks() << " ranks): max |u_par - u_LTS| = " << pdiff
-            << ", busy s = [" << par->threaded()->busy_seconds()[0] << ", "
-            << par->threaded()->busy_seconds()[1] << "]\n";
+            << ", busy s = [" << busy[0] << ", " << busy[1] << "]\n";
   return 0;
 }

@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file annotations.hpp
+/// Clang Thread Safety Analysis macros and the annotated synchronization
+/// wrappers the whole repo locks through.
+///
+/// The locking discipline of the runtime (generation hand-off in ThreadPool,
+/// supervisor bookkeeping) used to live entirely in comments; these macros
+/// turn it into machine-checked contracts: declare what a mutex guards with
+/// LTS_GUARDED_BY, what a function needs with LTS_REQUIRES, and clang
+/// (-Wthread-safety, promoted to an error in this repo's CMake config)
+/// rejects any access that does not hold the right capability. Under gcc and
+/// every other compiler the macros expand to nothing, so annotations are
+/// free to sprinkle and can never break a non-clang build
+/// (tests/test_annotations.cpp pins that).
+///
+/// Use the ltswave::Mutex / CondVar / LockGuard / UniqueLock wrappers instead
+/// of the std types everywhere outside this header: the raw std types carry
+/// no capability attributes, so locking through them is invisible to the
+/// analysis. tools/lint_ltswave.py enforces this (no naked std::mutex /
+/// std::lock_guard / std::condition_variable in src/ outside this file).
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+/// The macro set mirrors the canonical mutex.h from those docs, LTS_-prefixed
+/// (an unprefixed REQUIRES(...) macro would collide with C++20
+/// requires-clauses).
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LTS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LTS_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/// On a class: instances are capabilities (lockable things).
+#define LTS_CAPABILITY(x) LTS_THREAD_ANNOTATION(capability(x))
+
+/// On a class: RAII object that acquires a capability at construction and
+/// releases it at destruction.
+#define LTS_SCOPED_CAPABILITY LTS_THREAD_ANNOTATION(scoped_lockable)
+
+/// On a data member: reads and writes require holding the given capability.
+#define LTS_GUARDED_BY(x) LTS_THREAD_ANNOTATION(guarded_by(x))
+
+/// On a pointer/smart-pointer member: the *pointee* is guarded.
+#define LTS_PT_GUARDED_BY(x) LTS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// On a function: the caller must hold the capability (and keeps it).
+#define LTS_REQUIRES(...) LTS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// On a function: acquires the capability (caller must not already hold it).
+#define LTS_ACQUIRE(...) LTS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// On a function: releases the capability (caller must hold it).
+#define LTS_RELEASE(...) LTS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// On a function: acquires the capability when returning `ret`.
+#define LTS_TRY_ACQUIRE(ret, ...) \
+  LTS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// On a function: the caller must NOT hold the capability (deadlock guard).
+#define LTS_EXCLUDES(...) LTS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// On a function: returns a reference to the given capability.
+#define LTS_RETURN_CAPABILITY(x) LTS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch; every use must carry a justification comment.
+#define LTS_NO_THREAD_SAFETY_ANALYSIS LTS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ltswave {
+
+/// std::mutex with the capability attribute, so LTS_GUARDED_BY(mu_) members
+/// and LTS_REQUIRES(mu_) functions are checkable. Same constexpr default
+/// construction as std::mutex (usable for function-local statics and
+/// constinit globals).
+class LTS_CAPABILITY("mutex") Mutex {
+public:
+  constexpr Mutex() noexcept = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LTS_ACQUIRE() { mu_.lock(); }
+  void unlock() LTS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() LTS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex (the std::scoped_lock/std::lock_guard
+/// replacement). Not movable: it pins one critical section to one scope.
+class LTS_SCOPED_CAPABILITY LockGuard {
+public:
+  explicit LockGuard(Mutex& mu) LTS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() LTS_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+  Mutex& mu_;
+};
+
+/// RAII lock a CondVar can wait on (the std::unique_lock replacement).
+/// Movable so helpers can hand a held lock up to their caller; a moved-from
+/// UniqueLock owns nothing and its destructor releases nothing.
+class LTS_SCOPED_CAPABILITY UniqueLock {
+public:
+  explicit UniqueLock(Mutex& mu) LTS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() LTS_RELEASE() = default;
+  UniqueLock(UniqueLock&&) noexcept = default;
+  UniqueLock& operator=(UniqueLock&&) = delete;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over the annotated types. Deliberately has no
+/// predicate overloads: the analysis cannot see into a wait-predicate lambda
+/// (the lambda body is checked as a separate function that does not hold the
+/// mutex), so waits are written as explicit `while (!cond) cv.wait(lock);`
+/// loops where the condition reads guarded state in a scope that provably
+/// holds the capability.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock's mutex and blocks; the mutex is reheld on
+  /// return. Annotated as if the capability were held throughout — which is
+  /// exactly the contract the caller's `while (!cond)` loop relies on.
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  /// wait() with a timeout; returns std::cv_status::timeout when it expired.
+  /// Spurious wakeups return no_timeout early — callers re-check their
+  /// condition and re-arm, exactly as with wait().
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+  std::condition_variable cv_;
+};
+
+} // namespace ltswave

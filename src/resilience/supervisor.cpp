@@ -23,6 +23,10 @@ const char* classify(const Error& e) {
 } // namespace
 
 SupervisorResult Supervisor::run() {
+  {
+    LockGuard lock(mu_);
+    ++stats_.runs_started;
+  }
   scenarios::ScenarioSpec spec = spec_;
   const RecoveryPolicy& policy = spec_.recovery;
 
@@ -54,6 +58,10 @@ SupervisorResult Supervisor::run() {
       const auto failed = sim->run_report().events;
       events.insert(events.end(), failed.begin(), failed.end());
       events.push_back({classify(e), "", sim->cycles(), e.what()});
+      {
+        LockGuard lock(mu_);
+        stats_.last_failure = e.what();
+      }
       if (policy.on_blowup == RecoveryPolicy::OnBlowup::Abort || retries >= policy.max_retries)
         throw;
 
@@ -97,7 +105,17 @@ SupervisorResult Supervisor::run() {
   out.report.events = std::move(events);
   out.final_executor = sim->executor_name();
   out.retries_used = retries;
+  {
+    LockGuard lock(mu_);
+    ++stats_.runs_completed;
+    stats_.retries_total += retries;
+  }
   return out;
+}
+
+Supervisor::Stats Supervisor::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
 }
 
 } // namespace ltswave::resilience

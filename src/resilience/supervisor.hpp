@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "perf/run_report.hpp"
 #include "scenarios/scenario.hpp"
 
@@ -55,15 +56,34 @@ struct SupervisorResult {
 
 class Supervisor {
 public:
+  /// Cross-run bookkeeping: one Supervisor may be driven from several threads
+  /// (e.g. a sweep harness running the same spec at different seeds), so the
+  /// tallies live behind a mutex rather than relying on callers to serialize.
+  struct Stats {
+    std::int64_t runs_started = 0;
+    std::int64_t runs_completed = 0; ///< finished without throwing
+    std::int64_t retries_total = 0;  ///< recoveries summed over all runs
+    std::string last_failure;        ///< what() of the most recent Error seen
+  };
+
   explicit Supervisor(scenarios::ScenarioSpec spec) : spec_(std::move(spec)) {}
 
   /// Runs the scenario to its full duration under spec.recovery. Throws the
   /// underlying resilience::Error when the policy is Abort or retries are
   /// exhausted (rethrown unchanged, so callers see the root cause).
-  [[nodiscard]] SupervisorResult run();
+  /// Thread-safe: concurrent calls each run an independent simulation off the
+  /// shared (immutable) spec and fold their outcome into stats().
+  [[nodiscard]] SupervisorResult run() LTS_EXCLUDES(mu_);
+
+  /// Snapshot of the cross-run tallies (by value: the live struct stays
+  /// guarded by the supervisor's mutex).
+  [[nodiscard]] Stats stats() const LTS_EXCLUDES(mu_);
 
 private:
-  scenarios::ScenarioSpec spec_;
+  const scenarios::ScenarioSpec spec_; ///< immutable after construction — no guard needed
+
+  mutable Mutex mu_;
+  Stats stats_ LTS_GUARDED_BY(mu_);
 };
 
 } // namespace ltswave::resilience

@@ -14,7 +14,8 @@ unsigned ThreadPool::hardware_threads() noexcept {
   return n == 0 ? 1u : n;
 }
 
-ThreadPool::ThreadPool(int num_threads, Oversubscribe policy) {
+ThreadPool::ThreadPool(int num_threads, Oversubscribe policy)
+    : done_(num_threads >= 1 ? static_cast<std::size_t>(num_threads) : 0) {
   LTS_CHECK_MSG(num_threads >= 1, "thread pool needs at least one worker");
   const unsigned hw = hardware_threads();
   if (static_cast<unsigned>(num_threads) > hw) {
@@ -33,7 +34,7 @@ ThreadPool::ThreadPool(int num_threads, Oversubscribe policy) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mu_);
+    const LockGuard lock(mu_);
     stopping_ = true;
   }
   cv_start_.notify_all();
@@ -45,12 +46,12 @@ void ThreadPool::worker_loop(int index) {
   for (;;) {
     std::shared_ptr<const std::function<void(int)>> task;
     {
-      std::unique_lock lock(mu_);
-      cv_start_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      UniqueLock lock(mu_);
       // A pending generation runs even when the pool is stopping: after a
       // watchdog abandon, a worker that was never scheduled (oversubscribed
       // box) must still execute the task, or its peers deadlock at their
       // rendezvous waiting for arrivals that would never come.
+      while (!stopping_ && generation_ == seen) cv_start_.wait(lock);
       if (generation_ == seen) return; // stopping_, nothing pending
       seen = generation_;
       task = task_;
@@ -62,28 +63,35 @@ void ThreadPool::worker_loop(int index) {
       err = std::current_exception();
     }
     beat(); // finishing (or dying) is progress too
+    // Stamp the done/heartbeat slot before the guarded bookkeeping: the
+    // watchdog may be composing a stall report right now and should not name
+    // a worker that is already past its task (relaxed — see the member doc).
+    if (index < static_cast<int>(done_.size()))
+      done_[static_cast<std::size_t>(index)].store(1, std::memory_order_relaxed);
     {
-      const std::scoped_lock lock(mu_);
+      const LockGuard lock(mu_);
       if (err && !first_error_) first_error_ = err;
-      if (index < static_cast<int>(done_.size())) done_[static_cast<std::size_t>(index)] = 1;
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
 }
 
 void ThreadPool::drain() {
-  std::unique_lock lock(mu_);
-  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  UniqueLock lock(mu_);
+  while (remaining_ != 0) cv_done_.wait(lock);
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn, double watchdog_seconds) {
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   LTS_CHECK_MSG(remaining_ == 0, "ThreadPool::run is not reentrant (a previous generation was "
                                  "abandoned by the watchdog and has not drained yet)");
   task_ = std::make_shared<const std::function<void(int)>>(fn);
   remaining_ = size();
   first_error_ = nullptr;
-  done_.assign(workers_.size(), 0);
+  // remaining_ == 0 (checked above) means no worker is mid-task, so these
+  // relaxed stores cannot race a worker's done-stamp; the mutex release
+  // below publishes them together with the new generation.
+  for (auto& d : done_) d.store(0, std::memory_order_relaxed);
   ++generation_;
   cv_start_.notify_all();
   if (watchdog_seconds > 0) {
@@ -93,8 +101,9 @@ void ThreadPool::run(const std::function<void(int)>& fn, double watchdog_seconds
     const auto timeout = std::chrono::duration<double>(watchdog_seconds);
     std::uint64_t last_beats = beats_.load(std::memory_order_relaxed);
     auto last_progress = std::chrono::steady_clock::now();
-    for (;;) {
-      if (cv_done_.wait_for(lock, timeout / 8, [&] { return remaining_ == 0; })) break;
+    while (remaining_ != 0) {
+      cv_done_.wait_for(lock, timeout / 8);
+      if (remaining_ == 0) break;
       const std::uint64_t now_beats = beats_.load(std::memory_order_relaxed);
       const auto now = std::chrono::steady_clock::now();
       if (now_beats != last_beats) {
@@ -111,11 +120,11 @@ void ThreadPool::run(const std::function<void(int)>& fn, double watchdog_seconds
       std::ostringstream os;
       os << "worker stall: no progress for " << watchdog_seconds << " s; unfinished workers:";
       for (std::size_t i = 0; i < done_.size(); ++i)
-        if (!done_[i]) os << ' ' << i;
+        if (!done_[i].load(std::memory_order_relaxed)) os << ' ' << i;
       throw resilience::WorkerStall(os.str());
     }
   } else {
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    while (remaining_ != 0) cv_done_.wait(lock);
   }
   task_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);

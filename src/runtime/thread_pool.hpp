@@ -10,16 +10,28 @@
 /// blocks the caller until all workers have returned (a parallel region, not a
 /// task queue: LTS ranks are long-lived peers that synchronize among
 /// themselves with barriers).
+///
+/// Synchronization contract (machine-checked, see common/annotations.hpp):
+/// the generation hand-off state — pending task, generation counter, the
+/// count of workers still running it, the stop flag and the first escaped
+/// exception — is guarded by mu_ and annotated LTS_GUARDED_BY, so a clang
+/// build rejects any unlocked access at compile time. The liveness signals
+/// the watchdog polls (the aggregate beat counter and the per-worker
+/// done/heartbeat slots) are deliberately *not* under the mutex: they are
+/// std::atomic with relaxed ordering, because they are monotone progress
+/// indicators whose readers tolerate staleness — the watchdog only ever errs
+/// toward waiting one more poll interval (memory orders documented at each
+/// member).
 
 #include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace ltswave::runtime {
 
@@ -57,11 +69,13 @@ public:
   /// finish, and the destructor still joins them — a *bounded* stall (an
   /// injected fault, a transient hang) is detected and survivable, a truly
   /// wedged worker still blocks teardown.
-  void run(const std::function<void(int)>& fn, double watchdog_seconds = 0);
+  void run(const std::function<void(int)>& fn, double watchdog_seconds = 0) LTS_EXCLUDES(mu_);
 
   /// Liveness signal for the watchdog: call from inside a task at natural
   /// progress points (the threaded solver beats once per rank per cycle).
-  /// Cheap (one relaxed atomic increment) and safe from any thread.
+  /// Cheap (one relaxed atomic increment) and safe from any thread: the
+  /// counter is a pure progress pulse — the watchdog compares successive
+  /// reads for *change*, never for a value, so relaxed ordering suffices.
   void beat() noexcept { beats_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Blocks until no generation is in flight (abandoned stragglers included).
@@ -69,27 +83,38 @@ public:
   /// owner must drain *while its handle to the pool is still valid*, because
   /// workers may call back into the pool (beat()) right up to their last
   /// instruction of the task.
-  void drain();
+  void drain() LTS_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency(), but never 0 (unknown -> 1).
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
 private:
-  void worker_loop(int index);
+  void worker_loop(int index) LTS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
   /// Shared (not raw) so workers outliving an abandoned generation keep the
   /// task alive after run() has thrown and unwound the caller's frame.
-  std::shared_ptr<const std::function<void(int)>> task_;
-  std::uint64_t generation_ = 0;
-  int remaining_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;
+  std::shared_ptr<const std::function<void(int)>> task_ LTS_GUARDED_BY(mu_);
+  std::uint64_t generation_ LTS_GUARDED_BY(mu_) = 0;
+  int remaining_ LTS_GUARDED_BY(mu_) = 0;
+  bool stopping_ LTS_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ LTS_GUARDED_BY(mu_);
+  /// Aggregate liveness pulse (beat()); relaxed — see beat().
   std::atomic<std::uint64_t> beats_{0};
-  std::vector<std::uint8_t> done_; ///< per worker, reset each generation (mu_)
+  /// Per-worker done/heartbeat slots for the current generation, sized once
+  /// at construction. Lock-free on purpose: a worker stamps its slot
+  /// (relaxed store) on finishing, and the watchdog reads the slots (relaxed
+  /// loads) while composing a stall report. Relaxed is enough because the
+  /// slots carry no payload anyone dereferences — a stale read can only
+  /// misname a worker that finished *during* the stall window, and the
+  /// authoritative completion signal (remaining_) is still mutex-guarded.
+  /// run() resets the slots before publishing a new generation, when no
+  /// worker is running (remaining_ == 0), so worker stores never race the
+  /// reset.
+  std::vector<std::atomic<std::uint8_t>> done_;
 };
 
 } // namespace ltswave::runtime

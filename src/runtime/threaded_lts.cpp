@@ -54,9 +54,11 @@ ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
         n > 0 ? std::make_unique<std::barrier<>>(n) : nullptr;
   }
 
-  busy_.assign(static_cast<std::size_t>(nranks_), 0.0);
-  stall_.assign(static_cast<std::size_t>(nranks_), 0.0);
-  steals_.assign(static_cast<std::size_t>(nranks_), 0);
+  // Atomic slots are not copy-assignable, so size the vectors by (move-)
+  // constructing fresh ones; value-initialized atomics start at zero.
+  busy_ = std::vector<std::atomic<double>>(static_cast<std::size_t>(nranks_));
+  stall_ = std::vector<std::atomic<double>>(static_cast<std::size_t>(nranks_));
+  steals_ = std::vector<std::atomic<std::int64_t>>(static_cast<std::size_t>(nranks_));
 
   // The persistent worker team: spawned once, reused by every run_cycles.
   pool_ = std::make_unique<ThreadPool>(static_cast<int>(nranks_), cfg_.oversubscribe);
@@ -117,8 +119,8 @@ void ThreadedLtsSolver::build_rank_data() {
     rd.update_rows.assign(static_cast<std::size_t>(nl), {});
     rd.recon_rows.assign(static_cast<std::size_t>(nl), {});
     rd.sources.assign(static_cast<std::size_t>(nl), {});
-    rd.phase_seconds.assign(static_cast<std::size_t>(nl) + 5, 0.0);
-    rd.phase_count.assign(static_cast<std::size_t>(nl) + 5, 0);
+    rd.phase_seconds = std::vector<std::atomic<double>>(static_cast<std::size_t>(nl) + 5);
+    rd.phase_count = std::vector<std::atomic<std::int64_t>>(static_cast<std::size_t>(nl) + 5);
     // private_buf and workspace are allocated in first_touch_rank_buffers()
     // by the owning pool worker (NUMA first touch).
   }
@@ -363,13 +365,33 @@ std::int64_t ThreadedLtsSolver::element_applies() const noexcept {
   return cycles_done_ * structure_->applies_per_cycle();
 }
 
+std::vector<double> ThreadedLtsSolver::busy_seconds() const {
+  std::vector<double> out(busy_.size());
+  for (std::size_t r = 0; r < busy_.size(); ++r) out[r] = busy_[r].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> ThreadedLtsSolver::stall_seconds() const {
+  std::vector<double> out(stall_.size());
+  for (std::size_t r = 0; r < stall_.size(); ++r)
+    out[r] = stall_[r].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::int64_t> ThreadedLtsSolver::steal_counts() const {
+  std::vector<std::int64_t> out(steals_.size());
+  for (std::size_t r = 0; r < steals_.size(); ++r)
+    out[r] = steals_[r].load(std::memory_order_relaxed);
+  return out;
+}
+
 void ThreadedLtsSolver::reset_counters() {
-  std::fill(busy_.begin(), busy_.end(), 0.0);
-  std::fill(stall_.begin(), stall_.end(), 0.0);
-  std::fill(steals_.begin(), steals_.end(), 0);
+  for (auto& b : busy_) b.store(0.0, std::memory_order_relaxed);
+  for (auto& s : stall_) s.store(0.0, std::memory_order_relaxed);
+  for (auto& s : steals_) s.store(0, std::memory_order_relaxed);
   for (auto& rd : ranks_) {
-    std::fill(rd.phase_seconds.begin(), rd.phase_seconds.end(), 0.0);
-    std::fill(rd.phase_count.begin(), rd.phase_count.end(), 0);
+    for (auto& p : rd.phase_seconds) p.store(0.0, std::memory_order_relaxed);
+    for (auto& p : rd.phase_count) p.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -379,8 +401,8 @@ void ThreadedLtsSolver::fill_phases(perf::RunReport& report) const {
     double seconds = 0;
     std::int64_t count = 0;
     for (const auto& rd : ranks_) {
-      seconds += rd.phase_seconds[slot];
-      count += rd.phase_count[slot];
+      seconds += rd.phase_seconds[slot].load(std::memory_order_relaxed);
+      count += rd.phase_count[slot].load(std::memory_order_relaxed);
     }
     report.add_phase(name, seconds, count);
   };
@@ -399,9 +421,9 @@ perf::RunReport ThreadedLtsSolver::run_report() const {
   r.time = static_cast<double>(time());
   r.element_applies = element_applies();
   r.blocks_applied = blocks_applied();
-  r.rank_busy_seconds = busy_;
-  r.rank_stall_seconds = stall_;
-  r.rank_steal_counts = steals_;
+  r.rank_busy_seconds = busy_seconds();
+  r.rank_stall_seconds = stall_seconds();
+  r.rank_steal_counts = steal_counts();
   fill_phases(r);
   r.roofline = perf::roofline_for_plan(*plan_);
   return r;
@@ -524,7 +546,7 @@ void ThreadedLtsSolver::sync(rank_t r, level_t k) {
   const WallTimer t;
   level_barriers_[static_cast<std::size_t>(k - 1)]->arrive_and_wait();
   const double s = t.seconds();
-  stall_[static_cast<std::size_t>(r)] += s;
+  stall_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
   tally(ranks_[static_cast<std::size_t>(r)], slot_barrier(), s);
 }
 
@@ -574,7 +596,7 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
         for (index_t c; (c = vd.chunk_cursor[L].fetch_add(1, std::memory_order_relaxed)) <
                         static_cast<index_t>(theirs.size());) {
           run_chunk(rd, theirs[static_cast<std::size_t>(c)]);
-          ++steals_[static_cast<std::size_t>(r)];
+          steals_[static_cast<std::size_t>(r)].fetch_add(1, std::memory_order_relaxed);
         }
       }
     }
@@ -589,7 +611,7 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
   }
   {
     const double s = timer.seconds();
-    busy_[static_cast<std::size_t>(r)] += s;
+    busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
     tally(rd, slot_eval(k), s);
   }
 
@@ -647,7 +669,7 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
   }
   {
     const double s = timer2.seconds();
-    busy_[static_cast<std::size_t>(r)] += s;
+    busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
     tally(rd, slot_reduce(), s);
   }
 
@@ -721,7 +743,7 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
           tally(rd, slot_sources(), t_src);
         }
         const double s = timer.seconds();
-        busy_[static_cast<std::size_t>(r)] += s;
+        busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
         tally(rd, slot_update(), s - t_src);
       }
       // m == 0: updates visible before the next eval gathers u. m == 1: the
@@ -740,7 +762,7 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
           save[i] = u_[i];
         }
       const double s = timer.seconds();
-      busy_[static_cast<std::size_t>(r)] += s;
+      busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
       tally(rd, slot_update(), s);
     }
     sync(r, k); // saves done before the child mutates u
@@ -780,7 +802,7 @@ void ThreadedLtsSolver::run_level(rank_t r, level_t k, real_t t0) {
         tally(rd, slot_sources(), t_src);
       }
       const double s = timer2.seconds();
-      busy_[static_cast<std::size_t>(r)] += s;
+      busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
       tally(rd, slot_update(), s - t_src);
     }
     if (first) sync(r, k); // level-k updates visible before the next eval
@@ -824,7 +846,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
         }
         maybe_inject_fault(rd, r, cycles_done_ + cyc);
         const double s = timer.seconds();
-        busy_[static_cast<std::size_t>(r)] += s;
+        busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
         tally(rd, slot_update(), s - t_src - t_recv);
       }
       pool_->beat();
@@ -842,7 +864,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
           save[i] = u_[i];
         }
       const double s = timer.seconds();
-      busy_[static_cast<std::size_t>(r)] += s;
+      busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
       tally(rd, slot_update(), s);
     }
     sync(r, 1); // saves done before the child mutates u
@@ -885,7 +907,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
       }
       maybe_inject_fault(rd, r, cycles_done_ + cyc);
       const double s = timer2.seconds();
-      busy_[static_cast<std::size_t>(r)] += s;
+      busy_[static_cast<std::size_t>(r)].fetch_add(s, std::memory_order_relaxed);
       tally(rd, slot_update(), s - t_src - t_recv);
     }
     pool_->beat();

@@ -40,7 +40,16 @@
 /// their owning rank into per-receiver trace buffers the facade drains.
 ///
 /// Busy/stall/steal counters accumulate across run_cycles calls (the pool and
-/// all solver state persist between calls) until reset_counters().
+/// all solver state persist between calls) until reset_counters(). All
+/// counters (and the per-phase accumulators behind fill_phases) are
+/// std::atomic with relaxed memory order: each slot has a single writer (its
+/// owning rank's worker, at phase boundaries — never per element), readers
+/// only ever aggregate them, and no other data is published through them, so
+/// relaxed is sufficient and reset_counters()/snapshot reads are data-race
+/// free even while a run is in flight. A mid-run reset can swallow an
+/// in-flight increment — the counters are monitoring data, not physics; the
+/// field state and the deterministic (rank, chunk)-ordered steal reduction
+/// are untouched by any of this, so bitwise reproducibility is unaffected.
 
 #include <atomic>
 #include <barrier>
@@ -171,10 +180,18 @@ public:
   }
 
   /// Per-rank compute seconds, barrier-wait seconds, and stolen chunk counts,
-  /// accumulated since construction or the last reset_counters().
-  [[nodiscard]] const std::vector<double>& busy_seconds() const noexcept { return busy_; }
-  [[nodiscard]] const std::vector<double>& stall_seconds() const noexcept { return stall_; }
-  [[nodiscard]] const std::vector<std::int64_t>& steal_counts() const noexcept { return steals_; }
+  /// accumulated since construction or the last reset_counters(). Returned by
+  /// value as a relaxed-load snapshot of the atomic slots — take ONE snapshot
+  /// and iterate that (two calls return two different temporaries, so
+  /// `f(x.busy_seconds().begin(), x.busy_seconds().end())` is a dangling-
+  /// iterator bug).
+  [[nodiscard]] std::vector<double> busy_seconds() const;
+  [[nodiscard]] std::vector<double> stall_seconds() const;
+  [[nodiscard]] std::vector<std::int64_t> steal_counts() const;
+  /// Zeroes every counter and phase accumulator (relaxed stores). Safe to
+  /// call concurrently with run_cycles: slots are atomic, so this is
+  /// data-race free; increments in flight at the instant of the reset may
+  /// land before or after it (monitoring data only — see the file comment).
   void reset_counters();
 
   /// Appends the per-phase accumulators, summed across ranks, onto `report`:
@@ -246,8 +263,10 @@ private:
     // per-level eval kernel time, then reduce/update/sources/receivers/
     // barrier (slot_* helpers). Written only by this rank's worker at phase
     // boundaries, reusing the WallTimer reads already taken for busy_/stall_.
-    std::vector<double> phase_seconds;
-    std::vector<std::int64_t> phase_count;
+    // Atomic + relaxed so reset_counters() and report snapshots never race
+    // the owning worker (single writer per slot; aggregation-only readers).
+    std::vector<std::atomic<double>> phase_seconds;
+    std::vector<std::atomic<std::int64_t>> phase_count;
   };
 
   void build_rank_data();
@@ -276,8 +295,8 @@ private:
   [[nodiscard]] std::size_t slot_barrier() const noexcept { return slot_reduce() + 4; }
   [[nodiscard]] std::size_t num_phase_slots() const noexcept { return slot_reduce() + 5; }
   static void tally(RankData& rd, std::size_t slot, double seconds) noexcept {
-    rd.phase_seconds[slot] += seconds;
-    ++rd.phase_count[slot];
+    rd.phase_seconds[slot].fetch_add(seconds, std::memory_order_relaxed);
+    rd.phase_count[slot].fetch_add(1, std::memory_order_relaxed);
   }
   void thread_main(rank_t r, int cycles);
   /// Fires the armed nan/stall fault when (cycle, r) matches the plan; called
@@ -338,9 +357,11 @@ private:
   std::vector<std::vector<rank_t>> group_;
   std::vector<std::unique_ptr<std::barrier<>>> level_barriers_; // [level]
   std::unique_ptr<ThreadPool> pool_;
-  std::vector<double> busy_;
-  std::vector<double> stall_;
-  std::vector<std::int64_t> steals_;
+  // Per-rank wall-clock/steal tallies; single writer per slot (the owning
+  // rank's worker), relaxed atomics — see the file comment for the contract.
+  std::vector<std::atomic<double>> busy_;
+  std::vector<std::atomic<double>> stall_;
+  std::vector<std::atomic<std::int64_t>> steals_;
 };
 
 } // namespace ltswave::runtime

@@ -1,0 +1,151 @@
+// Compile-time and smoke coverage of src/common/annotations.hpp: the thread
+// safety macros must vanish on non-clang compilers (this file builds under
+// gcc with -Wall -Wextra precisely because they do), and the annotated
+// wrappers must behave like the std types they replace — lock/unlock/try_lock
+// semantics, RAII guards, condition-variable hand-off, move of a held
+// UniqueLock across scopes.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+using namespace ltswave;
+
+namespace {
+
+// The macros must expand to nothing (or a pure attribute) in every position
+// the repo uses them: on classes, members, and function declarations. A
+// compile failure here is the test failing.
+class LTS_CAPABILITY("mutex") FakeCap {};
+
+struct Annotated {
+  Mutex mu;
+  int guarded LTS_GUARDED_BY(mu) = 0;
+  int* pointee LTS_PT_GUARDED_BY(mu) = nullptr;
+
+  void needs() LTS_REQUIRES(mu) { ++guarded; }
+  void takes() LTS_ACQUIRE(mu) { mu.lock(); }
+  void gives() LTS_RELEASE(mu) { mu.unlock(); }
+  bool maybe() LTS_TRY_ACQUIRE(true, mu) { return mu.try_lock(); }
+  void avoids() LTS_EXCLUDES(mu) {}
+  Mutex& lends() LTS_RETURN_CAPABILITY(mu) { return mu; }
+  void opts_out() LTS_NO_THREAD_SAFETY_ANALYSIS {} // fixture: macro expansion only
+};
+
+} // namespace
+
+TEST(Annotations, MacrosExpandCleanlyOffClang) {
+  // Exercise every annotated declaration so nothing is optimized away
+  // unchecked.
+  Annotated a;
+  a.takes();
+  a.needs();
+  a.gives();
+  ASSERT_TRUE(a.maybe());
+  a.gives();
+  a.avoids();
+  a.lends().lock();
+  a.opts_out();
+  a.lends().unlock();
+  EXPECT_EQ(a.guarded, 1);
+  (void)FakeCap{};
+}
+
+TEST(Annotations, MutexIsConstexprConstructibleAndNonCopyable) {
+  // Same guarantees as std::mutex: usable as a constinit/static without a
+  // runtime constructor, never copied or moved.
+  static constinit Mutex static_mu;
+  static_mu.lock();
+  static_mu.unlock();
+  static_assert(!std::is_copy_constructible_v<Mutex>);
+  static_assert(!std::is_move_constructible_v<Mutex>);
+  static_assert(!std::is_copy_constructible_v<LockGuard>);
+  static_assert(!std::is_copy_constructible_v<UniqueLock>);
+  static_assert(std::is_move_constructible_v<UniqueLock>);
+  static_assert(!std::is_copy_constructible_v<CondVar>);
+}
+
+TEST(Annotations, TryLockReflectsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // Held: try_lock from another thread must fail (same-thread relock is UB on
+  // std::mutex, so probe from a helper).
+  bool second = true;
+  std::thread probe([&] { second = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.unlock();
+}
+
+TEST(Annotations, LockGuardSerializesIncrements) {
+  Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> team;
+  team.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    team.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard lock(mu);
+        ++counter;
+      }
+    });
+  for (auto& th : team) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Annotations, CondVarHandsOffThroughExplicitWaitLoop) {
+  // The repo-idiom wait shape (no predicate lambda — see the CondVar doc).
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread consumer([&] {
+    UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);
+    observed = 42;
+  });
+  {
+    LockGuard lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Annotations, CondVarWaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lock(mu);
+  // Nothing ever notifies: the timed wait must come back with `timeout`
+  // (spurious wakeups may return early — loop like real callers do).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::cv_status st = std::cv_status::no_timeout;
+  while (st == std::cv_status::no_timeout && std::chrono::steady_clock::now() < deadline)
+    st = cv.wait_for(lock, std::chrono::milliseconds(10));
+  EXPECT_EQ(st, std::cv_status::timeout);
+}
+
+TEST(Annotations, UniqueLockMoveTransfersOwnership) {
+  // Helpers may construct a lock and hand it up to the caller; the moved-from
+  // lock must release nothing in its destructor.
+  Mutex mu;
+  auto make_held_lock = [&mu] { return UniqueLock(mu); };
+  {
+    UniqueLock held = make_held_lock();
+    // Still locked after the move: a fresh try_lock from another thread fails.
+    bool stolen = true;
+    std::thread probe([&] { stolen = mu.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(stolen);
+    (void)held;
+  }
+  // Destroyed exactly once: the mutex is free again.
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}

@@ -277,8 +277,20 @@ TEST(DocSync, ArchitectureDocListsAllExecutors) {
 
 TEST(DocSync, DocsTreeLinkedFromReadme) {
   const std::string readme = read_doc("README.md");
-  for (const char* page : {"docs/architecture.md", "docs/performance.md", "docs/scenarios.md"})
+  for (const char* page : {"docs/architecture.md", "docs/performance.md", "docs/scenarios.md",
+                           "docs/robustness.md", "docs/static-analysis.md"})
     EXPECT_NE(readme.find(page), std::string::npos) << "README.md must link " << page;
+}
+
+TEST(DocSync, StaticAnalysisDocPinsTheToolchain) {
+  // docs/static-analysis.md documents the concurrency-correctness gate; if a
+  // tool is renamed or dropped, the doc must follow.
+  const std::string doc = read_doc("docs/static-analysis.md");
+  for (const char* needle :
+       {"-Wthread-safety", "LTSWAVE_TSAN", "tools/lint_ltswave.py", ".clang-tidy",
+        "LTS_GUARDED_BY", "src/common/annotations.hpp"})
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/static-analysis.md must mention " << needle;
 }
 
 } // namespace

@@ -618,6 +618,32 @@ TEST(Supervisor, RetriesExhaustedRethrows) {
   EXPECT_THROW((void)resilience::Supervisor(spec).run(), resilience::NumericalBlowup);
 }
 
+TEST(Supervisor, StatsTallyRunsAcrossOutcomes) {
+  // The mutex-guarded cross-run bookkeeping: one recovered run, one that
+  // rethrows. Completion only counts runs that finished; retries accumulate;
+  // the last failure message survives the successful recovery in between.
+  auto spec = supervised_nan_spec();
+  spec.recovery.on_blowup = resilience::RecoveryPolicy::OnBlowup::HalveDt;
+  resilience::Supervisor sup(spec);
+  EXPECT_EQ(sup.stats().runs_started, 0);
+
+  (void)sup.run(); // injected NaN at cycle 3, recovers via halve_dt
+  auto s = sup.stats();
+  EXPECT_EQ(s.runs_started, 1);
+  EXPECT_EQ(s.runs_completed, 1);
+  EXPECT_EQ(s.retries_total, 1);
+  EXPECT_NE(s.last_failure.find("non-finite"), std::string::npos) << s.last_failure;
+
+  auto abort_spec = supervised_nan_spec();
+  abort_spec.recovery.on_blowup = resilience::RecoveryPolicy::OnBlowup::Abort;
+  resilience::Supervisor aborting(abort_spec);
+  EXPECT_THROW((void)aborting.run(), resilience::NumericalBlowup);
+  s = aborting.stats();
+  EXPECT_EQ(s.runs_started, 1);
+  EXPECT_EQ(s.runs_completed, 0);
+  EXPECT_FALSE(s.last_failure.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Config plumbing and doc sync
 // ---------------------------------------------------------------------------

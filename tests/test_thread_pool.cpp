@@ -8,8 +8,10 @@
 #include <atomic>
 #include <barrier>
 #include <stdexcept>
+#include <thread>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ltswave::runtime {
@@ -49,6 +51,41 @@ TEST(ThreadPool, PropagatesWorkerException) {
   std::atomic<int> total{0};
   pool.run([&](int) { ++total; });
   EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPool, SeededRandomizedStress) {
+  // Concurrency stress for the TSan CI job (ctest -L race): many generations
+  // of randomized-duration work on one persistent team, hammering the
+  // generation hand-off, the lock-free done/heartbeat slots, occasional
+  // worker exceptions, and the watchdog's timed-wait path all at once.
+  // Seeded, so a TSan report replays from the same schedule pressure.
+  Rng rng(0x5EEDED5ACE5ULL);
+  ThreadPool pool(4, Oversubscribe::Warn);
+  std::atomic<long> total{0};
+  long expected = 0;
+  for (int round = 0; round < 120; ++round) {
+    const bool throwing = rng.uniform(8) == 0;
+    const bool watched = rng.uniform(2) == 0;
+    const int spin = static_cast<int>(rng.uniform(64));
+    const int loser = static_cast<int>(rng.uniform(4));
+    auto task = [&, spin, throwing, loser](int w) {
+      for (int i = 0; i < spin * (w + 1); ++i) total.fetch_add(0, std::memory_order_relaxed);
+      if ((w & 1) != 0) std::this_thread::yield();
+      if (throwing && w == loser) throw std::runtime_error("seeded failure");
+      ++total;
+    };
+    // A generous watchdog: the timed cv wait + heartbeat reads run for real,
+    // but a loaded CI box never trips it.
+    const double watchdog_seconds = watched ? 300.0 : 0.0;
+    if (throwing) {
+      EXPECT_THROW(pool.run(task, watchdog_seconds), std::runtime_error);
+      expected += 3; // the three non-throwing workers still finish their work
+    } else {
+      pool.run(task, watchdog_seconds);
+      expected += 4;
+    }
+  }
+  EXPECT_EQ(total.load(), expected);
 }
 
 TEST(ThreadPool, HardwareThreadsIsPositive) {

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <tuple>
 
+#include "common/rng.hpp"
 #include "mesh/generators.hpp"
 #include "partition/partitioners.hpp"
 #include "runtime/threaded_lts.hpp"
@@ -218,27 +221,34 @@ TEST(Threaded, CountersAccumulateUntilReset) {
 
   const double wall = solver.run_cycles(10);
   EXPECT_GT(wall, 0);
-  ASSERT_EQ(solver.busy_seconds().size(), 4u);
-  ASSERT_EQ(solver.steal_counts().size(), 4u);
-  std::vector<double> busy_after_first = solver.busy_seconds();
+  // The accessors return snapshots of the atomic counter slots by value.
+  const std::vector<double> busy_after_first = solver.busy_seconds();
+  const std::vector<double> stall_after_first = solver.stall_seconds();
+  const std::vector<std::int64_t> steals_after_first = solver.steal_counts();
+  ASSERT_EQ(busy_after_first.size(), 4u);
+  ASSERT_EQ(steals_after_first.size(), 4u);
   for (rank_t r = 0; r < 4; ++r) {
-    EXPECT_GT(solver.busy_seconds()[static_cast<std::size_t>(r)], 0);
-    EXPECT_GE(solver.stall_seconds()[static_cast<std::size_t>(r)], 0);
-    EXPECT_GE(solver.steal_counts()[static_cast<std::size_t>(r)], 0);
+    EXPECT_GT(busy_after_first[static_cast<std::size_t>(r)], 0);
+    EXPECT_GE(stall_after_first[static_cast<std::size_t>(r)], 0);
+    EXPECT_GE(steals_after_first[static_cast<std::size_t>(r)], 0);
   }
 
   // Counters accumulate across calls (no implicit reset)...
   solver.run_cycles(5);
+  const std::vector<double> busy_after_second = solver.busy_seconds();
   for (rank_t r = 0; r < 4; ++r)
-    EXPECT_GE(solver.busy_seconds()[static_cast<std::size_t>(r)],
+    EXPECT_GE(busy_after_second[static_cast<std::size_t>(r)],
               busy_after_first[static_cast<std::size_t>(r)]);
 
   // ...until reset explicitly.
   solver.reset_counters();
+  const std::vector<double> busy_reset = solver.busy_seconds();
+  const std::vector<double> stall_reset = solver.stall_seconds();
+  const std::vector<std::int64_t> steals_reset = solver.steal_counts();
   for (rank_t r = 0; r < 4; ++r) {
-    EXPECT_EQ(solver.busy_seconds()[static_cast<std::size_t>(r)], 0.0);
-    EXPECT_EQ(solver.stall_seconds()[static_cast<std::size_t>(r)], 0.0);
-    EXPECT_EQ(solver.steal_counts()[static_cast<std::size_t>(r)], 0);
+    EXPECT_EQ(busy_reset[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_EQ(stall_reset[static_cast<std::size_t>(r)], 0.0);
+    EXPECT_EQ(steals_reset[static_cast<std::size_t>(r)], 0);
   }
 }
 
@@ -394,6 +404,55 @@ TEST(Threaded, StealChunksAlignToBlocksAndStayBitwiseDeterministic) {
       EXPECT_EQ(first_u, solver.u());
     }
   }
+}
+
+TEST(Threaded, SeededStressCountersRaceFreeAndStateDeterministic) {
+  // Concurrency stress for the TSan CI job (ctest -L race): while the steal
+  // scheduler runs, a monitor thread hammers the atomic counter surface —
+  // snapshot accessors and mid-run reset_counters() — with seeded random
+  // pacing. The counters are monitoring data (a racing reset may swallow an
+  // in-flight increment), but the *solution* must stay bitwise identical to
+  // an undisturbed run: the chunk-indexed steal reduction does not depend on
+  // the counter slots.
+  Rig s(mesh::make_strip_mesh(16, 0.3, 4.0));
+  ASSERT_GE(s.levels.num_levels, 3);
+  const auto part = s.make_partition(4);
+  const std::vector<real_t> zero(s.ndof, 0.0);
+  const auto src = fine_source(s);
+
+  std::vector<real_t> reference_u;
+  {
+    ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part,
+                             cfg_for(SchedulerMode::LevelAwareSteal));
+    solver.add_source(src);
+    solver.set_state(zero, zero);
+    solver.run_cycles(6);
+    reference_u = solver.u();
+  }
+
+  ThreadedLtsSolver solver(*s.op, s.levels, s.structure, part,
+                           cfg_for(SchedulerMode::LevelAwareSteal));
+  solver.add_source(src);
+  solver.set_state(zero, zero);
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    Rng rng(0xCA5CADE5EEDULL);
+    double sink = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::vector<double> busy = solver.busy_seconds();
+      const std::vector<double> stall = solver.stall_seconds();
+      const std::vector<std::int64_t> steals = solver.steal_counts();
+      for (std::size_t r = 0; r < busy.size(); ++r)
+        sink += busy[r] + stall[r] + static_cast<double>(steals[r]);
+      if (rng.uniform(4) == 0) solver.reset_counters();
+      if (rng.uniform(2) == 0) std::this_thread::yield();
+    }
+    ASSERT_GE(sink, 0.0);
+  });
+  solver.run_cycles(6);
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  EXPECT_EQ(reference_u, solver.u());
 }
 
 TEST(Threaded, BlocksAppliedCountsWholeCycleBlocks) {
