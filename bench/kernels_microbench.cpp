@@ -26,7 +26,17 @@
 //
 // The flop/byte model is perf/roofline.hpp — the same accounting the executor
 // run reports and BENCH JSON emission use, so the microbench counters and the
-// solver-level roofline columns cannot drift apart.
+// solver-level roofline columns cannot drift apart. Batched benches take their
+// bytes from perf::roofline_for_plan on the *actual* plan they run, so blocks
+// the plan classified affine are charged the compact separable metric, not the
+// full planes — the uniform box fixture is all-affine, and charging it full
+// planes overstated bytes (and understated ai) by ~2x.
+//
+// Every BENCH_kernels.json carries the compiled SIMD backend in its context
+// ("simd_isa", "simd_width"), and BM_*ColoringDelta records the conflict-free
+// scatter coloring's measured effect against a Coloring::None plan of the same
+// group, so batched_speedup numbers from different builds (avx512 / avx2 /
+// scalar CI job) are attributable to their backend.
 //
 // Unless --benchmark_out (or the shorthand --out=<path>) is given explicitly,
 // results are written as machine-readable JSON to BENCH_kernels.json so the
@@ -43,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "core/lts_newmark.hpp"
 #include "mesh/generators.hpp"
@@ -76,6 +87,15 @@ void set_kernel_counters(benchmark::State& state, std::size_t nelems, double flo
   if (nblocks > 0)
     state.counters["blocks/s"] = benchmark::Counter(static_cast<double>(nblocks),
                                                     benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Plan-aware counters for the batched benches: flops and bytes come from the
+// same roofline accounting the run reports use, evaluated on the plan that
+// actually executes (affine blocks are charged the compact metric form).
+void set_plan_counters(benchmark::State& state, const sem::BatchPlan& plan) {
+  const perf::RooflineStat rl = perf::roofline_for_plan(plan);
+  set_kernel_counters(state, static_cast<std::size_t>(rl.elements), rl.flops_per_elem,
+                      rl.bytes_per_elem, static_cast<std::size_t>(plan.num_blocks()));
 }
 
 struct KernelFixture {
@@ -119,10 +139,7 @@ void BM_AcousticApply(benchmark::State& state) {
     op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  const int n1 = f.space->ref().nodes_1d();
-  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
-                      acoustic_bytes_per_elem(n1),
-                      static_cast<std::size_t>(plan.num_blocks()));
+  set_plan_counters(state, plan);
 }
 BENCHMARK(BM_AcousticApply)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
 
@@ -154,9 +171,7 @@ void BM_ElasticApply(benchmark::State& state) {
     op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  const int n1 = f.space->ref().nodes_1d();
-  set_kernel_counters(state, f.all.size(), elastic_flops_per_elem(n1),
-                      elastic_bytes_per_elem(n1), static_cast<std::size_t>(plan.num_blocks()));
+  set_plan_counters(state, plan);
 }
 BENCHMARK(BM_ElasticApply)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -231,6 +246,62 @@ void BM_ElasticBatchedVsSingle(benchmark::State& state) {
 BENCHMARK(BM_ElasticBatchedVsSingle)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Scatter coloring on/off: same element group, Coloring::ConflictFree
+// (vectorized scatter) vs Coloring::None (dense strided blocks, sequential
+// scatter). coloring_speedup > 1 means the conflict-free layout wins even
+// after paying its extra (ragged) blocks.
+// ---------------------------------------------------------------------------
+
+template <class Op>
+void coloring_delta(benchmark::State& state, int ncomp) {
+  KernelFixture f(static_cast<int>(state.range(0)));
+  Op op(*f.space);
+  auto ws = op.make_workspace();
+  auto make_plan = [&](sem::BatchPlan::Coloring c) {
+    sem::BatchPlan::Group g;
+    g.elems = f.all;
+    std::vector<sem::BatchPlan::Group> groups;
+    groups.push_back(std::move(g));
+    return sem::BatchPlan(*f.space, ncomp, std::move(groups), sem::BatchPlan::Fill::Now, c);
+  };
+  const sem::BatchPlan colored = make_plan(sem::BatchPlan::Coloring::ConflictFree);
+  const sem::BatchPlan strided = make_plan(sem::BatchPlan::Coloring::None);
+  std::vector<real_t> u(static_cast<std::size_t>(f.space->num_global_nodes()) *
+                            static_cast<std::size_t>(ncomp),
+                        1.0);
+  std::vector<real_t> out(u.size(), 0.0);
+  double t_colored = 0, t_strided = 0;
+  for (auto _ : state) {
+    {
+      const WallTimer t;
+      op.apply_add_blocks(strided, 0, strided.num_blocks(), u.data(), out.data(), ws);
+      t_strided += t.seconds();
+    }
+    {
+      const WallTimer t;
+      op.apply_add_blocks(colored, 0, colored.num_blocks(), u.data(), out.data(), ws);
+      t_colored += t.seconds();
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["coloring_speedup"] =
+      benchmark::Counter(t_colored > 0 ? t_strided / t_colored : 0.0);
+  state.counters["colored_blocks"] = benchmark::Counter(static_cast<double>(colored.num_blocks()));
+  state.counters["strided_blocks"] = benchmark::Counter(static_cast<double>(strided.num_blocks()));
+  set_plan_counters(state, colored);
+}
+
+void BM_AcousticColoringDelta(benchmark::State& state) {
+  coloring_delta<sem::AcousticOperator>(state, 1);
+}
+BENCHMARK(BM_AcousticColoringDelta)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ElasticColoringDelta(benchmark::State& state) {
+  coloring_delta<sem::ElasticOperator>(state, 3);
+}
+BENCHMARK(BM_ElasticColoringDelta)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Column-masked (LTS) applies: legacy per-node branch vs LevelMask plan
 // ---------------------------------------------------------------------------
 
@@ -292,9 +363,7 @@ void BM_MaskedApplyBlocks(benchmark::State& state) {
     op.apply_add_blocks(plan, 0, plan.num_blocks(), u.data(), out.data(), ws);
     benchmark::DoNotOptimize(out.data());
   }
-  const int n1 = f.space->ref().nodes_1d();
-  set_kernel_counters(state, f.all.size(), acoustic_flops_per_elem(n1),
-                      acoustic_bytes_per_elem(n1), static_cast<std::size_t>(plan.num_blocks()));
+  set_plan_counters(state, plan);
 }
 BENCHMARK(BM_MaskedApplyBlocks)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -421,6 +490,11 @@ int main(int argc, char** argv) {
   if (!has_fmt) args.push_back(fmt_flag.data());
   int ac = static_cast<int>(args.size());
   benchmark::Initialize(&ac, args.data());
+  // Tag the JSON (and the console header) with the compiled SIMD backend so
+  // per-backend batched_speedup / coloring_speedup numbers are attributable.
+  benchmark::AddCustomContext("simd_isa", std::string(simd::isa_name()));
+  benchmark::AddCustomContext("simd_width", std::to_string(simd::kWidth));
+  std::cout << "simd: " << simd::isa_name() << " width=" << simd::kWidth << "\n";
   if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
 

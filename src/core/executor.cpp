@@ -359,11 +359,13 @@ private:
     }
     note();
   }
-  // The shared-memory ranks all update one host vector, so state() can alias
-  // it directly — zero copies, like the serial adapters. (A genuinely
-  // distributed backend would return nullptr here and gather instead.)
-  const std::vector<real_t>* direct_state() const override { return &solver_->u(); }
-  void gather_state(std::vector<real_t>& out) const override { out = solver_->u(); }
+  // The solver's u lives in a first-touch-placed raw array (a span view, not
+  // a std::vector), so state() goes through the base gather cache: one copy
+  // per advance, stable vector identity between advances.
+  void gather_state(std::vector<real_t>& out) const override {
+    const auto u = solver_->u();
+    out.assign(u.begin(), u.end());
+  }
   void do_add_source(const sem::PointSource& src) override { solver_->add_source(src); }
   void do_add_receiver(gindex_t node, int component) override {
     solver_->add_receiver(node, component);
@@ -380,8 +382,8 @@ private:
 
   [[nodiscard]] ExecutorState do_export_state() const override {
     ExecutorState s;
-    s.u = solver_->u();
-    s.v_half = solver_->v_half();
+    s.u.assign(solver_->u().begin(), solver_->u().end());
+    s.v_half.assign(solver_->v_half().begin(), solver_->v_half().end());
     s.time = solver_->time();
     s.dt = solver_->dt();
     s.cycles = solver_->cycles_done();

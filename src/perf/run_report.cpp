@@ -151,6 +151,10 @@ void write_report(JsonWriter& w, const RunReport& r) {
   w.value(r.element_applies);
   w.key("blocks_applied");
   w.value(r.blocks_applied);
+  w.key("simd_isa");
+  w.value(r.simd_isa);
+  w.key("simd_width");
+  w.value(r.simd_width);
   w.array("rank_busy_seconds", r.rank_busy_seconds);
   w.array("rank_stall_seconds", r.rank_stall_seconds);
   w.array("rank_steal_counts", r.rank_steal_counts);
@@ -475,6 +479,8 @@ RunReport report_from_value(const JsonValue& v) {
   if (const auto* p = v.find("wall_seconds")) r.wall_seconds = p->as_double();
   if (const auto* p = v.find("element_applies")) r.element_applies = p->as_int64();
   if (const auto* p = v.find("blocks_applied")) r.blocks_applied = p->as_int64();
+  if (const auto* p = v.find("simd_isa")) r.simd_isa = p->as_string();
+  if (const auto* p = v.find("simd_width")) r.simd_width = static_cast<int>(p->as_int64());
   r.rank_busy_seconds = to_vector<double>(v.find("rank_busy_seconds"),
                                           [](const JsonValue& x) { return x.as_double(); });
   r.rank_stall_seconds = to_vector<double>(v.find("rank_stall_seconds"),

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace ltswave::perf {
@@ -95,6 +96,8 @@ struct RunReport {
   double wall_seconds = 0;          ///< end-to-end wall time of the run
   std::int64_t element_applies = 0; ///< per-element stiffness applies
   std::int64_t blocks_applied = 0;  ///< batched kernel block applies
+  std::string simd_isa = std::string(simd::isa_name()); ///< compiled SIMD ISA
+  int simd_width = simd::kWidth;    ///< compiled real_t lanes per vector
   std::vector<double> rank_busy_seconds;        ///< per rank; empty if serial
   std::vector<double> rank_stall_seconds;       ///< per rank; empty if serial
   std::vector<std::int64_t> rank_steal_counts;  ///< per rank; empty if serial

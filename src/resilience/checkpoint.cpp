@@ -1,5 +1,6 @@
 #include "resilience/checkpoint.hpp"
 
+#include <array>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -13,7 +14,9 @@ namespace ltswave::resilience {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'T', 'S', 'W', 'C', 'K', 'P', 'T'};
+// std::array rather than char[8]: GCC 12's -Wstringop-overflow misjudges the
+// raw array's extent when the insert below is fully inlined at -O2/-O3.
+constexpr std::array<char, 8> kMagic = {'L', 'T', 'S', 'W', 'C', 'K', 'P', 'T'};
 // magic + version + 2 arch-tag bytes + payload size + checksum.
 constexpr std::size_t kHeaderBytes = 8 + 4 + 1 + 1 + 8 + 8;
 
@@ -165,7 +168,10 @@ std::vector<std::uint8_t> serialize(const Checkpoint& ck) {
 
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + payload.size());
-  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  // resize+memcpy, not insert(range): GCC 12 -Wstringop-overflow misreads the
+  // inlined vector range-insert growth path and flags a bogus 8-into-7 write.
+  out.resize(kMagic.size());
+  std::memcpy(out.data(), kMagic.data(), kMagic.size());
   std::uint32_t version = Checkpoint::kVersion;
   const auto voff = out.size();
   out.resize(voff + sizeof version);
@@ -181,7 +187,7 @@ std::vector<std::uint8_t> serialize(const Checkpoint& ck) {
 Checkpoint deserialize(const std::uint8_t* data, std::size_t size) {
   if (size < kHeaderBytes)
     LTS_RAISE(CorruptInput, "checkpoint too short for a header (" << size << " bytes)");
-  if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+  if (std::memcmp(data, kMagic.data(), kMagic.size()) != 0)
     LTS_RAISE(CorruptInput, "bad checkpoint magic — not an ltswave checkpoint");
   std::uint32_t version{};
   std::memcpy(&version, data + 8, sizeof version);

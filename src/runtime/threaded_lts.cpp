@@ -34,9 +34,11 @@ ThreadedLtsSolver::ThreadedLtsSolver(const sem::WaveOperator& op,
   // One inverse-mass entry per node; all components share it.
   inv_mass_ = space.inv_mass();
 
-  u_.assign(ndof_, 0.0);
-  v_.assign(ndof_, 0.0);
-  scratch_.assign(ndof_, 0.0);
+  // Untouched allocations: first_touch_rank_buffers() has each pool worker
+  // zero the rows it owns, which places the pages (see the file comment).
+  u_ = std::make_unique_for_overwrite<real_t[]>(ndof_);
+  v_ = std::make_unique_for_overwrite<real_t[]>(ndof_);
+  scratch_ = std::make_unique_for_overwrite<real_t[]>(ndof_);
   const level_t nl = levels.num_levels;
   cumulative_.assign(nl > 1 ? ndof_ : 0, 0.0);
   forces_.assign(static_cast<std::size_t>(std::max(0, nl - 1)), std::vector<real_t>(ndof_, 0.0));
@@ -85,6 +87,17 @@ void ThreadedLtsSolver::first_touch_rank_buffers() {
     const auto nc = static_cast<std::size_t>(ncomp_);
     for (auto& level_chunks : rd.chunks)
       for (auto& ch : level_chunks) ch.acc.assign(ch.rows.size() * nc, 0.0);
+    // First touch of the shared u/v/scratch state: zero the rows this rank
+    // owns (every global node has an owner < nranks_, so together the workers
+    // initialize every entry — and each page lands on its updater's node).
+    for (std::size_t g = 0; g < row_owner_.size(); ++g) {
+      if (row_owner_[g] != r) continue;
+      for (std::size_t c = 0; c < nc; ++c) {
+        u_[g * nc + c] = 0.0;
+        v_[g * nc + c] = 0.0;
+        scratch_[g * nc + c] = 0.0;
+      }
+    }
   });
 }
 
@@ -453,9 +466,9 @@ void ThreadedLtsSolver::adopt_state_from(const ThreadedLtsSolver& prev) {
   LTS_CHECK(ndof_ == prev.ndof_);
   LTS_CHECK_MSG(sources_.empty() && traces_.empty(),
                 "adopt_state_from expects a freshly built solver");
-  u_ = prev.u_;
-  v_ = prev.v_;
-  scratch_ = prev.scratch_;
+  std::copy(prev.u_.get(), prev.u_.get() + ndof_, u_.get());
+  std::copy(prev.v_.get(), prev.v_.get() + ndof_, v_.get());
+  std::copy(prev.scratch_.get(), prev.scratch_.get() + ndof_, scratch_.get());
   cumulative_ = prev.cumulative_;
   forces_ = prev.forces_;
   vt_ = prev.vt_;
@@ -471,8 +484,8 @@ void ThreadedLtsSolver::adopt_state_from(const ThreadedLtsSolver& prev) {
 
 void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const real_t> v0) {
   LTS_CHECK(u0.size() == ndof_ && v0.size() == ndof_);
-  std::copy(u0.begin(), u0.end(), u_.begin());
-  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::copy(u0.begin(), u0.end(), u_.get());
+  std::fill(scratch_.get(), scratch_.get() + ndof_, 0.0);
   // One-shot initialization apply through the per-element path (the solver's
   // own plan is level-restricted; building the operator's full-mesh plan for
   // a single apply would duplicate every metric slab). The workspace is rank
@@ -480,7 +493,7 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
   // per set_state call.
   std::vector<index_t> all(static_cast<std::size_t>(op_->space().num_elems()));
   for (std::size_t e = 0; e < all.size(); ++e) all[e] = static_cast<index_t>(e);
-  op_->apply_add(all, u_.data(), scratch_.data(), *ranks_[0].workspace);
+  op_->apply_add(all, u_.get(), scratch_.get(), *ranks_[0].workspace);
   const std::size_t nc = static_cast<std::size_t>(ncomp_);
   if (sources_.empty()) {
     for (std::size_t g = 0; g < inv_mass_.size(); ++g) {
@@ -499,7 +512,7 @@ void ThreadedLtsSolver::set_state(std::span<const real_t> u0, std::span<const re
         v_[g * nc + c] = v0[g * nc + c] - 0.5 * dt_ * im * (f[g * nc + c] - scratch_[g * nc + c]);
     }
   }
-  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::fill(scratch_.get(), scratch_.get() + ndof_, 0.0);
   for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
   if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
   for (auto& t : traces_) {
@@ -515,8 +528,8 @@ void ThreadedLtsSolver::adopt_raw_state(std::span<const real_t> u, std::span<con
                                         real_t time, std::int64_t cycles_done) {
   LTS_CHECK(u.size() == ndof_ && v_half.size() == ndof_);
   LTS_CHECK(cycles_done >= 0);
-  std::copy(u.begin(), u.end(), u_.begin());
-  std::copy(v_half.begin(), v_half.end(), v_.begin());
+  std::copy(u.begin(), u.end(), u_.get());
+  std::copy(v_half.begin(), v_half.end(), v_.get());
   cycles_done_ = cycles_done;
   // When the adopted clock sits exactly on the cycle grid (same-dt restore),
   // the offset must be exactly 0.0 or resumed sample times drift by an ulp:
@@ -524,7 +537,7 @@ void ThreadedLtsSolver::adopt_raw_state(std::span<const real_t> u, std::span<con
   // subtract the *exact* product instead of the rounded one.
   const real_t elapsed = static_cast<real_t>(cycles_done) * dt_;
   time_offset_ = (time == elapsed) ? real_t(0) : time - elapsed;
-  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  std::fill(scratch_.get(), scratch_.get() + ndof_, 0.0);
   if (!cumulative_.empty()) std::fill(cumulative_.begin(), cumulative_.end(), 0.0);
   for (auto& f : forces_) std::fill(f.begin(), f.end(), 0.0);
   for (auto& w : vt_) std::fill(w.begin(), w.end(), 0.0);
@@ -560,7 +573,7 @@ void ThreadedLtsSolver::run_chunk(RankData& self, Chunk& chunk) {
   real_t* buf = self.private_buf.data();
   for (const gindex_t g : chunk.rows)
     for (std::size_t c = 0; c < nc; ++c) buf[static_cast<std::size_t>(g) * nc + c] = 0.0;
-  op_->apply_add_blocks(*plan_, chunk.first_block, chunk.last_block, u_.data(), buf,
+  op_->apply_add_blocks(*plan_, chunk.first_block, chunk.last_block, u_.get(), buf,
                         *self.workspace);
   real_t* acc = chunk.acc.data();
   for (std::size_t i = 0; i < chunk.rows.size(); ++i) {
@@ -606,7 +619,7 @@ void ThreadedLtsSolver::eval_phase(rank_t r, level_t k) {
       for (int c = 0; c < ncomp_; ++c)
         rd.private_buf[static_cast<std::size_t>(g) * static_cast<std::size_t>(ncomp_) + static_cast<std::size_t>(c)] = 0.0;
     const auto range = plan_->group_blocks(group_index(r, k));
-    op_->apply_add_blocks(*plan_, range.first, range.last, u_.data(), rd.private_buf.data(),
+    op_->apply_add_blocks(*plan_, range.first, range.last, u_.get(), rd.private_buf.data(),
                           *rd.workspace);
   }
   {
@@ -834,7 +847,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
         double t_src = 0, t_recv = 0;
         if (has_sources) {
           const WallTimer src_timer;
-          apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.data());
+          apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.get());
           t_src = src_timer.seconds();
           tally(rd, slot_sources(), t_src);
         }
@@ -892,7 +905,7 @@ void ThreadedLtsSolver::thread_main(rank_t r, int cycles) {
       double t_src = 0, t_recv = 0;
       if (has_sources) {
         const WallTimer src_timer;
-        apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.data());
+        apply_rank_sources(rd, 1, t0, core::SubstepCoeffs{dt_, dt_}, v_.get());
         t_src = src_timer.seconds();
         tally(rd, slot_sources(), t_src);
       }

@@ -16,7 +16,12 @@
 /// the mask-free fast gather — and every eval phase iterates whole blocks.
 /// The per-rank block slabs (and workspaces, accumulation buffers and chunk
 /// buffers) are first-touch initialized by their owning pool thread, so on
-/// NUMA machines each rank's hot data lands on its own memory node.
+/// NUMA machines each rank's hot data lands on its own memory node. The
+/// *shared* global u/v/scratch vectors get the same treatment: they are
+/// allocated untouched (raw arrays, not value-initialized std::vector) and
+/// each pool worker zeroes the rows it owns (row_owner_), so every page of
+/// the shared state is resident on the memory node of the rank that updates
+/// — and most often reads — it.
 ///
 /// Synchronization is governed by a SchedulerMode (see runtime/scheduler.hpp):
 /// the legacy barrier-all mode makes every rank arrive at every substep
@@ -55,6 +60,7 @@
 #include <barrier>
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "core/lts_newmark.hpp"
 #include "partition/partition.hpp"
@@ -152,8 +158,11 @@ public:
   /// seconds. State (u, v, time, counters) carries over between calls.
   double run_cycles(int cycles);
 
-  [[nodiscard]] const std::vector<real_t>& u() const noexcept { return u_; }
-  [[nodiscard]] const std::vector<real_t>& v_half() const noexcept { return v_; }
+  /// Read-only views of the shared global state. Spans, not vectors: the
+  /// backing arrays are first-touch-placed raw allocations (see the file
+  /// comment), stable for the solver's lifetime.
+  [[nodiscard]] std::span<const real_t> u() const noexcept { return {u_.get(), ndof_}; }
+  [[nodiscard]] std::span<const real_t> v_half() const noexcept { return {v_.get(), ndof_}; }
   /// Completed LTS cycles since construction / the last set_state. Time and
   /// work counters derive from this integer — no floating-point drift.
   [[nodiscard]] std::int64_t cycles_done() const noexcept { return cycles_done_; }
@@ -338,8 +347,10 @@ private:
   std::unique_ptr<sem::BatchPlan> plan_;
 
   std::vector<real_t> inv_mass_; // per node (components share it)
-  std::vector<real_t> u_, v_;
-  std::vector<real_t> scratch_;
+  // Shared global state (ndof_ each): raw arrays allocated untouched so the
+  // pool workers' per-owned-row zeroing is the first touch of every page.
+  std::unique_ptr<real_t[]> u_, v_;
+  std::unique_ptr<real_t[]> scratch_;
   std::vector<real_t> cumulative_;
   std::vector<std::vector<real_t>> forces_;
   std::vector<std::vector<real_t>> vt_;

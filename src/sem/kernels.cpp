@@ -1,5 +1,7 @@
 #include "sem/kernels.hpp"
 
+#include "common/simd.hpp"
+
 namespace ltswave::sem {
 
 namespace kernels {
@@ -190,18 +192,23 @@ void elastic_element_apply(int n1_rt, const real_t* D, const real_t* Dt,
 // ---------------------------------------------------------------------------
 //
 // Same contractions as above, but on lane-interleaved block slabs: entry
-// (q, l) of a slab lives at [q*W + l], W = block_width_for(n1). Every inner
-// loop below walks the lane axis l, so the vector width is the compile-time
-// block width instead of the short n1 axis — one kernel call advances W
-// elements at near-full vector utilization.
+// (q, l) of a slab lives at [q*W + l], W = block_width_for(n1). The lane
+// axis is walked with the explicit simd::Vec layer (common/simd.hpp): the
+// kernels are tiled into VW-lane chunks (VW = simd::kWidth, the target's
+// native double-vector width), every contraction accumulator is a Vec
+// register, and each chunk runs the whole kernel — gradients, pointwise
+// metric algebra, weak divergence — before the next chunk starts, so a
+// chunk's flux slabs stay cache-hot across the stages. Every block width is
+// a multiple of 8 and VW is in {1, 2, 4, 8}, so chunks always tile exactly.
 //
-// The batched form also *fuses* the stages: at each point, all three
-// reference gradients are accumulated in registers and multiplied by the
-// metric immediately (no gradient slab round-trip), and the three weak
-// divergence directions combine into a single accumulator with one store per
-// output point (no out zeroing or read-modify-write passes). The only slab
-// traffic left is one write + one strided read of the three flux planes and
-// one output write — the structure that keeps a W-wide block L1-resident.
+// Per chunk the stages fuse: at each point all reference-gradient
+// accumulators live in Vec registers and the metric is applied immediately
+// (no gradient slab round-trip — for elastic that is a 9-register
+// stress/strain tile per lane chunk, the tiling the autovectorized version
+// could not hold without spilling), and the three weak-divergence directions
+// combine into one accumulator with a single store per output point. Affine
+// blocks hoist their lane-constant metric into Vec registers across the
+// whole point loop.
 //
 // N1 == 0 again selects the runtime-(n1, bw) generic path from the same
 // source so the block specializations cannot drift from their fallback.
@@ -210,11 +217,6 @@ void elastic_element_apply(int n1_rt, const real_t* D, const real_t* Dt,
 /// (0 defers to the runtime bw argument).
 template <int N1>
 inline constexpr int kBlockW = N1 > 0 ? block_width_for(N1) : 0;
-
-/// Size of on-stack lane accumulators: exactly the compile-time width for
-/// specialized kernels so the compiler promotes them to vector registers.
-template <int N1>
-inline constexpr int kAccW = N1 > 0 ? block_width_for(N1) : kMaxBlockWidth;
 
 /// Shared body of the full-metric and affine acoustic block applies. With
 /// Affine == true, `gmat` holds the 6 lane-constant rows C_p (6*W) and the
@@ -233,6 +235,9 @@ void acoustic_block_apply_impl(int n1_rt, int bw_rt, const real_t* __restrict D,
   const int npts = n2 * n1;
   const int pts = npts * W;
 
+  using V = simd::RealVec;
+  constexpr int VW = simd::kWidth;
+
   const int pstride = Affine ? W : pts;
   const real_t* __restrict g00 = gmat;
   const real_t* __restrict g01 = gmat + pstride;
@@ -241,84 +246,82 @@ void acoustic_block_apply_impl(int n1_rt, int bw_rt, const real_t* __restrict D,
   const real_t* __restrict g12 = gmat + 4 * pstride;
   const real_t* __restrict g22 = gmat + 5 * pstride;
 
-  // Stage A: per x-line (k, j), the W-wide line values are cached in vector
-  // registers (specialized path) so the x-contraction runs load-free, and the
-  // D columns of the y/z contractions are hoisted per line. Each point's
-  // three reference gradients stay in registers through the symmetric metric
-  // into the flux slabs s1-s3 — gradients never touch memory.
-  for (int k = 0; k < n1; ++k)
-    for (int j = 0; j < n1; ++j) {
-      const real_t* __restrict fline = ul + ((k * n1 + j) * n1) * W;
-      const real_t* __restrict dj = D + j * n1;
-      const real_t* __restrict dk = D + k * n1;
-      for (int i = 0; i < n1; ++i) {
-        const real_t* __restrict fy = ul + (k * n2 + i) * W; // along j, stride n1*W
-        const real_t* __restrict fz = ul + (j * n1 + i) * W; // along k, stride n2*W
-        const real_t* __restrict di = D + i * n1;
-        real_t a[kAccW<N1>], b[kAccW<N1>], c[kAccW<N1>];
-        for (int l = 0; l < W; ++l) {
-          a[l] = di[0] * fline[l];
-          b[l] = dj[0] * fy[l];
-          c[l] = dk[0] * fz[l];
-        }
-        for (int m = 1; m < n1; ++m) {
-          const real_t dim = di[m], djm = dj[m], dkm = dk[m];
-          const real_t* __restrict fxm = fline + m * W;
-          const real_t* __restrict fym = fy + m * n1 * W;
-          const real_t* __restrict fzm = fz + m * n2 * W;
-          for (int l = 0; l < W; ++l) {
-            a[l] += dim * fxm[l];
-            b[l] += djm * fym[l];
-            c[l] += dkm * fzm[l];
-          }
-        }
-        const int q = (k * n1 + j) * n1 + i;
-        const int t0 = q * W;
-        const real_t wq = Affine ? w3[q] : real_t{0};
-        for (int l = 0; l < W; ++l) {
-          const int t = t0 + l;
-          if constexpr (Affine) {
-            // w_q factors out of the whole symmetric apply: three dots on the
-            // lane constants, one combined kappa * w_q scale.
-            const real_t kw = kappa[l] * wq;
-            s1[t] = kw * (g00[l] * a[l] + g01[l] * b[l] + g02[l] * c[l]);
-            s2[t] = kw * (g01[l] * a[l] + g11[l] * b[l] + g12[l] * c[l]);
-            s3[t] = kw * (g02[l] * a[l] + g12[l] * b[l] + g22[l] * c[l]);
-          } else {
-            const real_t kp = kappa[l];
-            s1[t] = kp * (g00[t] * a[l] + g01[t] * b[l] + g02[t] * c[l]);
-            s2[t] = kp * (g01[t] * a[l] + g11[t] * b[l] + g12[t] * c[l]);
-            s3[t] = kp * (g02[t] * a[l] + g12[t] * b[l] + g22[t] * c[l]);
-          }
-        }
-      }
+  // Lane-chunk outer loop: each VW-lane slice runs both stages before the
+  // next slice starts, so the slice's three flux slabs stay cache-hot into
+  // the weak divergence. Affine lane constants (and kappa) hoist into Vec
+  // registers across the whole point loop of a chunk.
+  for (int l0 = 0; l0 < W; l0 += VW) {
+    const V kp = V::load(kappa + l0);
+    [[maybe_unused]] V c00{}, c01{}, c02{}, c11{}, c12{}, c22{};
+    if constexpr (Affine) {
+      c00 = V::load(g00 + l0);
+      c01 = V::load(g01 + l0);
+      c02 = V::load(g02 + l0);
+      c11 = V::load(g11 + l0);
+      c12 = V::load(g12 + l0);
+      c22 = V::load(g22 + l0);
     }
 
-  // Stage B: fused weak divergence — all three directions accumulate into a
-  // register vector, one store per output point, no zeroing pass. The j/k
-  // columns of D are hoisted per (k, j) pair; only the i column varies inside.
-  for (int k = 0; k < n1; ++k)
-    for (int j = 0; j < n1; ++j) {
-      const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W;
-      for (int i = 0; i < n1; ++i) {
-        const real_t* __restrict F2 = s2 + (k * n2 + i) * W;
-        const real_t* __restrict F3 = s3 + (j * n1 + i) * W;
-        real_t acc[kAccW<N1>];
-        {
-          const real_t d1 = D[i], d2 = D[j], d3 = D[k]; // row m = 0
-          for (int l = 0; l < W; ++l) acc[l] = d1 * F1[l] + d2 * F2[l] + d3 * F3[l];
+    // Stage A: the three reference gradients of each point accumulate in Vec
+    // registers (fma chains over the m contraction), then go through the
+    // symmetric metric straight into the flux slabs s1-s3.
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j) {
+        const real_t* __restrict fline = ul + ((k * n1 + j) * n1) * W + l0;
+        const real_t* __restrict dj = D + j * n1;
+        const real_t* __restrict dk = D + k * n1;
+        for (int i = 0; i < n1; ++i) {
+          const real_t* __restrict fy = ul + (k * n2 + i) * W + l0; // along j
+          const real_t* __restrict fz = ul + (j * n1 + i) * W + l0; // along k
+          const real_t* __restrict di = D + i * n1;
+          V a = V::broadcast(di[0]) * V::load(fline);
+          V b = V::broadcast(dj[0]) * V::load(fy);
+          V c = V::broadcast(dk[0]) * V::load(fz);
+          for (int m = 1; m < n1; ++m) {
+            a = fma(V::broadcast(di[m]), V::load(fline + m * W), a);
+            b = fma(V::broadcast(dj[m]), V::load(fy + m * n1 * W), b);
+            c = fma(V::broadcast(dk[m]), V::load(fz + m * n2 * W), c);
+          }
+          const int q = (k * n1 + j) * n1 + i;
+          const int t = q * W + l0;
+          if constexpr (Affine) {
+            // w_q factors out of the whole symmetric apply: three dots on the
+            // hoisted lane constants, one combined kappa * w_q scale.
+            const V kw = kp * V::broadcast(w3[q]);
+            (kw * fma(c00, a, fma(c01, b, c02 * c))).store(s1 + t);
+            (kw * fma(c01, a, fma(c11, b, c12 * c))).store(s2 + t);
+            (kw * fma(c02, a, fma(c12, b, c22 * c))).store(s3 + t);
+          } else {
+            const V m00 = V::load(g00 + t), m01 = V::load(g01 + t);
+            const V m02 = V::load(g02 + t), m11 = V::load(g11 + t);
+            const V m12 = V::load(g12 + t), m22 = V::load(g22 + t);
+            (kp * fma(m00, a, fma(m01, b, m02 * c))).store(s1 + t);
+            (kp * fma(m01, a, fma(m11, b, m12 * c))).store(s2 + t);
+            (kp * fma(m02, a, fma(m12, b, m22 * c))).store(s3 + t);
+          }
         }
-        for (int m = 1; m < n1; ++m) {
-          const real_t d1 = D[m * n1 + i], d2 = D[m * n1 + j], d3 = D[m * n1 + k];
-          const real_t* __restrict f1m = F1 + m * W;
-          const real_t* __restrict f2m = F2 + m * n1 * W;
-          const real_t* __restrict f3m = F3 + m * n2 * W;
-          for (int l = 0; l < W; ++l) acc[l] += d1 * f1m[l] + d2 * f2m[l] + d3 * f3m[l];
-        }
-        real_t* __restrict o = out + ((k * n1 + j) * n1 + i) * W;
-        for (int l = 0; l < W; ++l) o[l] = acc[l];
       }
-    }
+
+    // Stage B: fused weak divergence — all three directions accumulate into
+    // one Vec register, one store per output point, no zeroing pass.
+    for (int k = 0; k < n1; ++k)
+      for (int j = 0; j < n1; ++j) {
+        const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W + l0;
+        for (int i = 0; i < n1; ++i) {
+          const real_t* __restrict F2 = s2 + (k * n2 + i) * W + l0;
+          const real_t* __restrict F3 = s3 + (j * n1 + i) * W + l0;
+          V acc = V::broadcast(D[i]) * V::load(F1);
+          acc = fma(V::broadcast(D[j]), V::load(F2), acc);
+          acc = fma(V::broadcast(D[k]), V::load(F3), acc);
+          for (int m = 1; m < n1; ++m) {
+            acc = fma(V::broadcast(D[m * n1 + i]), V::load(F1 + m * W), acc);
+            acc = fma(V::broadcast(D[m * n1 + j]), V::load(F2 + m * n1 * W), acc);
+            acc = fma(V::broadcast(D[m * n1 + k]), V::load(F3 + m * n2 * W), acc);
+          }
+          acc.store(out + ((k * n1 + j) * n1 + i) * W + l0);
+        }
+      }
+  }
 }
 
 /// Shared body of the full-metric and affine elastic block applies. With
@@ -339,142 +342,136 @@ void elastic_block_apply_impl(int n1_rt, int bw_rt, const real_t* __restrict D,
   // Plane p of a metric: full path at [p*pts + t], affine at [p*W + l].
   const std::size_t pstride = static_cast<std::size_t>(Affine ? W : pts);
 
-  // Stage A: per component, the three reference gradients accumulate in
-  // registers (three lane arrays only — the fused nine-accumulator variant
-  // spills) and are stored to the gradient slabs.
-  for (int c = 0; c < 3; ++c) {
-    const real_t* __restrict f = ul[c];
-    real_t* __restrict g1 = gr[3 * c];
-    real_t* __restrict g2 = gr[3 * c + 1];
-    real_t* __restrict g3 = gr[3 * c + 2];
+  using V = simd::RealVec;
+  constexpr int VW = simd::kWidth;
+
+  // Rebind the indirect slab pointers into direct locals once (through a
+  // const* const* every access would reload the pointer). Hand-vectorization
+  // below makes per-pointer __restrict qualifiers unnecessary: the Vec
+  // loads/stores are already explicit about what moves when.
+  const real_t* const uc[3] = {ul[0], ul[1], ul[2]};
+  real_t* const flux[9] = {gr[0], gr[1], gr[2], gr[3], gr[4], gr[5], gr[6], gr[7], gr[8]};
+
+  // Lane-chunk outer loop, as in the acoustic kernel: each VW-lane slice runs
+  // gradients + pointwise + weak divergence before the next slice starts.
+  for (int l0 = 0; l0 < W; l0 += VW) {
+    const V lm = V::load(lam + l0);
+    const V m2 = V::load(mu + l0);
+    // Affine metric constants hoist into Vec registers for the whole chunk:
+    // Jinv is elementwise constant; the separable wdet*Jinv constants pick up
+    // the w3[q] factor per point.
+    [[maybe_unused]] V cji[9], cwj[9];
+    if constexpr (Affine) {
+      for (int p = 0; p < 9; ++p) {
+        cji[p] = V::load(jinv + static_cast<std::size_t>(p) * pstride + static_cast<std::size_t>(l0));
+        cwj[p] = V::load(wjinv + static_cast<std::size_t>(p) * pstride + static_cast<std::size_t>(l0));
+      }
+    }
+
+    // Fused gradients + pointwise: at each point the nine reference-gradient
+    // accumulators (3 components x 3 directions) are a Vec register tile —
+    // the tiling the scalar lane-array form could not hold without spilling —
+    // and the strain -> stress -> reference-flux algebra runs immediately, so
+    // gradients never round-trip through the slabs. Only the nine flux planes
+    // are materialized (stage B needs whole lines of them).
     for (int k = 0; k < n1; ++k)
       for (int j = 0; j < n1; ++j) {
-        const real_t* __restrict fline = f + ((k * n1 + j) * n1) * W;
+        const int row = (k * n1 + j) * n1;
         const real_t* __restrict dj = D + j * n1;
         const real_t* __restrict dk = D + k * n1;
         for (int i = 0; i < n1; ++i) {
-          const real_t* __restrict fy = f + (k * n2 + i) * W;
-          const real_t* __restrict fz = f + (j * n1 + i) * W;
           const real_t* __restrict di = D + i * n1;
-          real_t a[kAccW<N1>], b[kAccW<N1>], c2[kAccW<N1>];
-          for (int l = 0; l < W; ++l) {
-            a[l] = di[0] * fline[l];
-            b[l] = dj[0] * fy[l];
-            c2[l] = dk[0] * fz[l];
-          }
-          for (int m = 1; m < n1; ++m) {
-            const real_t dim = di[m], djm = dj[m], dkm = dk[m];
-            const real_t* __restrict fxm = fline + m * W;
-            const real_t* __restrict fym = fy + m * n1 * W;
-            const real_t* __restrict fzm = fz + m * n2 * W;
-            for (int l = 0; l < W; ++l) {
-              a[l] += dim * fxm[l];
-              b[l] += djm * fym[l];
-              c2[l] += dkm * fzm[l];
+          V g[9];
+          for (int c = 0; c < 3; ++c) {
+            const real_t* __restrict f = uc[c];
+            const real_t* __restrict fx = f + row * W + l0;
+            const real_t* __restrict fy = f + (k * n2 + i) * W + l0;
+            const real_t* __restrict fz = f + (j * n1 + i) * W + l0;
+            V a = V::broadcast(di[0]) * V::load(fx);
+            V b = V::broadcast(dj[0]) * V::load(fy);
+            V cg = V::broadcast(dk[0]) * V::load(fz);
+            for (int m = 1; m < n1; ++m) {
+              a = fma(V::broadcast(di[m]), V::load(fx + m * W), a);
+              b = fma(V::broadcast(dj[m]), V::load(fy + m * n1 * W), b);
+              cg = fma(V::broadcast(dk[m]), V::load(fz + m * n2 * W), cg);
             }
+            g[3 * c] = a;
+            g[3 * c + 1] = b;
+            g[3 * c + 2] = cg;
           }
-          const int t0 = ((k * n1 + j) * n1 + i) * W;
-          for (int l = 0; l < W; ++l) {
-            g1[t0 + l] = a[l];
-            g2[t0 + l] = b[l];
-            g3[t0 + l] = c2[l];
+          const int q = row + i;
+          const int t = q * W + l0;
+          // Physical displacement gradient H[c][d] = du_c/dx_d.
+          V H[3][3];
+          for (int d = 0; d < 3; ++d) {
+            V j0, j1, j2;
+            if constexpr (Affine) {
+              j0 = cji[d];
+              j1 = cji[3 + d];
+              j2 = cji[6 + d];
+            } else {
+              j0 = V::load(jinv + static_cast<std::size_t>(d) * pstride + static_cast<std::size_t>(t));
+              j1 = V::load(jinv + static_cast<std::size_t>(3 + d) * pstride + static_cast<std::size_t>(t));
+              j2 = V::load(jinv + static_cast<std::size_t>(6 + d) * pstride + static_cast<std::size_t>(t));
+            }
+            H[0][d] = fma(j0, g[0], fma(j1, g[1], j2 * g[2]));
+            H[1][d] = fma(j0, g[3], fma(j1, g[4], j2 * g[5]));
+            H[2][d] = fma(j0, g[6], fma(j1, g[7], j2 * g[8]));
+          }
+          const V trace = H[0][0] + H[1][1] + H[2][2];
+          // Cauchy stress, sigma = lam*tr(eps)*I + 2 mu eps, eps = (H+H^T)/2.
+          V S[3][3];
+          for (int c = 0; c < 3; ++c)
+            for (int d = 0; d < 3; ++d) S[c][d] = m2 * (H[c][d] + H[d][c]);
+          S[0][0] = fma(lm, trace, S[0][0]);
+          S[1][1] = fma(lm, trace, S[1][1]);
+          S[2][2] = fma(lm, trace, S[2][2]);
+          // Reference flux F[c][r] = sum_d (wdet*jinv)[r][d] S[c][d].
+          [[maybe_unused]] V wq{};
+          if constexpr (Affine) wq = V::broadcast(w3[q]);
+          for (int r = 0; r < 3; ++r) {
+            V w0, w1, w2;
+            if constexpr (Affine) {
+              w0 = cwj[r * 3] * wq;
+              w1 = cwj[r * 3 + 1] * wq;
+              w2 = cwj[r * 3 + 2] * wq;
+            } else {
+              w0 = V::load(wjinv + static_cast<std::size_t>(r * 3) * pstride + static_cast<std::size_t>(t));
+              w1 = V::load(wjinv + static_cast<std::size_t>(r * 3 + 1) * pstride + static_cast<std::size_t>(t));
+              w2 = V::load(wjinv + static_cast<std::size_t>(r * 3 + 2) * pstride + static_cast<std::size_t>(t));
+            }
+            fma(w0, S[0][0], fma(w1, S[0][1], w2 * S[0][2])).store(flux[r] + t);
+            fma(w0, S[1][0], fma(w1, S[1][1], w2 * S[1][2])).store(flux[3 + r] + t);
+            fma(w0, S[2][0], fma(w1, S[2][1], w2 * S[2][2])).store(flux[6 + r] + t);
           }
         }
       }
-  }
 
-  // Pointwise strain -> stress -> reference flux, in place on the gradient
-  // slabs; metric plane (r,d) sits at [(r*3+d)*pstride + (t or l)]. The slab
-  // pointers are rebound as __restrict locals so the lane loop vectorizes
-  // (through a const* const* the compiler must assume aliasing).
-  {
-    real_t* __restrict p0 = gr[0];
-    real_t* __restrict p1 = gr[1];
-    real_t* __restrict p2 = gr[2];
-    real_t* __restrict p3 = gr[3];
-    real_t* __restrict p4 = gr[4];
-    real_t* __restrict p5 = gr[5];
-    real_t* __restrict p6 = gr[6];
-    real_t* __restrict p7 = gr[7];
-    real_t* __restrict p8 = gr[8];
-    for (int q = 0; q < npts; ++q) {
-      const int t0 = q * W;
-      const real_t wq = Affine ? w3[q] : real_t{0};
-      for (int l = 0; l < W; ++l) {
-        const int t = t0 + l;
-        const std::size_t pt = static_cast<std::size_t>(Affine ? l : t);
-        const real_t g0 = p0[t], g1 = p1[t], g2 = p2[t];
-        const real_t g3 = p3[t], g4 = p4[t], g5 = p5[t];
-        const real_t g6 = p6[t], g7 = p7[t], g8 = p8[t];
-        real_t H[3][3];
-        for (int d = 0; d < 3; ++d) {
-          const real_t j0 = jinv[static_cast<std::size_t>(d) * pstride + pt];
-          const real_t j1 = jinv[static_cast<std::size_t>(3 + d) * pstride + pt];
-          const real_t j2 = jinv[static_cast<std::size_t>(6 + d) * pstride + pt];
-          H[0][d] = j0 * g0 + j1 * g1 + j2 * g2;
-          H[1][d] = j0 * g3 + j1 * g4 + j2 * g5;
-          H[2][d] = j0 * g6 + j1 * g7 + j2 * g8;
-        }
-        const real_t trace = H[0][0] + H[1][1] + H[2][2];
-        const real_t lm = lam[l], m2 = mu[l];
-        real_t S[3][3];
-        for (int c = 0; c < 3; ++c)
-          for (int d = 0; d < 3; ++d) S[c][d] = m2 * (H[c][d] + H[d][c]);
-        S[0][0] += lm * trace;
-        S[1][1] += lm * trace;
-        S[2][2] += lm * trace;
-        real_t F[3][3];
-        for (int r = 0; r < 3; ++r) {
-          real_t w0 = wjinv[static_cast<std::size_t>(r * 3) * pstride + pt];
-          real_t w1 = wjinv[static_cast<std::size_t>(r * 3 + 1) * pstride + pt];
-          real_t w2 = wjinv[static_cast<std::size_t>(r * 3 + 2) * pstride + pt];
-          if constexpr (Affine) {
-            w0 *= wq;
-            w1 *= wq;
-            w2 *= wq;
+    // Stage B: fused weak divergence per component, one Vec accumulator and
+    // one store per output point.
+    for (int c = 0; c < 3; ++c) {
+      const real_t* __restrict s1 = flux[3 * c];
+      const real_t* __restrict s2 = flux[3 * c + 1];
+      const real_t* __restrict s3 = flux[3 * c + 2];
+      real_t* __restrict oc = out[c];
+      for (int k = 0; k < n1; ++k)
+        for (int j = 0; j < n1; ++j) {
+          const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W + l0;
+          for (int i = 0; i < n1; ++i) {
+            const real_t* __restrict F2 = s2 + (k * n2 + i) * W + l0;
+            const real_t* __restrict F3 = s3 + (j * n1 + i) * W + l0;
+            V acc = V::broadcast(D[i]) * V::load(F1);
+            acc = fma(V::broadcast(D[j]), V::load(F2), acc);
+            acc = fma(V::broadcast(D[k]), V::load(F3), acc);
+            for (int m = 1; m < n1; ++m) {
+              acc = fma(V::broadcast(D[m * n1 + i]), V::load(F1 + m * W), acc);
+              acc = fma(V::broadcast(D[m * n1 + j]), V::load(F2 + m * n1 * W), acc);
+              acc = fma(V::broadcast(D[m * n1 + k]), V::load(F3 + m * n2 * W), acc);
+            }
+            acc.store(oc + ((k * n1 + j) * n1 + i) * W + l0);
           }
-          for (int c = 0; c < 3; ++c) F[c][r] = w0 * S[c][0] + w1 * S[c][1] + w2 * S[c][2];
         }
-        p0[t] = F[0][0];
-        p1[t] = F[0][1];
-        p2[t] = F[0][2];
-        p3[t] = F[1][0];
-        p4[t] = F[1][1];
-        p5[t] = F[1][2];
-        p6[t] = F[2][0];
-        p7[t] = F[2][1];
-        p8[t] = F[2][2];
-      }
     }
-  }
-
-  // Stage B: fused weak divergence per component, one store per output point.
-  for (int c = 0; c < 3; ++c) {
-    const real_t* __restrict s1 = gr[3 * c];
-    const real_t* __restrict s2 = gr[3 * c + 1];
-    const real_t* __restrict s3 = gr[3 * c + 2];
-    real_t* __restrict oc = out[c];
-    for (int k = 0; k < n1; ++k)
-      for (int j = 0; j < n1; ++j)
-        for (int i = 0; i < n1; ++i) {
-          const real_t* __restrict F1 = s1 + ((k * n1 + j) * n1) * W;
-          const real_t* __restrict F2 = s2 + (k * n2 + i) * W;
-          const real_t* __restrict F3 = s3 + (j * n1 + i) * W;
-          real_t acc[kAccW<N1>];
-          {
-            const real_t d1 = D[i], d2 = D[j], d3 = D[k];
-            for (int l = 0; l < W; ++l) acc[l] = d1 * F1[l] + d2 * F2[l] + d3 * F3[l];
-          }
-          for (int m = 1; m < n1; ++m) {
-            const real_t d1 = D[m * n1 + i], d2 = D[m * n1 + j], d3 = D[m * n1 + k];
-            const real_t* __restrict f1m = F1 + m * W;
-            const real_t* __restrict f2m = F2 + m * n1 * W;
-            const real_t* __restrict f3m = F3 + m * n2 * W;
-            for (int l = 0; l < W; ++l) acc[l] += d1 * f1m[l] + d2 * f2m[l] + d3 * f3m[l];
-          }
-          real_t* __restrict o = oc + ((k * n1 + j) * n1 + i) * W;
-          for (int l = 0; l < W; ++l) o[l] = acc[l];
-        }
   }
 }
 

@@ -38,6 +38,10 @@ perf::RunReport make_fixture_report() {
   r.wall_seconds = 1e-9;
   r.element_applies = (std::int64_t{1} << 40) + 7;
   r.blocks_applied = 42;
+  // Explicit values (not the compiled-in defaults): the round-trip must carry
+  // the ISA of the run that wrote the report, not of the reader.
+  r.simd_isa = "avx512";
+  r.simd_width = 8;
   r.rank_busy_seconds = {0.5, 1.0 / 3.0, 2.2250738585072014e-308};
   r.rank_stall_seconds = {0.0, 1.7976931348623157e308};
   r.rank_steal_counts = {0, -3, std::numeric_limits<std::int64_t>::max()};
@@ -64,6 +68,15 @@ TEST(RunReportJson, RoundTripsExactly) {
   const std::string json = perf::to_json(r);
   const perf::RunReport back = perf::run_report_from_json(json);
   EXPECT_EQ(back, r);
+}
+
+TEST(RunReportJson, DefaultsCarryCompiledSimd) {
+  const perf::RunReport r;
+  EXPECT_EQ(r.simd_isa, std::string(simd::isa_name()));
+  EXPECT_EQ(r.simd_width, simd::kWidth);
+  const std::string json = perf::to_json(r);
+  EXPECT_NE(json.find("\"simd_isa\": "), std::string::npos);
+  EXPECT_NE(json.find("\"simd_width\": "), std::string::npos);
 }
 
 TEST(RunReportJson, RoundTripsWithoutRoofline) {
@@ -280,6 +293,18 @@ TEST(DocSync, DocsTreeLinkedFromReadme) {
   for (const char* page : {"docs/architecture.md", "docs/performance.md", "docs/scenarios.md",
                            "docs/robustness.md", "docs/static-analysis.md"})
     EXPECT_NE(readme.find(page), std::string::npos) << "README.md must link " << page;
+}
+
+TEST(DocSync, PerformanceDocPinsTheSimdSurface) {
+  // docs/performance.md documents the SIMD layer and scatter coloring; if the
+  // CMake knob, the report keys, or the coloring API are renamed, the doc
+  // must follow.
+  const std::string doc = read_doc("docs/performance.md");
+  for (const char* needle :
+       {"LTSWAVE_SIMD", "src/common/simd.hpp", "simd_isa", "simd_width",
+        "block_conflict_free()", "Coloring::None", "coloring_speedup", "batched_speedup"})
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/performance.md must mention " << needle;
 }
 
 TEST(DocSync, StaticAnalysisDocPinsTheToolchain) {

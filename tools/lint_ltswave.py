@@ -28,6 +28,12 @@ compiler nor clang-tidy can check:
      (the `key == "..."` literals) must be documented in docs/scenarios.md.
      Underscore spellings count as documented when the dash spelling is.
 
+  5. intrinsics discipline — src/common/simd.hpp is the one portability
+     seam: architecture #ifdefs (__AVX512F__/__AVX2__/__ARM_NEON/__SSE2__),
+     intrinsics headers (immintrin.h/arm_neon.h) and _mm*_ intrinsic calls
+     anywhere else in src/ fail, so kernel and solver code stays written
+     against simd::Vec only.
+
 Usage:
   tools/lint_ltswave.py [--root DIR]   lint the repo (exit 1 on violations)
   tools/lint_ltswave.py --self-test    verify each check fires on seeded
@@ -47,6 +53,7 @@ from pathlib import Path
 # Files that define the discipline rather than follow it.
 REAL_T_EXEMPT = {
     "src/common/types.hpp",  # defines real_t itself
+    "src/common/simd.hpp",   # width-specialized Vec<double, W>: precision-explicit by design
     "src/sem/kernels.hpp",   # order-specialized kernels: precision-explicit by design
     "src/sem/kernels.cpp",
 }
@@ -118,6 +125,11 @@ SYNC_RE = re.compile(
     r"|condition_variable|condition_variable_any)\b"
 )
 SYNC_EXEMPT = {"src/common/annotations.hpp"}
+
+INTRINSICS_RE = re.compile(
+    r"immintrin\.h|arm_neon\.h|__AVX512F__|__AVX2__|__ARM_NEON|__SSE2__|_mm\d*_\w+"
+)
+INTRINSICS_EXEMPT = {"src/common/simd.hpp"}
 
 KEY_RE = re.compile(r'key\s*==\s*"([^"]+)"')
 KEY_DISPATCH_FILES = ["src/core/simulation.cpp", "src/scenarios/scenario.cpp"]
@@ -276,11 +288,29 @@ def check_config_keys(root: Path) -> list[str]:
     return violations
 
 
+def check_intrinsics(root: Path) -> list[str]:
+    violations = []
+    for path in src_files(root):
+        rel = path.relative_to(root).as_posix()
+        if rel in INTRINSICS_EXEMPT:
+            continue
+        for ln, line in code_lines(path):
+            m = INTRINSICS_RE.search(line)
+            if m:
+                violations.append(
+                    f"{rel}:{ln}: architecture-specific token `{m.group(0)}` outside "
+                    f"src/common/simd.hpp — the SIMD layer is the only portability "
+                    f"seam; write against simd::Vec instead"
+                )
+    return violations
+
+
 CHECKS = [
     ("real_t discipline", check_real_t),
     ("lock discipline", check_sync_primitives),
     ("test registration", check_test_registration),
     ("config-key documentation", check_config_keys),
+    ("intrinsics discipline", check_intrinsics),
 ]
 
 
@@ -337,6 +367,7 @@ def self_test() -> int:
         expect_clean("clean locks", check_sync_primitives(root))
         expect_clean("clean tests", check_test_registration(root))
         expect_clean("clean keys", check_config_keys(root))
+        expect_clean("clean intrinsics", check_intrinsics(root))
 
         # 1. real_t: a raw double in code (comments/strings must NOT count).
         _write(root, "src/core/bad_double.cpp", "double leak() { return 0.5; }\n")
@@ -391,6 +422,19 @@ def self_test() -> int:
         _write(root, "src/core/simulation.cpp",
                'bool f(S s, K key) { return key == "max_retries"; }\n')
         expect_clean("keys-alias", check_config_keys(root))
+
+        # 5. intrinsics: an arch #ifdef / intrinsic call outside simd.hpp
+        # fires; simd.hpp itself is exempt; comment mentions must not count.
+        _write(root, "src/sem/bad_simd.cpp",
+               "#ifdef __AVX512F__\nvoid f() { _mm512_setzero_pd(); }\n#endif\n")
+        expect("intrinsics", check_intrinsics(root),
+               "architecture-specific token `__AVX512F__`")
+        (root / "src/sem/bad_simd.cpp").unlink()
+        _write(root, "src/common/simd.hpp",
+               "#include <immintrin.h>\n// __AVX512F__ dispatch lives here\n")
+        _write(root, "src/core/comment_only.cpp",
+               "// see simd.hpp for the __AVX512F__ dispatch\nint g();\n")
+        expect_clean("intrinsics-exempt", check_intrinsics(root))
 
     if failures:
         for f in failures:
